@@ -1,0 +1,51 @@
+//! Ablation A1: TDF-aware classification versus the classical
+//! (TDF-unaware) all-du baseline. Measures both the analysis cost and —
+//! via the reported association counts — what the classical criterion
+//! misses (every cross-model pair).
+
+use ams_models::{buck_boost, sensor, window_lifter};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_classification");
+
+    let designs = [
+        (
+            "sensor",
+            sensor::sensor_design(sensor::BUGGY_ADC_FULL_SCALE).unwrap(),
+        ),
+        ("window_lifter", window_lifter::lifter_design().unwrap()),
+        ("buck_boost", buck_boost::bb_design().unwrap()),
+    ];
+
+    for (name, design) in &designs {
+        group.bench_function(format!("tdf_aware/{name}"), |b| {
+            b.iter(|| black_box(dft_core::analyse(black_box(design)).len()))
+        });
+        group.bench_function(format!("classical/{name}"), |b| {
+            b.iter(|| black_box(dft_core::classical_pairs(black_box(design)).len()))
+        });
+    }
+    group.finish();
+
+    // Print the blind-spot summary once (shape evidence for EXPERIMENTS.md).
+    for (name, design) in &designs {
+        let tdf = dft_core::analyse(design);
+        let classical = dft_core::classical_pairs(design);
+        let cross = tdf
+            .associations
+            .iter()
+            .filter(|a| !a.assoc.is_intra_model())
+            .count();
+        eprintln!(
+            "[ablation] {name}: TDF-aware {} pairs ({} cross-model), classical {} pairs",
+            tdf.len(),
+            cross,
+            classical.len()
+        );
+    }
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

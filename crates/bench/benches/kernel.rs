@@ -1,0 +1,105 @@
+//! TDF kernel micro-benchmarks: raw simulation throughput (activations and
+//! samples per second) and elaboration/scheduling cost — the substrate
+//! numbers underlying every end-to-end figure.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use tdf_sim::{Cluster, DefSite, FnSource, Gain, NullSink, Probe, SimTime, Simulator, Value};
+
+fn chain_cluster(stages: usize) -> Cluster {
+    let mut c = Cluster::new("bench_top");
+    let src = c
+        .add_module(Box::new(FnSource::new("src", SimTime::from_us(1), |t| {
+            Value::Double((t.as_fs() % 1000) as f64)
+        })))
+        .unwrap();
+    let mut prev = (src, "op_out".to_owned());
+    for i in 0..stages {
+        let g = c
+            .add_module(Box::new(Gain::new(
+                format!("g{i}"),
+                1.001,
+                DefSite::new("bench_top", i as u32),
+            )))
+            .unwrap();
+        c.connect(prev.0, &prev.1, g, "tdf_i").unwrap();
+        prev = (g, "tdf_o".to_owned());
+    }
+    let (probe, _) = Probe::new("probe");
+    let p = c.add_module(Box::new(probe)).unwrap();
+    c.connect(prev.0, &prev.1, p, "tdf_i").unwrap();
+    c
+}
+
+fn bench_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel_throughput");
+    for stages in [4usize, 16, 64] {
+        let periods = 1_000u64;
+        group.throughput(Throughput::Elements(periods * (stages as u64 + 2)));
+        group.bench_function(format!("chain_{stages}_modules"), |b| {
+            b.iter(|| {
+                let mut sim = Simulator::new(chain_cluster(stages)).unwrap();
+                sim.run_periods(periods, &mut NullSink).unwrap();
+                black_box(sim.stats().samples_transferred)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_elaboration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel_elaboration");
+    for stages in [16usize, 128] {
+        group.bench_function(format!("elaborate_{stages}_modules"), |b| {
+            b.iter(|| black_box(Simulator::new(chain_cluster(stages)).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_dynamic_tdf(c: &mut Criterion) {
+    use tdf_sim::{ModuleSpec, PortSpec, ProcessingCtx, Sample, TdfModule};
+
+    /// Requests a new timestep every period, forcing a reschedule.
+    struct Restless {
+        n: u64,
+    }
+    impl TdfModule for Restless {
+        fn name(&self) -> &str {
+            "restless"
+        }
+        fn spec(&self) -> ModuleSpec {
+            ModuleSpec::new()
+                .output(PortSpec::new("op_y"))
+                .with_timestep(SimTime::from_us(10))
+        }
+        fn processing(&mut self, ctx: &mut ProcessingCtx<'_>) {
+            ctx.write(0, Sample::new(1.0));
+            self.n += 1;
+            // Alternate between two timesteps to keep rescheduling.
+            let ts = if self.n.is_multiple_of(2) { 10 } else { 11 };
+            ctx.request_timestep(SimTime::from_us(ts));
+        }
+    }
+
+    c.bench_function("dynamic_tdf_reschedule_per_period", |b| {
+        b.iter(|| {
+            let mut cluster = Cluster::new("top");
+            let a = cluster.add_module(Box::new(Restless { n: 0 })).unwrap();
+            let (probe, _) = Probe::new("p");
+            let p = cluster.add_module(Box::new(probe)).unwrap();
+            cluster.connect(a, "op_y", p, "tdf_i").unwrap();
+            let mut sim = Simulator::new(cluster).unwrap();
+            sim.run_periods(100, &mut NullSink).unwrap();
+            black_box(sim.stats().reschedules)
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_throughput,
+    bench_elaboration,
+    bench_dynamic_tdf
+);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Benchmarks the full three-stage pipeline (E1/E6): static analysis +
+//! instrumented simulation of TC1..TC3 + dynamic matching + coverage
+//! evaluation on the sensor system — i.e. the cost of regenerating Table I.
+
+use ams_models::sensor::{
+    build_sensor_cluster, sensor_design, sensor_testcases, BUGGY_ADC_FULL_SCALE,
+};
+use criterion::{criterion_group, criterion_main, Criterion};
+use dft_core::DftSession;
+use std::hint::black_box;
+
+fn bench_full_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(20);
+
+    group.bench_function("sensor_table1_full", |b| {
+        b.iter(|| {
+            let design = sensor_design(BUGGY_ADC_FULL_SCALE).unwrap();
+            let mut session = DftSession::new(design).unwrap();
+            for tc in sensor_testcases() {
+                let (cluster, _) = build_sensor_cluster(&tc, BUGGY_ADC_FULL_SCALE).unwrap();
+                session
+                    .run_testcase(&tc.name, cluster, tc.duration)
+                    .unwrap();
+            }
+            black_box(session.coverage().total_percent())
+        })
+    });
+
+    group.bench_function("sensor_single_testcase", |b| {
+        let design = sensor_design(BUGGY_ADC_FULL_SCALE).unwrap();
+        let tc = &sensor_testcases()[0];
+        b.iter(|| {
+            let mut session = DftSession::new(design.clone()).unwrap();
+            let (cluster, _) = build_sensor_cluster(tc, BUGGY_ADC_FULL_SCALE).unwrap();
+            session
+                .run_testcase(&tc.name, cluster, tc.duration)
+                .unwrap();
+            black_box(session.coverage().exercised_count())
+        })
+    });
+
+    group.finish();
+}
+
+fn bench_dynamic_matching(c: &mut Criterion) {
+    use tdf_sim::{RecordingSink, Simulator};
+    let mut group = c.benchmark_group("dynamic_matching");
+
+    // Record one event log, then benchmark matching alone (stage 2's
+    // log-analysis half, separated from simulation).
+    let design = sensor_design(BUGGY_ADC_FULL_SCALE).unwrap();
+    let tc = &sensor_testcases()[1];
+    let (cluster, _) = build_sensor_cluster(tc, BUGGY_ADC_FULL_SCALE).unwrap();
+    let mut sim = Simulator::new(cluster).unwrap();
+    let mut sink = RecordingSink::new();
+    sim.run(tc.duration, &mut sink).unwrap();
+    let events = sink.events;
+
+    group.bench_function("match_tc2_event_log", |b| {
+        b.iter(|| black_box(dft_core::analyse_events(&design, black_box(&events))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_full_pipeline, bench_dynamic_matching);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Ablation A2: static-analysis scalability. The paper claims "at the
+//! heart of the proposed work is a scalable static analysis"; this sweep
+//! measures analysis time and association count against synthetic TDF
+//! clusters of growing size (chains of 4..256 models, with and without
+//! redefining elements).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dft_core::synth::synthetic_chain;
+use std::hint::black_box;
+
+fn bench_scalability(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scalability_static");
+    group.sample_size(10);
+
+    for &n in &[4usize, 16, 64, 256] {
+        let spec = synthetic_chain(n, false);
+        let design = spec.build_design().unwrap();
+        group.bench_with_input(BenchmarkId::new("plain_chain", n), &design, |b, d| {
+            b.iter(|| black_box(dft_core::analyse(d).len()))
+        });
+    }
+
+    for &n in &[4usize, 16, 64] {
+        let spec = synthetic_chain(n, true);
+        let design = spec.build_design().unwrap();
+        group.bench_with_input(BenchmarkId::new("chain_with_gains", n), &design, |b, d| {
+            b.iter(|| black_box(dft_core::analyse(d).len()))
+        });
+    }
+    group.finish();
+
+    // Shape evidence: association count grows linearly with chain length.
+    for &n in &[4usize, 16, 64, 256] {
+        let design = synthetic_chain(n, false).build_design().unwrap();
+        eprintln!(
+            "[scalability] chain of {n} models -> {} associations",
+            dft_core::analyse(&design).len()
+        );
+    }
+}
+
+criterion_group!(benches, bench_scalability);
+criterion_main!(benches);

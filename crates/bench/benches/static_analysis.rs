@@ -1,0 +1,43 @@
+//! Benchmarks the static stage (stage 1 of Fig. 3) on the three case-study
+//! designs: association extraction + Strong/Firm/PFirm/PWeak
+//! classification. The paper claims "a scalable static analysis"; this
+//! bench quantifies it on real VPs (see `scalability.rs` for the sweep).
+
+use ams_models::{buck_boost, sensor, window_lifter};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_static(c: &mut Criterion) {
+    let mut group = c.benchmark_group("static_analysis");
+
+    let sensor_design = sensor::sensor_design(sensor::BUGGY_ADC_FULL_SCALE).unwrap();
+    group.bench_function("sensor_system", |b| {
+        b.iter(|| black_box(dft_core::analyse(black_box(&sensor_design))))
+    });
+
+    let lifter_design = window_lifter::lifter_design().unwrap();
+    group.bench_function("window_lifter", |b| {
+        b.iter(|| black_box(dft_core::analyse(black_box(&lifter_design))))
+    });
+
+    let bb_design = buck_boost::bb_design().unwrap();
+    group.bench_function("buck_boost", |b| {
+        b.iter(|| black_box(dft_core::analyse(black_box(&bb_design))))
+    });
+
+    group.finish();
+}
+
+fn bench_parse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("frontend");
+    group.bench_function("parse_sensor_src", |b| {
+        b.iter(|| minic::parse(black_box(sensor::SENSOR_SRC)).unwrap())
+    });
+    group.bench_function("parse_lifter_src", |b| {
+        b.iter(|| minic::parse(black_box(window_lifter::WINDOW_LIFTER_SRC)).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_static, bench_parse);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Regenerates **Table I** of the paper: the SystemC-AMS TDF specific data
+//! flow associations of the Fig. 2 sensor system, with one column per
+//! testcase (TC1, TC2, TC3).
+//!
+//! Run with: `cargo run -p dft-bench --bin table1`
+
+use ams_models::sensor::{
+    build_sensor_cluster, sensor_design, sensor_testcases, BUGGY_ADC_FULL_SCALE,
+};
+use dft_core::{render_summary, render_table1, Classification, DftSession};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let design = sensor_design(BUGGY_ADC_FULL_SCALE)?;
+    let mut session = DftSession::new(design)?;
+
+    for tc in sensor_testcases() {
+        let (cluster, _) = build_sensor_cluster(&tc, BUGGY_ADC_FULL_SCALE)?;
+        session.run_testcase(&tc.name, cluster, tc.duration)?;
+    }
+
+    let cov = session.coverage();
+    println!("TABLE I");
+    println!("SystemC-AMS TDF models specific data flow associations — reference Fig. 2\n");
+    println!("{}", render_table1(&cov));
+    println!("TC: Testcase (test input signal)   (x) = exercised   (-) = not exercised\n");
+    println!("{}", render_summary(&cov));
+
+    for class in Classification::ALL {
+        let (c, t) = cov.class_ratio(class);
+        println!("{class}: {c}/{t} exercised");
+    }
+    Ok(())
+}

@@ -1,0 +1,19 @@
+//! Regenerates **Table II** of the paper: the case-study summary over four
+//! testsuite-refinement iterations for the car window lifter and the
+//! buck-boost converter.
+//!
+//! Run with: `cargo run --release -p dft-bench --bin table2`
+
+use dft_bench::{buck_boost_rows, window_lifter_rows};
+use dft_core::render_table2;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("TABLE II");
+    println!("Case study: car window lifter system and buck-boost converter\n");
+
+    let mut rows = window_lifter_rows()?;
+    rows.extend(buck_boost_rows()?);
+    println!("{}", render_table2(&rows));
+    println!("T: Total   S: Strong   F: Firm   PF: PFirm   PW: PWeak");
+    Ok(())
+}

@@ -1,0 +1,94 @@
+//! # dft-bench — experiment harness
+//!
+//! Shared helpers behind the `table1`/`table2` binaries and the Criterion
+//! benches: replaying a [`Testsuite`] iteration by iteration against a
+//! [`DftSession`] and collecting the per-iteration Table-II rows.
+
+#![warn(missing_docs)]
+
+use dft_core::{Design, DftError, DftSession, Table2Row};
+use stimuli::{Testcase, Testsuite};
+use tdf_sim::Cluster;
+
+/// Replays `suite` against `design` iteration by iteration, building one
+/// [`Table2Row`] per iteration. `build` constructs a fresh cluster for a
+/// testcase (stimulus sources differ per testcase).
+///
+/// # Errors
+///
+/// Propagates analysis, elaboration and simulation errors.
+pub fn run_suite_iterations<F>(
+    design: Design,
+    suite: &Testsuite,
+    mut build: F,
+) -> Result<(DftSession, Vec<Table2Row>), DftError>
+where
+    F: FnMut(&Testcase) -> Result<Cluster, DftError>,
+{
+    let mut session = DftSession::new(design)?;
+    let mut rows = Vec::new();
+    let mut done = 0;
+    for it in 0..suite.iterations() {
+        for tc in &suite.up_to(it)[done..] {
+            let cluster = build(tc)?;
+            session.run_testcase(&tc.name, cluster, tc.duration)?;
+        }
+        done = suite.size_at(it);
+        let cov = session.coverage();
+        rows.push(Table2Row::from_coverage(
+            &suite.name,
+            it,
+            suite.size_at(it),
+            &cov,
+        ));
+    }
+    Ok((session, rows))
+}
+
+/// Runs the whole window-lifter study (E2) and returns its rows.
+///
+/// # Errors
+///
+/// Propagates analysis, elaboration and simulation errors.
+pub fn window_lifter_rows() -> Result<Vec<Table2Row>, DftError> {
+    use ams_models::window_lifter::{build_lifter_cluster, lifter_design, lifter_suite};
+    let suite = lifter_suite();
+    let (_, rows) = run_suite_iterations(lifter_design()?, &suite, |tc| {
+        build_lifter_cluster(tc).map(|(c, _)| c)
+    })?;
+    Ok(rows)
+}
+
+/// Runs the whole buck-boost study (E3) and returns its rows.
+///
+/// # Errors
+///
+/// Propagates analysis, elaboration and simulation errors.
+pub fn buck_boost_rows() -> Result<Vec<Table2Row>, DftError> {
+    use ams_models::buck_boost::{bb_design, bb_suite, build_bb_cluster};
+    let suite = bb_suite();
+    let (_, rows) = run_suite_iterations(bb_design()?, &suite, |tc| {
+        build_bb_cluster(tc).map(|(c, _)| c)
+    })?;
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buck_boost_rows_have_paper_shape() {
+        let rows = buck_boost_rows().unwrap();
+        assert_eq!(rows.len(), 4);
+        assert_eq!(rows[0].tests, 10);
+        assert_eq!(rows[3].tests, 24);
+        // Coverage grows monotonically.
+        assert!(rows
+            .windows(2)
+            .all(|w| w[0].dynamic_count <= w[1].dynamic_count));
+        // PFirm/PWeak at 100% from iteration 0 (paper Table II).
+        assert_eq!(rows[0].pfirm_pct, Some(100.0));
+        assert_eq!(rows[0].pweak_pct, Some(100.0));
+    }
+}

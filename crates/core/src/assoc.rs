@@ -1,0 +1,161 @@
+//! Def-use associations `(v, d, dm, u, um)` and their TDF-specific
+//! classification (Strong / Firm / PFirm / PWeak).
+
+use std::fmt;
+
+/// The four disjoint TDF-specific classifications of the paper, §IV-B.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Classification {
+    /// (a) output port with a du-path to the using model, or (b) local
+    /// variable where *every* static path def→use is a du-path.
+    Strong,
+    /// Local variable with at least one non-du static path.
+    Firm,
+    /// Output port with both an original and a redefined branch reaching
+    /// the same using model (at least one static path is not a du-path).
+    PFirm,
+    /// Output port whose every branch to the using model is redefined
+    /// (no du-path at all).
+    PWeak,
+}
+
+impl Classification {
+    /// All classifications, table order.
+    pub const ALL: [Classification; 4] = [
+        Classification::Strong,
+        Classification::Firm,
+        Classification::PFirm,
+        Classification::PWeak,
+    ];
+}
+
+impl fmt::Display for Classification {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Classification::Strong => "Strong",
+            Classification::Firm => "Firm",
+            Classification::PFirm => "PFirm",
+            Classification::PWeak => "PWeak",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A def-use association: the ordered tuple `(v, d, dm, u, um)` of §IV-B.1 —
+/// variable `v` defined at line `d` of model `dm` and used at line `u` of
+/// model `um` with a redefinition-free static path in between.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Association {
+    /// The variable (local, member or port) name `v`.
+    pub var: String,
+    /// Definition line `d`.
+    pub def_line: u32,
+    /// Defining model `dm`.
+    pub def_model: String,
+    /// Use line `u`.
+    pub use_line: u32,
+    /// Using model `um`.
+    pub use_model: String,
+}
+
+impl Association {
+    /// Creates an association tuple.
+    pub fn new(
+        var: impl Into<String>,
+        def_line: u32,
+        def_model: impl Into<String>,
+        use_line: u32,
+        use_model: impl Into<String>,
+    ) -> Self {
+        Association {
+            var: var.into(),
+            def_line,
+            def_model: def_model.into(),
+            use_line,
+            use_model: use_model.into(),
+        }
+    }
+
+    /// Whether definition and use live in the same model.
+    pub fn is_intra_model(&self) -> bool {
+        self.def_model == self.use_model
+    }
+
+    /// The definition coordinate `(v, d, dm)` — the unit of the `all-defs`
+    /// criterion.
+    pub fn def_coord(&self) -> (&str, u32, &str) {
+        (&self.var, self.def_line, &self.def_model)
+    }
+}
+
+impl fmt::Display for Association {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "({}, {}, {}, {}, {})",
+            self.var, self.def_line, self.def_model, self.use_line, self.use_model
+        )
+    }
+}
+
+/// An association together with its static classification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClassifiedAssoc {
+    /// The tuple.
+    pub assoc: Association,
+    /// Its disjoint class.
+    pub class: Classification,
+}
+
+impl fmt::Display for ClassifiedAssoc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{}]", self.assoc, self.class)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_paper_notation() {
+        let a = Association::new("tmpr", 4, "TS", 9, "TS");
+        assert_eq!(a.to_string(), "(tmpr, 4, TS, 9, TS)");
+        let c = ClassifiedAssoc {
+            assoc: a,
+            class: Classification::Strong,
+        };
+        assert_eq!(c.to_string(), "(tmpr, 4, TS, 9, TS) [Strong]");
+    }
+
+    #[test]
+    fn intra_vs_cross_model() {
+        assert!(Association::new("x", 1, "M", 2, "M").is_intra_model());
+        assert!(!Association::new("op", 14, "TS", 35, "AM").is_intra_model());
+    }
+
+    #[test]
+    fn def_coord_groups_by_definition() {
+        let a = Association::new("op_hold", 55, "ctrl", 7, "TS");
+        let b = Association::new("op_hold", 55, "ctrl", 8, "TS");
+        assert_eq!(a.def_coord(), b.def_coord());
+        let c = Association::new("op_hold", 57, "ctrl", 7, "TS");
+        assert_ne!(a.def_coord(), c.def_coord());
+    }
+
+    #[test]
+    fn classification_order_and_display() {
+        assert_eq!(Classification::ALL.len(), 4);
+        assert!(Classification::Strong < Classification::PWeak);
+        assert_eq!(Classification::PFirm.to_string(), "PFirm");
+    }
+
+    #[test]
+    fn associations_are_hashable_keys() {
+        use std::collections::HashSet;
+        let mut s = HashSet::new();
+        s.insert(Association::new("x", 1, "M", 2, "M"));
+        assert!(s.contains(&Association::new("x", 1, "M", 2, "M")));
+        assert!(!s.contains(&Association::new("x", 1, "M", 3, "M")));
+    }
+}

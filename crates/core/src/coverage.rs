@@ -1,0 +1,382 @@
+//! Stage 3 of Fig. 3: coverage evaluation — combining the static
+//! association set with per-testcase exercised sets into a coverage result
+//! and the test-adequacy criteria of §IV-B.2.
+
+use std::collections::HashSet;
+
+use crate::assoc::{Association, Classification, ClassifiedAssoc};
+use crate::dynamic::DynamicWarning;
+use crate::statics::StaticAnalysis;
+
+/// The test-adequacy criteria of §IV-B.2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Criterion {
+    /// All Strong associations covered.
+    AllStrong,
+    /// All Firm associations covered.
+    AllFirm,
+    /// All PFirm associations covered.
+    AllPFirm,
+    /// All PWeak associations covered.
+    AllPWeak,
+    /// At least one association covered per definition.
+    AllDefs,
+    /// Every association covered once — the classical all-uses criterion
+    /// (each definition reaches each of its uses).
+    AllUses,
+    /// All of the above.
+    AllDataflow,
+}
+
+impl std::fmt::Display for Criterion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Criterion::AllStrong => "all-Strong",
+            Criterion::AllFirm => "all-Firm",
+            Criterion::AllPFirm => "all-PFirm",
+            Criterion::AllPWeak => "all-PWeak",
+            Criterion::AllDefs => "all-defs",
+            Criterion::AllUses => "all-uses",
+            Criterion::AllDataflow => "all-dataflow",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// One executed testcase: its name and what it exercised.
+#[derive(Debug, Clone, Default)]
+pub struct TestcaseResult {
+    /// Testcase name (e.g. `TC1`).
+    pub name: String,
+    /// Associations exercised by this testcase (static or not).
+    pub exercised: HashSet<Association>,
+    /// Definition sites `(model, var, line)` that executed at least once.
+    pub defs_executed: HashSet<(String, String, u32)>,
+    /// Runtime warnings raised during the run.
+    pub warnings: Vec<DynamicWarning>,
+}
+
+/// Why an uncovered association was missed (see
+/// [`Coverage::diagnose_uncovered`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UncoveredReason {
+    /// No testcase ever executed the definition statement — steer control
+    /// flow to the def first (or the def is dead/infeasible code).
+    DefinitionNeverExecuted,
+    /// The definition executed, but its value never flowed to this use —
+    /// a path/redefinition problem between def and use.
+    FlowNotObserved,
+}
+
+impl std::fmt::Display for UncoveredReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            UncoveredReason::DefinitionNeverExecuted => {
+                write!(f, "definition never executed")
+            }
+            UncoveredReason::FlowNotObserved => write!(f, "flow not observed"),
+        }
+    }
+}
+
+/// The combined coverage result over a testsuite.
+#[derive(Debug, Clone)]
+pub struct Coverage {
+    associations: Vec<ClassifiedAssoc>,
+    /// `covered[i][t]`: association `i` exercised by testcase `t`.
+    covered: Vec<Vec<bool>>,
+    tc_names: Vec<String>,
+}
+
+impl Coverage {
+    /// Evaluates `runs` against the static association set.
+    ///
+    /// Exercised associations that the static stage did not predict (static
+    /// analysis is an over- *and* under-approximation at the boundaries,
+    /// e.g. member initial values) are ignored, as in the paper's tool.
+    pub fn evaluate(statics: &StaticAnalysis, runs: &[TestcaseResult]) -> Coverage {
+        let associations = statics.associations.clone();
+        let covered = associations
+            .iter()
+            .map(|c| {
+                runs.iter()
+                    .map(|r| r.exercised.contains(&c.assoc))
+                    .collect()
+            })
+            .collect();
+        Coverage {
+            associations,
+            covered,
+            tc_names: runs.iter().map(|r| r.name.clone()).collect(),
+        }
+    }
+
+    /// The classified associations, report order.
+    pub fn associations(&self) -> &[ClassifiedAssoc] {
+        &self.associations
+    }
+
+    /// Testcase names, column order.
+    pub fn testcase_names(&self) -> &[String] {
+        &self.tc_names
+    }
+
+    /// Whether association `i` was exercised by any testcase.
+    pub fn is_covered(&self, i: usize) -> bool {
+        self.covered[i].iter().any(|&b| b)
+    }
+
+    /// Whether association `i` was exercised by testcase `t`.
+    pub fn is_covered_by(&self, i: usize, t: usize) -> bool {
+        self.covered[i][t]
+    }
+
+    /// `(covered, total)` for one classification.
+    pub fn class_ratio(&self, class: Classification) -> (usize, usize) {
+        let mut covered = 0;
+        let mut total = 0;
+        for (i, c) in self.associations.iter().enumerate() {
+            if c.class == class {
+                total += 1;
+                if self.is_covered(i) {
+                    covered += 1;
+                }
+            }
+        }
+        (covered, total)
+    }
+
+    /// Coverage percentage of one classification (`None` when the class has
+    /// no associations, like PFirm in the paper's window lifter study).
+    pub fn class_percent(&self, class: Classification) -> Option<f64> {
+        let (c, t) = self.class_ratio(class);
+        if t == 0 {
+            None
+        } else {
+            Some(100.0 * c as f64 / t as f64)
+        }
+    }
+
+    /// `(covered, total)` over all associations.
+    pub fn total_ratio(&self) -> (usize, usize) {
+        let covered = (0..self.associations.len())
+            .filter(|&i| self.is_covered(i))
+            .count();
+        (covered, self.associations.len())
+    }
+
+    /// Overall coverage percentage.
+    pub fn total_percent(&self) -> f64 {
+        let (c, t) = self.total_ratio();
+        if t == 0 {
+            100.0
+        } else {
+            100.0 * c as f64 / t as f64
+        }
+    }
+
+    /// Number of distinct static associations exercised (the paper's
+    /// "Dynamic (#)" column of Table II).
+    pub fn exercised_count(&self) -> usize {
+        self.total_ratio().0
+    }
+
+    /// Associations never exercised — the work list guiding testcase
+    /// addition ("tests addition" loop of Fig. 3).
+    pub fn uncovered(&self) -> Vec<&ClassifiedAssoc> {
+        self.associations
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !self.is_covered(*i))
+            .map(|(_, c)| c)
+            .collect()
+    }
+
+    /// Whether `criterion` is satisfied. Class criteria are vacuously
+    /// satisfied when the class is empty.
+    pub fn satisfies(&self, criterion: Criterion) -> bool {
+        match criterion {
+            Criterion::AllStrong => self.class_satisfied(Classification::Strong),
+            Criterion::AllFirm => self.class_satisfied(Classification::Firm),
+            Criterion::AllPFirm => self.class_satisfied(Classification::PFirm),
+            Criterion::AllPWeak => self.class_satisfied(Classification::PWeak),
+            Criterion::AllDefs => self.all_defs_satisfied(),
+            Criterion::AllUses => {
+                let (c, t) = self.total_ratio();
+                c == t
+            }
+            Criterion::AllDataflow => {
+                Classification::ALL
+                    .into_iter()
+                    .all(|c| self.class_satisfied(c))
+                    && self.all_defs_satisfied()
+            }
+        }
+    }
+
+    fn class_satisfied(&self, class: Classification) -> bool {
+        let (c, t) = self.class_ratio(class);
+        c == t
+    }
+
+    /// Triages every uncovered association per the paper's §IV-A: "an
+    /// association can be missed due to 1) the testsuite is insufficient to
+    /// cover it ... 2) the association is infeasible". The runtime def log
+    /// splits the first case further: if the definition never executed, a
+    /// testcase steering control flow to the *def* is needed; if it did,
+    /// the def→use flow itself was never observed.
+    pub fn diagnose_uncovered<'a>(
+        &'a self,
+        runs: &[TestcaseResult],
+    ) -> Vec<(&'a ClassifiedAssoc, UncoveredReason)> {
+        self.associations
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !self.is_covered(*i))
+            .map(|(_, c)| {
+                let coord = (
+                    c.assoc.def_model.clone(),
+                    c.assoc.var.clone(),
+                    c.assoc.def_line,
+                );
+                let def_ran = runs.iter().any(|r| r.defs_executed.contains(&coord));
+                let reason = if def_ran {
+                    UncoveredReason::FlowNotObserved
+                } else {
+                    UncoveredReason::DefinitionNeverExecuted
+                };
+                (c, reason)
+            })
+            .collect()
+    }
+
+    fn all_defs_satisfied(&self) -> bool {
+        let mut coords: Vec<(&str, u32, &str)> = Vec::new();
+        for c in &self.associations {
+            let coord = c.assoc.def_coord();
+            if !coords.contains(&coord) {
+                coords.push(coord);
+            }
+        }
+        coords.iter().all(|coord| {
+            self.associations
+                .iter()
+                .enumerate()
+                .any(|(i, c)| c.assoc.def_coord() == *coord && self.is_covered(i))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn statics_with(assocs: Vec<(Association, Classification)>) -> StaticAnalysis {
+        StaticAnalysis {
+            associations: assocs
+                .into_iter()
+                .map(|(assoc, class)| ClassifiedAssoc { assoc, class })
+                .collect(),
+            lints: Vec::new(),
+        }
+    }
+
+    fn run(name: &str, exercised: &[Association]) -> TestcaseResult {
+        TestcaseResult {
+            name: name.into(),
+            exercised: exercised.iter().cloned().collect(),
+            ..TestcaseResult::default()
+        }
+    }
+
+    fn a(var: &str, d: u32, u: u32) -> Association {
+        Association::new(var, d, "M", u, "M")
+    }
+
+    #[test]
+    fn ratios_and_percentages() {
+        let st = statics_with(vec![
+            (a("x", 1, 2), Classification::Strong),
+            (a("x", 1, 3), Classification::Strong),
+            (a("y", 4, 5), Classification::Firm),
+        ]);
+        let cov = Coverage::evaluate(&st, &[run("TC1", &[a("x", 1, 2)])]);
+        assert_eq!(cov.class_ratio(Classification::Strong), (1, 2));
+        assert_eq!(cov.class_ratio(Classification::Firm), (0, 1));
+        assert_eq!(cov.class_percent(Classification::Strong), Some(50.0));
+        assert_eq!(cov.class_percent(Classification::PWeak), None);
+        assert_eq!(cov.total_ratio(), (1, 3));
+        assert_eq!(cov.exercised_count(), 1);
+        assert_eq!(cov.uncovered().len(), 2);
+    }
+
+    #[test]
+    fn multiple_testcases_union() {
+        let st = statics_with(vec![
+            (a("x", 1, 2), Classification::Strong),
+            (a("y", 4, 5), Classification::Firm),
+        ]);
+        let cov = Coverage::evaluate(
+            &st,
+            &[run("TC1", &[a("x", 1, 2)]), run("TC2", &[a("y", 4, 5)])],
+        );
+        assert!(cov.is_covered(0) && cov.is_covered(1));
+        assert!(cov.is_covered_by(0, 0) && !cov.is_covered_by(0, 1));
+        assert!(cov.satisfies(Criterion::AllStrong));
+        assert!(cov.satisfies(Criterion::AllFirm));
+        assert!(cov.satisfies(Criterion::AllDataflow));
+        assert_eq!(
+            cov.testcase_names(),
+            &["TC1".to_string(), "TC2".to_string()]
+        );
+    }
+
+    #[test]
+    fn exercised_outside_static_set_ignored() {
+        let st = statics_with(vec![(a("x", 1, 2), Classification::Strong)]);
+        let cov = Coverage::evaluate(&st, &[run("TC1", &[a("ghost", 9, 9)])]);
+        assert_eq!(cov.total_ratio(), (0, 1));
+    }
+
+    #[test]
+    fn all_defs_requires_one_use_per_def() {
+        let st = statics_with(vec![
+            (a("x", 1, 2), Classification::Strong),
+            (a("x", 1, 3), Classification::Strong),
+            (a("x", 7, 8), Classification::Strong),
+        ]);
+        // Covering one use of def@1 but nothing of def@7.
+        let cov = Coverage::evaluate(&st, &[run("TC1", &[a("x", 1, 3)])]);
+        assert!(!cov.satisfies(Criterion::AllDefs));
+        let cov2 = Coverage::evaluate(&st, &[run("TC1", &[a("x", 1, 3), a("x", 7, 8)])]);
+        assert!(cov2.satisfies(Criterion::AllDefs));
+        assert!(
+            !cov2.satisfies(Criterion::AllStrong),
+            "x@1->2 still missing"
+        );
+        assert!(!cov2.satisfies(Criterion::AllDataflow));
+    }
+
+    #[test]
+    fn empty_class_is_vacuously_satisfied() {
+        let st = statics_with(vec![(a("x", 1, 2), Classification::Strong)]);
+        let cov = Coverage::evaluate(&st, &[run("TC1", &[a("x", 1, 2)])]);
+        assert!(cov.satisfies(Criterion::AllPFirm));
+        assert!(cov.satisfies(Criterion::AllPWeak));
+        assert!(cov.satisfies(Criterion::AllDataflow));
+    }
+
+    #[test]
+    fn criterion_display() {
+        assert_eq!(Criterion::AllDataflow.to_string(), "all-dataflow");
+        assert_eq!(Criterion::AllPFirm.to_string(), "all-PFirm");
+    }
+
+    #[test]
+    fn empty_static_set_is_fully_covered() {
+        let st = statics_with(vec![]);
+        let cov = Coverage::evaluate(&st, &[]);
+        assert_eq!(cov.total_percent(), 100.0);
+        assert!(cov.satisfies(Criterion::AllDataflow));
+    }
+}

@@ -1,0 +1,186 @@
+//! The design under verification: parsed sources + model interfaces +
+//! cluster binding information, bundled for analysis.
+
+use minic::TranslationUnit;
+use tdf_interp::{Interface, TdfModelDef, VarKind};
+use tdf_sim::{ModuleClass, Netlist};
+
+use crate::error::{DftError, Result};
+
+/// Everything the static analysis needs about a DUV:
+///
+/// * the parsed minic sources (`tu`) — one `processing()` per user model;
+/// * the declared interfaces of those models;
+/// * the cluster netlist (bindings + module classes) extracted at
+///   elaboration.
+#[derive(Debug, Clone)]
+pub struct Design {
+    tu: TranslationUnit,
+    models: Vec<TdfModelDef>,
+    netlist: Netlist,
+}
+
+impl Design {
+    /// Bundles and validates a design.
+    ///
+    /// # Errors
+    ///
+    /// * [`DftError::MissingSource`] — a netlist module classed
+    ///   [`ModuleClass::UserCode`] has no `processing()` in `tu` or no
+    ///   interface in `models`.
+    pub fn new(tu: TranslationUnit, models: Vec<TdfModelDef>, netlist: Netlist) -> Result<Design> {
+        for m in &netlist.modules {
+            if m.class == ModuleClass::UserCode {
+                if tu.processing(&m.name).is_none() {
+                    return Err(DftError::MissingSource {
+                        model: m.name.clone(),
+                    });
+                }
+                if !models.iter().any(|d| d.model == m.name) {
+                    return Err(DftError::MissingSource {
+                        model: m.name.clone(),
+                    });
+                }
+            }
+        }
+        Ok(Design {
+            tu,
+            models,
+            netlist,
+        })
+    }
+
+    /// The parsed sources.
+    pub fn tu(&self) -> &TranslationUnit {
+        &self.tu
+    }
+
+    /// The model definitions.
+    pub fn models(&self) -> &[TdfModelDef] {
+        &self.models
+    }
+
+    /// The cluster netlist.
+    pub fn netlist(&self) -> &Netlist {
+        &self.netlist
+    }
+
+    /// The interface of `model`, if declared.
+    pub fn interface(&self, model: &str) -> Option<&Interface> {
+        self.models
+            .iter()
+            .find(|d| d.model == model)
+            .map(|d| &d.interface)
+    }
+
+    /// Names of all user-code models present in both netlist and sources.
+    pub fn user_models(&self) -> Vec<&str> {
+        self.netlist
+            .modules
+            .iter()
+            .filter(|m| m.class == ModuleClass::UserCode)
+            .map(|m| m.name.as_str())
+            .collect()
+    }
+
+    /// How `name` resolves inside `model` (ports/members from the
+    /// interface; anything else is treated as a local).
+    pub fn kind_of(&self, model: &str, name: &str) -> VarKind {
+        self.interface(model)
+            .and_then(|i| i.kind_of(name))
+            .unwrap_or(VarKind::Local)
+    }
+
+    /// The source line on which `model::processing()` is declared — the
+    /// pseudo-definition site assigned to externally-driven input ports
+    /// ("the input ports are assigned the start location of their TDF
+    /// model", §V).
+    pub fn start_line(&self, model: &str) -> u32 {
+        self.tu
+            .processing(model)
+            .map(|f| f.span.line())
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdf_sim::{ModuleInfo, NetBinding, PortRef};
+
+    fn netlist_with(modules: Vec<ModuleInfo>) -> Netlist {
+        Netlist {
+            cluster: "top".into(),
+            bindings: vec![NetBinding {
+                from: PortRef::new("A", "op_y"),
+                to: PortRef::new("B", "ip_x"),
+            }],
+            modules,
+        }
+    }
+
+    fn user(name: &str, ins: &[&str], outs: &[&str]) -> ModuleInfo {
+        ModuleInfo {
+            name: name.into(),
+            class: ModuleClass::UserCode,
+            in_ports: ins.iter().map(|s| s.to_string()).collect(),
+            out_ports: outs.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    const SRC: &str = "void A::processing() { op_y = 1; }\n\
+                       void B::processing() { double v = ip_x; }";
+
+    fn defs() -> Vec<TdfModelDef> {
+        vec![
+            TdfModelDef::new("A", Interface::new().output("op_y")),
+            TdfModelDef::new("B", Interface::new().input("ip_x")),
+        ]
+    }
+
+    #[test]
+    fn builds_and_queries() {
+        let tu = minic::parse(SRC).unwrap();
+        let nl = netlist_with(vec![user("A", &[], &["op_y"]), user("B", &["ip_x"], &[])]);
+        let d = Design::new(tu, defs(), nl).unwrap();
+        assert_eq!(d.user_models(), vec!["A", "B"]);
+        assert_eq!(d.kind_of("A", "op_y"), VarKind::OutPort(0));
+        assert_eq!(d.kind_of("B", "ip_x"), VarKind::InPort(0));
+        assert_eq!(d.kind_of("B", "v"), VarKind::Local);
+        assert_eq!(d.start_line("A"), 1);
+        assert_eq!(d.start_line("B"), 2);
+        assert!(d.interface("A").is_some());
+        assert!(d.interface("Z").is_none());
+    }
+
+    #[test]
+    fn missing_source_rejected() {
+        let tu = minic::parse("void A::processing() { op_y = 1; }").unwrap();
+        let nl = netlist_with(vec![user("A", &[], &["op_y"]), user("B", &["ip_x"], &[])]);
+        let err = Design::new(tu, defs(), nl).unwrap_err();
+        assert!(matches!(err, DftError::MissingSource { model } if model == "B"));
+    }
+
+    #[test]
+    fn missing_interface_rejected() {
+        let tu = minic::parse(SRC).unwrap();
+        let nl = netlist_with(vec![user("A", &[], &["op_y"]), user("B", &["ip_x"], &[])]);
+        let only_a = vec![TdfModelDef::new("A", Interface::new().output("op_y"))];
+        let err = Design::new(tu, only_a, nl).unwrap_err();
+        assert!(matches!(err, DftError::MissingSource { model } if model == "B"));
+    }
+
+    #[test]
+    fn library_modules_need_no_source() {
+        let tu = minic::parse("void A::processing() { op_y = 1; }").unwrap();
+        let mut lib = user("G", &["tdf_i"], &["tdf_o"]);
+        lib.class = ModuleClass::Redefining(tdf_sim::DefSite::new("top", 7));
+        let nl = netlist_with(vec![user("A", &[], &["op_y"]), lib]);
+        let d = Design::new(
+            tu,
+            vec![TdfModelDef::new("A", Interface::new().output("op_y"))],
+            nl,
+        );
+        assert!(d.is_ok());
+    }
+}

@@ -1,0 +1,327 @@
+//! Stage 2 of Fig. 3: dynamic analysis.
+//!
+//! Consumes the instrumentation event log of one testcase run and derives
+//! the set of *exercised* def-use associations plus runtime warnings
+//! (§V/§VI: "if there exists a use, but no definition, it is notified as a
+//! warning").
+
+use std::collections::{HashMap, HashSet};
+
+use tdf_interp::VarKind;
+use tdf_sim::{Event, SimTime};
+
+use crate::assoc::Association;
+use crate::design::Design;
+
+/// A runtime finding of the dynamic analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DynamicWarning {
+    /// A local variable was read before any definition executed.
+    UseWithoutDef {
+        /// Model name.
+        model: String,
+        /// Variable name.
+        var: String,
+        /// Use line.
+        line: u32,
+        /// First occurrence time.
+        time: SimTime,
+    },
+    /// An input port delivered an *undefined* sample (the driving model
+    /// never wrote its output port this activation, or the input is open) —
+    /// undefined behaviour per the SystemC-AMS standard, found in both of
+    /// the paper's case studies.
+    UndefinedSampleRead {
+        /// Model name.
+        model: String,
+        /// Port name.
+        var: String,
+        /// Use line.
+        line: u32,
+        /// First occurrence time.
+        time: SimTime,
+    },
+}
+
+/// Result of analysing one testcase's event log.
+#[derive(Debug, Clone, Default)]
+pub struct DynamicResult {
+    /// Distinct associations exercised by the testcase.
+    pub exercised: HashSet<Association>,
+    /// Definition sites that executed at least once: `(model, var, line)`.
+    /// Used by the uncovered-pair diagnosis (definition never ran vs. flow
+    /// not observed).
+    pub defs_executed: HashSet<(String, String, u32)>,
+    /// Deduplicated runtime warnings, in first-occurrence order.
+    pub warnings: Vec<DynamicWarning>,
+}
+
+/// Matches an event log into exercised associations.
+///
+/// * a **use with feeding provenance** (an input-port read of a sample
+///   stamped by a remote model or a redefining component) exercises the
+///   cluster association `(prov.var, prov.line, prov.model, line, model)`;
+/// * a **use of an externally-driven input port** (no provenance but
+///   defined) exercises the pseudo-def association at the model start line;
+/// * a **local/member use** pairs with the most recent definition of that
+///   variable in the same model (members are seeded with a start-line
+///   pseudo-definition because elaboration initialises them).
+pub fn analyse_events(design: &Design, events: &[Event]) -> DynamicResult {
+    let mut exercised: HashSet<Association> = HashSet::new();
+    let mut defs_executed: HashSet<(String, String, u32)> = HashSet::new();
+    let mut warnings: Vec<DynamicWarning> = Vec::new();
+    let mut warned: HashSet<(String, String, u32)> = HashSet::new();
+    // Last definition line per (model, var).
+    let mut last_def: HashMap<(String, String), u32> = HashMap::new();
+
+    // Seed members with their elaboration-time initial values.
+    for def in design.models() {
+        for (m, _) in &def.interface.members {
+            last_def.insert(
+                (def.model.clone(), m.clone()),
+                design.start_line(&def.model),
+            );
+        }
+    }
+
+    for ev in events {
+        match ev {
+            Event::Def {
+                model, var, line, ..
+            } => {
+                last_def.insert((model.clone(), var.clone()), *line);
+                defs_executed.insert((model.clone(), var.clone(), *line));
+            }
+            Event::Use {
+                time,
+                model,
+                var,
+                line,
+                feeding,
+                defined,
+            } => {
+                if let Some(prov) = feeding {
+                    defs_executed.insert((prov.model.clone(), prov.var.clone(), prov.line));
+                    exercised.insert(Association::new(
+                        prov.var.clone(),
+                        prov.line,
+                        prov.model.clone(),
+                        *line,
+                        model.clone(),
+                    ));
+                    continue;
+                }
+                let kind = design.kind_of(model, var);
+                match kind {
+                    VarKind::InPort(_) => {
+                        if *defined {
+                            exercised.insert(Association::new(
+                                var.clone(),
+                                design.start_line(model),
+                                model.clone(),
+                                *line,
+                                model.clone(),
+                            ));
+                        } else if warned.insert((model.clone(), var.clone(), *line)) {
+                            warnings.push(DynamicWarning::UndefinedSampleRead {
+                                model: model.clone(),
+                                var: var.clone(),
+                                line: *line,
+                                time: *time,
+                            });
+                        }
+                    }
+                    _ => match last_def.get(&(model.clone(), var.clone())) {
+                        Some(&dline) => {
+                            exercised.insert(Association::new(
+                                var.clone(),
+                                dline,
+                                model.clone(),
+                                *line,
+                                model.clone(),
+                            ));
+                        }
+                        None => {
+                            if warned.insert((model.clone(), var.clone(), *line)) {
+                                warnings.push(DynamicWarning::UseWithoutDef {
+                                    model: model.clone(),
+                                    var: var.clone(),
+                                    line: *line,
+                                    time: *time,
+                                });
+                            }
+                        }
+                    },
+                }
+            }
+        }
+    }
+
+    DynamicResult {
+        exercised,
+        defs_executed,
+        warnings,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdf_interp::{Interface, TdfModelDef};
+    use tdf_sim::{ModuleClass, ModuleInfo, Netlist, Provenance};
+
+    fn design() -> Design {
+        let src = "void M::processing()\n{\n    double t = ip_x;\n    op_y = t;\n}";
+        let tu = minic::parse(src).unwrap();
+        let models = vec![TdfModelDef::new(
+            "M",
+            Interface::new()
+                .input("ip_x")
+                .output("op_y")
+                .member("m_s", 0i64),
+        )];
+        let netlist = Netlist {
+            cluster: "top".into(),
+            bindings: vec![],
+            modules: vec![ModuleInfo {
+                name: "M".into(),
+                class: ModuleClass::UserCode,
+                in_ports: vec!["ip_x".into()],
+                out_ports: vec!["op_y".into()],
+            }],
+        };
+        Design::new(tu, models, netlist).unwrap()
+    }
+
+    fn def(model: &str, var: &str, line: u32) -> Event {
+        Event::Def {
+            time: SimTime::ZERO,
+            model: model.into(),
+            var: var.into(),
+            line,
+        }
+    }
+
+    fn use_local(model: &str, var: &str, line: u32) -> Event {
+        Event::Use {
+            time: SimTime::ZERO,
+            model: model.into(),
+            var: var.into(),
+            line,
+            feeding: None,
+            defined: true,
+        }
+    }
+
+    #[test]
+    fn local_use_pairs_with_last_def() {
+        let d = design();
+        let events = vec![
+            def("M", "t", 3),
+            use_local("M", "t", 4),
+            def("M", "t", 9),
+            use_local("M", "t", 10),
+        ];
+        let r = analyse_events(&d, &events);
+        assert!(r.exercised.contains(&Association::new("t", 3, "M", 4, "M")));
+        assert!(r
+            .exercised
+            .contains(&Association::new("t", 9, "M", 10, "M")));
+        assert!(!r
+            .exercised
+            .contains(&Association::new("t", 3, "M", 10, "M")));
+        assert!(r.warnings.is_empty());
+    }
+
+    #[test]
+    fn feeding_provenance_exercises_cluster_pair() {
+        let d = design();
+        let events = vec![Event::Use {
+            time: SimTime::ZERO,
+            model: "M".into(),
+            var: "ip_x".into(),
+            line: 3,
+            feeding: Some(Provenance::new("op_out", 14, "TS")),
+            defined: true,
+        }];
+        let r = analyse_events(&d, &events);
+        assert!(r
+            .exercised
+            .contains(&Association::new("op_out", 14, "TS", 3, "M")));
+    }
+
+    #[test]
+    fn external_input_exercises_pseudo_def() {
+        let d = design();
+        let events = vec![Event::Use {
+            time: SimTime::ZERO,
+            model: "M".into(),
+            var: "ip_x".into(),
+            line: 3,
+            feeding: None,
+            defined: true,
+        }];
+        let r = analyse_events(&d, &events);
+        // M::processing() is on line 1.
+        assert!(r
+            .exercised
+            .contains(&Association::new("ip_x", 1, "M", 3, "M")));
+    }
+
+    #[test]
+    fn undefined_sample_warns_once() {
+        let d = design();
+        let ev = Event::Use {
+            time: SimTime::from_us(3),
+            model: "M".into(),
+            var: "ip_x".into(),
+            line: 3,
+            feeding: None,
+            defined: false,
+        };
+        let r = analyse_events(&d, &[ev.clone(), ev]);
+        assert_eq!(r.warnings.len(), 1);
+        assert!(matches!(
+            &r.warnings[0],
+            DynamicWarning::UndefinedSampleRead { var, line: 3, .. } if var == "ip_x"
+        ));
+        assert!(r.exercised.is_empty());
+    }
+
+    #[test]
+    fn local_use_without_def_warns() {
+        let d = design();
+        let r = analyse_events(&d, &[use_local("M", "t", 4)]);
+        assert_eq!(r.warnings.len(), 1);
+        assert!(matches!(
+            &r.warnings[0],
+            DynamicWarning::UseWithoutDef { var, .. } if var == "t"
+        ));
+    }
+
+    #[test]
+    fn member_initial_value_counts_as_start_line_def() {
+        let d = design();
+        let r = analyse_events(&d, &[use_local("M", "m_s", 3)]);
+        assert!(
+            r.warnings.is_empty(),
+            "members are initialised at elaboration"
+        );
+        assert!(r
+            .exercised
+            .contains(&Association::new("m_s", 1, "M", 3, "M")));
+    }
+
+    #[test]
+    fn member_redefinition_updates_pairing() {
+        let d = design();
+        let events = vec![
+            def("M", "m_s", 7),
+            use_local("M", "m_s", 3), // next activation, observes line 7
+        ];
+        let r = analyse_events(&d, &events);
+        assert!(r
+            .exercised
+            .contains(&Association::new("m_s", 7, "M", 3, "M")));
+    }
+}

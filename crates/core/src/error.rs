@@ -1,0 +1,96 @@
+//! Error type of the DFT core.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by the data-flow-testing pipeline.
+#[derive(Debug)]
+pub enum DftError {
+    /// A model listed in the netlist as user code has no source in the
+    /// translation unit.
+    MissingSource {
+        /// The model name.
+        model: String,
+    },
+    /// A model definition exists but the netlist does not contain it.
+    NotInNetlist {
+        /// The model name.
+        model: String,
+    },
+    /// Source failed to parse.
+    Parse(minic::MinicError),
+    /// Simulation failed.
+    Sim(tdf_sim::TdfError),
+    /// Interpreter binding failed.
+    Interp(tdf_interp::InterpError),
+}
+
+impl fmt::Display for DftError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DftError::MissingSource { model } => {
+                write!(f, "no processing() source for user-code model `{model}`")
+            }
+            DftError::NotInNetlist { model } => {
+                write!(
+                    f,
+                    "model `{model}` has a definition but is not in the netlist"
+                )
+            }
+            DftError::Parse(e) => write!(f, "{e}"),
+            DftError::Sim(e) => write!(f, "{e}"),
+            DftError::Interp(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl Error for DftError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            DftError::Parse(e) => Some(e),
+            DftError::Sim(e) => Some(e),
+            DftError::Interp(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<minic::MinicError> for DftError {
+    fn from(e: minic::MinicError) -> Self {
+        DftError::Parse(e)
+    }
+}
+
+impl From<tdf_sim::TdfError> for DftError {
+    fn from(e: tdf_sim::TdfError) -> Self {
+        DftError::Sim(e)
+    }
+}
+
+impl From<tdf_interp::InterpError> for DftError {
+    fn from(e: tdf_interp::InterpError) -> Self {
+        DftError::Interp(e)
+    }
+}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, DftError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_sources() {
+        let e = DftError::from(tdf_sim::TdfError::UnknownModule { name: "x".into() });
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("unknown module"));
+    }
+
+    #[test]
+    fn missing_source_message() {
+        let e = DftError::MissingSource { model: "TS".into() };
+        assert!(e.to_string().contains("TS"));
+        assert!(e.source().is_none());
+    }
+}

@@ -1,0 +1,143 @@
+//! Machine-readable exports of analysis and coverage results (CSV), for
+//! spreadsheet triage and CI trend tracking.
+
+use std::fmt::Write as _;
+
+use crate::coverage::{Coverage, TestcaseResult, UncoveredReason};
+use crate::statics::StaticAnalysis;
+
+fn csv_escape(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_owned()
+    }
+}
+
+/// Exports the static association set as CSV:
+/// `class,var,def_line,def_model,use_line,use_model`.
+pub fn associations_to_csv(sa: &StaticAnalysis) -> String {
+    let mut out = String::from("class,var,def_line,def_model,use_line,use_model\n");
+    for c in &sa.associations {
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{}",
+            c.class,
+            csv_escape(&c.assoc.var),
+            c.assoc.def_line,
+            csv_escape(&c.assoc.def_model),
+            c.assoc.use_line,
+            csv_escape(&c.assoc.use_model),
+        );
+    }
+    out
+}
+
+/// Exports the coverage matrix as CSV: one row per association with a
+/// column per testcase (`1` exercised / `0` not) plus a `covered` column.
+pub fn coverage_to_csv(cov: &Coverage) -> String {
+    let mut out = String::from("class,association,covered");
+    for name in cov.testcase_names() {
+        let _ = write!(out, ",{}", csv_escape(name));
+    }
+    out.push('\n');
+    for (i, c) in cov.associations().iter().enumerate() {
+        let _ = write!(
+            out,
+            "{},{},{}",
+            c.class,
+            csv_escape(&c.assoc.to_string()),
+            u8::from(cov.is_covered(i))
+        );
+        for t in 0..cov.testcase_names().len() {
+            let _ = write!(out, ",{}", u8::from(cov.is_covered_by(i, t)));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Exports the uncovered-pair triage as CSV:
+/// `class,association,reason` (see [`Coverage::diagnose_uncovered`]).
+pub fn diagnosis_to_csv(cov: &Coverage, runs: &[TestcaseResult]) -> String {
+    let mut out = String::from("class,association,reason\n");
+    for (c, reason) in cov.diagnose_uncovered(runs) {
+        let reason_str = match reason {
+            UncoveredReason::DefinitionNeverExecuted => "definition never executed",
+            UncoveredReason::FlowNotObserved => "flow not observed",
+        };
+        let _ = writeln!(
+            out,
+            "{},{},{}",
+            c.class,
+            csv_escape(&c.assoc.to_string()),
+            reason_str
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assoc::{Association, Classification, ClassifiedAssoc};
+
+    fn statics() -> StaticAnalysis {
+        StaticAnalysis {
+            associations: vec![
+                ClassifiedAssoc {
+                    assoc: Association::new("tmpr", 4, "TS", 9, "TS"),
+                    class: Classification::Strong,
+                },
+                ClassifiedAssoc {
+                    assoc: Association::new("o", 5, "A", 6, "A"),
+                    class: Classification::Firm,
+                },
+            ],
+            lints: Vec::new(),
+        }
+    }
+
+    fn run_with(exercised: &[Association], defs: &[(&str, &str, u32)]) -> TestcaseResult {
+        TestcaseResult {
+            name: "TC1".into(),
+            exercised: exercised.iter().cloned().collect(),
+            defs_executed: defs
+                .iter()
+                .map(|(m, v, l)| (m.to_string(), v.to_string(), *l))
+                .collect(),
+            warnings: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn associations_csv_has_header_and_rows() {
+        let csv = associations_to_csv(&statics());
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "class,var,def_line,def_model,use_line,use_model");
+        assert_eq!(lines.len(), 3);
+        assert!(lines[1].starts_with("Strong,tmpr,4,TS,9,TS"));
+    }
+
+    #[test]
+    fn coverage_csv_marks_testcase_columns() {
+        let runs = vec![run_with(&[Association::new("tmpr", 4, "TS", 9, "TS")], &[])];
+        let cov = Coverage::evaluate(&statics(), &runs);
+        let csv = coverage_to_csv(&cov);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "class,association,covered,TC1");
+        assert!(lines[1].contains("\"(tmpr, 4, TS, 9, TS)\",1,1"));
+        assert!(lines[2].ends_with(",0,0"));
+    }
+
+    #[test]
+    fn diagnosis_distinguishes_reasons() {
+        // The Firm pair's def ran but the flow never reached the use; the
+        // Strong pair's def never ran at all.
+        let runs = vec![run_with(&[], &[("A", "o", 5)])];
+        let cov = Coverage::evaluate(&statics(), &runs);
+        let csv = diagnosis_to_csv(&cov, &runs);
+        assert!(csv.contains("(tmpr, 4, TS, 9, TS)\",definition never executed"));
+        assert!(csv.contains("(o, 5, A, 6, A)\",flow not observed"));
+    }
+}

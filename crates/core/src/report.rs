@@ -1,0 +1,265 @@
+//! Report rendering: the paper's Table I (per-association coverage matrix)
+//! and Table II (case-study iteration summaries) as text tables.
+
+use std::fmt::Write as _;
+
+use crate::assoc::Classification;
+use crate::coverage::Coverage;
+
+/// Renders a Table-I-style matrix: associations grouped by classification,
+/// one column per testcase, `x` = exercised / `-` = not exercised.
+///
+/// ```text
+/// Strong
+///   (tmpr, 4, TS, 9, TS)                       x  x  -
+///   ...
+/// PFirm
+///   (op_signal_out, 74, sense_top, 36, AM)     -  x  -
+/// ```
+pub fn render_table1(cov: &Coverage) -> String {
+    let mut out = String::new();
+    let width = cov
+        .associations()
+        .iter()
+        .map(|c| c.assoc.to_string().len())
+        .max()
+        .unwrap_or(20)
+        + 2;
+    let _ = write!(out, "{:width$}", "Static Pairs");
+    for name in cov.testcase_names() {
+        let _ = write!(out, " {name:>4}");
+    }
+    out.push('\n');
+    for class in Classification::ALL {
+        let rows: Vec<usize> = cov
+            .associations()
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.class == class)
+            .map(|(i, _)| i)
+            .collect();
+        if rows.is_empty() {
+            continue;
+        }
+        let _ = writeln!(out, "{class}");
+        for i in rows {
+            let tuple = cov.associations()[i].assoc.to_string();
+            let _ = write!(out, "  {tuple:<w$}", w = width - 2);
+            for t in 0..cov.testcase_names().len() {
+                let mark = if cov.is_covered_by(i, t) { "x" } else { "-" };
+                let _ = write!(out, " {mark:>4}");
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// One row of a Table-II-style case-study summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table2Row {
+    /// Case-study (AMS system) name.
+    pub system: String,
+    /// Iteration number (0 = initial testbench).
+    pub iteration: usize,
+    /// Testsuite size at this iteration.
+    pub tests: usize,
+    /// Statically identified associations.
+    pub static_count: usize,
+    /// Associations exercised dynamically.
+    pub dynamic_count: usize,
+    /// Coverage percentage per class; `None` when the class is empty.
+    pub strong_pct: Option<f64>,
+    /// Firm coverage percentage.
+    pub firm_pct: Option<f64>,
+    /// PFirm coverage percentage.
+    pub pfirm_pct: Option<f64>,
+    /// PWeak coverage percentage.
+    pub pweak_pct: Option<f64>,
+}
+
+impl Table2Row {
+    /// Builds a row from a coverage result.
+    pub fn from_coverage(system: &str, iteration: usize, tests: usize, cov: &Coverage) -> Self {
+        Table2Row {
+            system: system.to_owned(),
+            iteration,
+            tests,
+            static_count: cov.associations().len(),
+            dynamic_count: cov.exercised_count(),
+            strong_pct: cov.class_percent(Classification::Strong),
+            firm_pct: cov.class_percent(Classification::Firm),
+            pfirm_pct: cov.class_percent(Classification::PFirm),
+            pweak_pct: cov.class_percent(Classification::PWeak),
+        }
+    }
+}
+
+fn pct(v: Option<f64>) -> String {
+    match v {
+        Some(p) => format!("{p:.0}"),
+        None => "0".to_owned(), // the paper prints 0 for empty classes
+    }
+}
+
+/// Renders Table II: one row per (system, iteration).
+pub fn render_table2(rows: &[Table2Row]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<24} {:>5} {:>6} {:>8} {:>8} {:>6} {:>6} {:>6} {:>6}",
+        "AMS System", "Iter.", "Tests", "Static", "Dynamic", "S(%)", "F(%)", "PF(%)", "PW(%)"
+    );
+    let mut last_system = "";
+    for r in rows {
+        let system = if r.system == last_system {
+            ""
+        } else {
+            &r.system
+        };
+        last_system = &r.system;
+        let _ = writeln!(
+            out,
+            "{:<24} {:>5} {:>6} {:>8} {:>8} {:>6} {:>6} {:>6} {:>6}",
+            system,
+            r.iteration,
+            r.tests,
+            r.static_count,
+            r.dynamic_count,
+            pct(r.strong_pct),
+            pct(r.firm_pct),
+            pct(r.pfirm_pct),
+            pct(r.pweak_pct),
+        );
+    }
+    out
+}
+
+/// Renders a short coverage summary with criteria verdicts.
+pub fn render_summary(cov: &Coverage) -> String {
+    use crate::coverage::Criterion;
+    let mut out = String::new();
+    let (c, t) = cov.total_ratio();
+    let _ = writeln!(
+        out,
+        "data flow coverage: {c}/{t} ({:.1}%)",
+        cov.total_percent()
+    );
+    for class in Classification::ALL {
+        let (cc, ct) = cov.class_ratio(class);
+        if ct > 0 {
+            let _ = writeln!(out, "  {class:<7} {cc}/{ct}");
+        } else {
+            let _ = writeln!(out, "  {class:<7} none identified");
+        }
+    }
+    for crit in [
+        Criterion::AllStrong,
+        Criterion::AllFirm,
+        Criterion::AllPFirm,
+        Criterion::AllPWeak,
+        Criterion::AllDefs,
+        Criterion::AllUses,
+        Criterion::AllDataflow,
+    ] {
+        let verdict = if cov.satisfies(crit) {
+            "satisfied"
+        } else {
+            "NOT satisfied"
+        };
+        let _ = writeln!(out, "  {crit:<13} {verdict}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assoc::{Association, ClassifiedAssoc};
+    use crate::coverage::TestcaseResult;
+    use crate::statics::StaticAnalysis;
+
+    fn coverage() -> Coverage {
+        let st = StaticAnalysis {
+            associations: vec![
+                ClassifiedAssoc {
+                    assoc: Association::new("tmpr", 4, "TS", 9, "TS"),
+                    class: Classification::Strong,
+                },
+                ClassifiedAssoc {
+                    assoc: Association::new("out_tmpr", 5, "TS", 14, "TS"),
+                    class: Classification::Firm,
+                },
+                ClassifiedAssoc {
+                    assoc: Association::new("op_mux_out", 77, "sense_top", 79, "sense_top"),
+                    class: Classification::PWeak,
+                },
+            ],
+            lints: Vec::new(),
+        };
+        let tc1 = TestcaseResult {
+            name: "TC1".into(),
+            exercised: [Association::new("tmpr", 4, "TS", 9, "TS")]
+                .into_iter()
+                .collect(),
+            ..TestcaseResult::default()
+        };
+        let tc2 = TestcaseResult {
+            name: "TC2".into(),
+            exercised: [
+                Association::new("tmpr", 4, "TS", 9, "TS"),
+                Association::new("op_mux_out", 77, "sense_top", 79, "sense_top"),
+            ]
+            .into_iter()
+            .collect(),
+            ..TestcaseResult::default()
+        };
+        Coverage::evaluate(&st, &[tc1, tc2])
+    }
+
+    #[test]
+    fn table1_shape() {
+        let t = render_table1(&coverage());
+        assert!(t.contains("Strong\n"));
+        assert!(t.contains("Firm\n"));
+        assert!(t.contains("PWeak\n"));
+        assert!(!t.contains("PFirm\n"), "empty classes are skipped");
+        let tmpr_line = t.lines().find(|l| l.contains("tmpr, 4")).unwrap();
+        assert!(tmpr_line.trim_end().ends_with("x    x"));
+        let firm_line = t.lines().find(|l| l.contains("out_tmpr")).unwrap();
+        assert!(firm_line.contains('-'));
+    }
+
+    #[test]
+    fn table2_rows_render() {
+        let cov = coverage();
+        let row = Table2Row::from_coverage("Sensor System", 0, 3, &cov);
+        assert_eq!(row.static_count, 3);
+        assert_eq!(row.dynamic_count, 2);
+        assert_eq!(row.strong_pct, Some(100.0));
+        assert_eq!(row.firm_pct, Some(0.0));
+        assert_eq!(row.pfirm_pct, None);
+        let text = render_table2(&[
+            row.clone(),
+            Table2Row {
+                iteration: 1,
+                ..row
+            },
+        ]);
+        assert!(text.contains("Sensor System"));
+        assert!(text.contains("Static"));
+        // Repeated system name suppressed on the second row.
+        assert_eq!(text.matches("Sensor System").count(), 1);
+    }
+
+    #[test]
+    fn summary_mentions_criteria() {
+        let s = render_summary(&coverage());
+        assert!(s.contains("all-dataflow"));
+        assert!(s.contains("NOT satisfied"));
+        assert!(
+            s.contains("none identified"),
+            "empty PFirm class called out"
+        );
+    }
+}

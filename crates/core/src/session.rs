@@ -1,0 +1,223 @@
+//! The three-stage DFT session of Fig. 3: static analysis once, then
+//! dynamic analysis per testcase, then coverage evaluation — with the
+//! uncovered-association work list driving the "tests addition" loop.
+
+use tdf_sim::{Cluster, RecordingSink, SimTime, Simulator};
+
+use crate::coverage::{Coverage, TestcaseResult};
+use crate::design::Design;
+use crate::dynamic::analyse_events;
+use crate::error::Result;
+use crate::statics::{analyse, StaticAnalysis};
+
+/// A data-flow-testing session over one design.
+///
+/// ```no_run
+/// # fn design() -> dft_core::Design { unimplemented!() }
+/// # fn build_cluster(_tc: &str) -> tdf_sim::Cluster { unimplemented!() }
+/// use dft_core::DftSession;
+/// use tdf_sim::SimTime;
+///
+/// let mut session = DftSession::new(design())?;
+/// // Stage 1 ran at construction; stages 2+3 per testcase:
+/// session.run_testcase("TC1", build_cluster("TC1"), SimTime::from_ms(1))?;
+/// session.run_testcase("TC2", build_cluster("TC2"), SimTime::from_ms(1))?;
+/// let cov = session.coverage();
+/// println!("{}", dft_core::render_table1(&cov));
+/// for missing in cov.uncovered() {
+///     println!("add a testcase for {missing}");
+/// }
+/// # Ok::<(), dft_core::DftError>(())
+/// ```
+#[derive(Debug)]
+pub struct DftSession {
+    design: Design,
+    statics: StaticAnalysis,
+    runs: Vec<TestcaseResult>,
+}
+
+impl DftSession {
+    /// Creates a session and runs the static stage.
+    pub fn new(design: Design) -> Result<DftSession> {
+        let statics = analyse(&design);
+        Ok(DftSession {
+            design,
+            statics,
+            runs: Vec::new(),
+        })
+    }
+
+    /// The design under verification.
+    pub fn design(&self) -> &Design {
+        &self.design
+    }
+
+    /// The static-stage result (associations + lints).
+    pub fn static_analysis(&self) -> &StaticAnalysis {
+        &self.statics
+    }
+
+    /// Runs one testcase: elaborates `cluster`, simulates it for
+    /// `duration` with instrumentation enabled, and matches the event log
+    /// into exercised associations.
+    ///
+    /// The cluster must be freshly built per testcase (testcases differ in
+    /// their stimulus sources).
+    ///
+    /// # Errors
+    ///
+    /// Propagates elaboration/simulation errors.
+    pub fn run_testcase(
+        &mut self,
+        name: &str,
+        cluster: Cluster,
+        duration: SimTime,
+    ) -> Result<&TestcaseResult> {
+        let mut sim = Simulator::new(cluster)?;
+        let mut sink = RecordingSink::new();
+        sim.run(duration, &mut sink)?;
+        let result = analyse_events(&self.design, &sink.events);
+        self.runs.push(TestcaseResult {
+            name: name.to_owned(),
+            exercised: result.exercised,
+            defs_executed: result.defs_executed,
+            warnings: result.warnings,
+        });
+        Ok(self.runs.last().expect("just pushed"))
+    }
+
+    /// All testcase results so far.
+    pub fn runs(&self) -> &[TestcaseResult] {
+        &self.runs
+    }
+
+    /// Evaluates coverage over all testcases run so far.
+    pub fn coverage(&self) -> Coverage {
+        Coverage::evaluate(&self.statics, &self.runs)
+    }
+
+    /// Drops all recorded runs (e.g. to replay a reduced testsuite).
+    pub fn clear_runs(&mut self) {
+        self.runs.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assoc::Association;
+    use tdf_interp::{Interface, InterpModule, TdfModelDef};
+    use tdf_sim::{FnSource, Value};
+
+    const SRC: &str = "\
+void A::processing()
+{
+    double t = ip_in * 1000;
+    double o = 0;
+    if (t > 30) { o = t; }
+    op_y = o;
+}
+void B::processing()
+{
+    double v = ip_x;
+    op_z = v;
+}";
+
+    fn defs() -> Vec<TdfModelDef> {
+        vec![
+            TdfModelDef::new(
+                "A",
+                Interface::new()
+                    .input("ip_in")
+                    .output("op_y")
+                    .timestep(SimTime::from_us(1)),
+            ),
+            TdfModelDef::new("B", Interface::new().input("ip_x").output("op_z")),
+        ]
+    }
+
+    fn build_cluster(level: f64) -> (Cluster, Design) {
+        let tu = minic::parse(SRC).unwrap();
+        let mut cluster = Cluster::new("top");
+        let src = cluster
+            .add_module(Box::new(FnSource::new(
+                "src",
+                SimTime::from_us(1),
+                move |_| Value::Double(level),
+            )))
+            .unwrap();
+        let mut ids = Vec::new();
+        for d in defs() {
+            let m = InterpModule::new(&tu, &d.model, d.interface.clone()).unwrap();
+            ids.push(cluster.add_module(Box::new(m)).unwrap());
+        }
+        cluster.connect(src, "op_out", ids[0], "ip_in").unwrap();
+        cluster.connect(ids[0], "op_y", ids[1], "ip_x").unwrap();
+        let design = Design::new(minic::parse(SRC).unwrap(), defs(), cluster.netlist()).unwrap();
+        (cluster, design)
+    }
+
+    #[test]
+    fn full_pipeline_covers_expected_pairs() {
+        let (cluster, design) = build_cluster(0.1); // 100 mV -> above threshold
+        let mut session = DftSession::new(design).unwrap();
+        assert!(!session.static_analysis().is_empty());
+        session
+            .run_testcase("TC1", cluster, SimTime::from_us(3))
+            .unwrap();
+        let cov = session.coverage();
+        // (t, 3, A, 5, A) exercised.
+        let idx = cov
+            .associations()
+            .iter()
+            .position(|c| c.assoc == Association::new("t", 3, "A", 5, "A"))
+            .expect("static pair exists");
+        assert!(cov.is_covered(idx));
+        // Cross-model Strong pair: op_y def at 6 used in B line 10.
+        let cross = cov
+            .associations()
+            .iter()
+            .position(|c| c.assoc == Association::new("op_y", 6, "A", 10, "B"))
+            .expect("cluster pair exists");
+        assert!(cov.is_covered(cross));
+    }
+
+    #[test]
+    fn below_threshold_misses_then_branch_pair() {
+        let (cluster, design) = build_cluster(0.01); // 10 mV -> then-branch never taken
+        let mut session = DftSession::new(design).unwrap();
+        session
+            .run_testcase("TC1", cluster, SimTime::from_us(3))
+            .unwrap();
+        let cov = session.coverage();
+        let idx = cov
+            .associations()
+            .iter()
+            .position(|c| c.assoc == Association::new("o", 5, "A", 6, "A"))
+            .expect("redefinition pair exists");
+        assert!(!cov.is_covered(idx), "o = t never executed");
+        assert!(!cov.uncovered().is_empty());
+    }
+
+    #[test]
+    fn adding_testcases_grows_coverage_monotonically() {
+        let (c1, design) = build_cluster(0.01);
+        let mut session = DftSession::new(design).unwrap();
+        session
+            .run_testcase("TC1", c1, SimTime::from_us(3))
+            .unwrap();
+        let before = session.coverage().exercised_count();
+        let (c2, _) = build_cluster(0.1);
+        session
+            .run_testcase("TC2", c2, SimTime::from_us(3))
+            .unwrap();
+        let after = session.coverage().exercised_count();
+        assert!(
+            after > before,
+            "TC2 exercises the hot branch: {before} -> {after}"
+        );
+        assert_eq!(session.runs().len(), 2);
+        session.clear_runs();
+        assert_eq!(session.coverage().exercised_count(), 0);
+    }
+}

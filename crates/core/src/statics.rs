@@ -1,0 +1,986 @@
+//! Stage 1 of Fig. 3: static analysis.
+//!
+//! Computes the over-approximated set of def-use associations of a design
+//! and classifies each as Strong / Firm / PFirm / PWeak per §IV-B:
+//!
+//! * **intra-model** (locals and members): reaching definitions over the
+//!   `processing()` CFG; Strong iff every static path def→use is a du-path,
+//!   Firm otherwise. Member variables persist across activations, so their
+//!   flows additionally wrap around the activation loop (def reaching the
+//!   activation exit → upward-exposed use of the next activation).
+//! * **cluster-level** (output ports): the netlist is traversed from every
+//!   output port; branches that pass a redefining library element (delay,
+//!   gain, buffer, …) carry that element's binding site as the new
+//!   definition coordinate. Per using model: only original branches →
+//!   Strong, original + redefined → PFirm, only redefined → PWeak.
+//! * **externally-driven input ports** get a pseudo-definition at the model
+//!   start line (§V: "input ports are assigned the start location of their
+//!   TDF model"), e.g. `(ip_signal_in, 1, TS, 3, TS)`.
+
+use std::collections::{HashMap, HashSet};
+
+use dataflow::{path_facts, Cfg, DefSite as FlowDef, Liveness, NodeId, ReachingDefs};
+use tdf_interp::VarKind;
+use tdf_sim::{DefSite, ModuleClass, Netlist, PortRef};
+
+use crate::assoc::{Association, Classification, ClassifiedAssoc};
+use crate::design::Design;
+
+/// Static-analysis findings that are not associations: suspicious shapes
+/// the verification engineer should look at.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StaticLint {
+    /// A local definition whose value can never be used (dead code; the
+    /// paper maps these to component isolation at circuit level).
+    DeadLocalDef {
+        /// Model name.
+        model: String,
+        /// The variable.
+        var: String,
+        /// Definition line.
+        line: u32,
+    },
+    /// An input port that is bound but never read by the model source.
+    UnusedInputPort {
+        /// Model name.
+        model: String,
+        /// Port name.
+        port: String,
+    },
+    /// An output port the model never writes on any path (every reader
+    /// sees undefined samples — §VI's "use of ports without definitions").
+    NeverWrittenOutput {
+        /// Model name.
+        model: String,
+        /// Port name.
+        port: String,
+    },
+}
+
+/// The result of the static stage.
+#[derive(Debug, Clone, Default)]
+pub struct StaticAnalysis {
+    /// All classified associations, deduplicated, in report order.
+    pub associations: Vec<ClassifiedAssoc>,
+    /// Non-association findings.
+    pub lints: Vec<StaticLint>,
+}
+
+impl StaticAnalysis {
+    /// Associations of one classification.
+    pub fn of_class(&self, class: Classification) -> Vec<&ClassifiedAssoc> {
+        self.associations
+            .iter()
+            .filter(|a| a.class == class)
+            .collect()
+    }
+
+    /// Total number of associations.
+    pub fn len(&self) -> usize {
+        self.associations.len()
+    }
+
+    /// Whether no associations were found.
+    pub fn is_empty(&self) -> bool {
+        self.associations.is_empty()
+    }
+}
+
+/// Per-model analysis artefacts, cached for reuse.
+struct ModelFlow {
+    cfg: Cfg,
+    rd: ReachingDefs,
+    /// Use sites per variable: `(line, node)`.
+    uses: HashMap<String, Vec<(u32, NodeId)>>,
+    /// Flow of the optional `model::initialize()` function (its member
+    /// definitions feed the first activation, §V).
+    init: Option<(Cfg, ReachingDefs)>,
+}
+
+impl ModelFlow {
+    fn compute(design: &Design, model: &str) -> ModelFlow {
+        let f = design
+            .tu()
+            .processing(model)
+            .expect("validated by Design::new");
+        let cfg = Cfg::from_function(f);
+        let rd = ReachingDefs::compute(&cfg);
+        let mut uses: HashMap<String, Vec<(u32, NodeId)>> = HashMap::new();
+        for n in cfg.nodes() {
+            for u in &n.def_use.uses {
+                uses.entry(u.name.clone()).or_default().push((u.line, n.id));
+            }
+        }
+        let init = design.tu().function(model, "initialize").map(|init_f| {
+            let icfg = Cfg::from_function(init_f);
+            let ird = ReachingDefs::compute(&icfg);
+            (icfg, ird)
+        });
+        ModelFlow {
+            cfg,
+            rd,
+            uses,
+            init,
+        }
+    }
+}
+
+/// Runs the full static analysis over `design`.
+pub fn analyse(design: &Design) -> StaticAnalysis {
+    let mut out: Vec<ClassifiedAssoc> = Vec::new();
+    let mut lints = Vec::new();
+    let mut flows: HashMap<String, ModelFlow> = HashMap::new();
+    for model in design.user_models() {
+        flows.insert(model.to_owned(), ModelFlow::compute(design, model));
+    }
+
+    for model in design.user_models() {
+        let flow = &flows[model];
+        intra_model(design, model, flow, &mut out);
+        member_cross_activation(design, model, flow, &mut out);
+        input_port_pseudo_defs(design, model, flow, &mut out);
+        lint_model(design, model, flow, &mut lints);
+    }
+    for model in design.user_models() {
+        cluster_ports(design, model, &flows, &mut out);
+    }
+
+    // Deduplicate on the tuple, keeping the first (intra-activation)
+    // classification, then sort into report order.
+    let mut seen: HashSet<Association> = HashSet::new();
+    out.retain(|c| seen.insert(c.assoc.clone()));
+    out.sort_by(|a, b| {
+        (
+            a.class,
+            &a.assoc.def_model,
+            &a.assoc.var,
+            a.assoc.def_line,
+            a.assoc.use_line,
+        )
+            .cmp(&(
+                b.class,
+                &b.assoc.def_model,
+                &b.assoc.var,
+                b.assoc.def_line,
+                b.assoc.use_line,
+            ))
+    });
+
+    StaticAnalysis {
+        associations: out,
+        lints,
+    }
+}
+
+/// Locals and members, same-activation flows.
+fn intra_model(design: &Design, model: &str, flow: &ModelFlow, out: &mut Vec<ClassifiedAssoc>) {
+    for pair in flow.rd.pairs() {
+        match design.kind_of(model, &pair.var) {
+            VarKind::Local | VarKind::Member => {
+                let facts = path_facts(&flow.cfg, &flow.rd, pair);
+                let class = if facts.all_paths_du() {
+                    Classification::Strong
+                } else {
+                    Classification::Firm
+                };
+                out.push(ClassifiedAssoc {
+                    assoc: Association::new(
+                        pair.var.clone(),
+                        flow.rd.def(pair.def).line,
+                        model,
+                        pair.use_line,
+                        model,
+                    ),
+                    class,
+                });
+            }
+            // Port flows are handled by the cluster / pseudo-def stages.
+            VarKind::InPort(_) | VarKind::OutPort(_) => {}
+        }
+    }
+}
+
+/// Member flows that wrap around the activation loop: a definition reaching
+/// the activation exit pairs with every upward-exposed use (a use reachable
+/// from the entry without an intervening redefinition on some path).
+fn member_cross_activation(
+    design: &Design,
+    model: &str,
+    flow: &ModelFlow,
+    out: &mut Vec<ClassifiedAssoc>,
+) {
+    let Some(iface) = design.interface(model) else {
+        return;
+    };
+    for (var, _) in &iface.members {
+        let escaping: Vec<&FlowDef> = flow.rd.defs_reaching_exit(&flow.cfg, var);
+        // Definitions inside initialize() also feed the first activation
+        // ("or location of initialize() function", §V).
+        let init_defs: Vec<(u32, bool)> = flow
+            .init
+            .as_ref()
+            .map(|(icfg, ird)| {
+                let redefs: Vec<NodeId> = ird.defs_of(var).iter().map(|d| d.node).collect();
+                ird.defs_reaching_exit(icfg, var)
+                    .into_iter()
+                    .map(|d| {
+                        let clean = !redefs
+                            .iter()
+                            .any(|&k| k != d.node && icfg.reachable_from(d.node, 1).contains(k));
+                        (d.line, clean)
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        if escaping.is_empty() && init_defs.is_empty() {
+            continue;
+        }
+        let Some(uses) = flow.uses.get(var) else {
+            continue;
+        };
+        let redef_nodes: Vec<NodeId> = flow.rd.defs_of(var).iter().map(|d| d.node).collect();
+        for &(uline, unode) in uses {
+            if !upward_exposed(&flow.cfg, unode, &redef_nodes) {
+                continue;
+            }
+            // Classification: Strong iff (a) no redefinition lies after the
+            // def on any path to the exit, and (b) no redefinition lies
+            // before the use on any path from the entry.
+            let use_clean = entry_to_use_clean(&flow.cfg, unode, &redef_nodes);
+            for d in &escaping {
+                let def_clean = !redef_nodes
+                    .iter()
+                    .any(|&k| k != d.node && flow.cfg.reachable_from(d.node, 1).contains(k));
+                let class = if def_clean && use_clean {
+                    Classification::Strong
+                } else {
+                    Classification::Firm
+                };
+                out.push(ClassifiedAssoc {
+                    assoc: Association::new(var.clone(), d.line, model, uline, model),
+                    class,
+                });
+            }
+            for (dline, def_clean) in &init_defs {
+                let class = if *def_clean && use_clean {
+                    Classification::Strong
+                } else {
+                    Classification::Firm
+                };
+                out.push(ClassifiedAssoc {
+                    assoc: Association::new(var.clone(), *dline, model, uline, model),
+                    class,
+                });
+            }
+        }
+    }
+}
+
+/// Whether some path entry→`use_node` carries no definition of the variable
+/// (the use can observe the previous activation's value).
+fn upward_exposed(cfg: &Cfg, use_node: NodeId, redefs: &[NodeId]) -> bool {
+    // Backward BFS from the use, not expanding through redefining nodes.
+    let mut seen = vec![false; cfg.len()];
+    let mut work: Vec<NodeId> = cfg.preds(use_node).to_vec();
+    while let Some(n) = work.pop() {
+        if seen[n] {
+            continue;
+        }
+        seen[n] = true;
+        if n == cfg.entry() {
+            return true;
+        }
+        if redefs.contains(&n) {
+            continue; // this path is fed by the redefinition instead
+        }
+        work.extend(cfg.preds(n).iter().copied());
+    }
+    false
+}
+
+/// Whether *every* path entry→use is free of redefinitions (used for the
+/// Strong/Firm split of cross-activation member pairs).
+fn entry_to_use_clean(cfg: &Cfg, use_node: NodeId, redefs: &[NodeId]) -> bool {
+    !redefs
+        .iter()
+        .any(|&k| k != use_node && cfg.reachable_from(k, 1).contains(use_node))
+}
+
+/// Pseudo-definitions for input ports driven from outside the analysed
+/// models (testbench or open), e.g. `(ip_signal_in, 1, TS, 3, TS)`.
+fn input_port_pseudo_defs(
+    design: &Design,
+    model: &str,
+    flow: &ModelFlow,
+    out: &mut Vec<ClassifiedAssoc>,
+) {
+    let Some(iface) = design.interface(model) else {
+        return;
+    };
+    for p in &iface.inputs {
+        if upstream_origin(design.netlist(), model, &p.name) != Origin::External {
+            continue;
+        }
+        let Some(uses) = flow.uses.get(&p.name) else {
+            continue;
+        };
+        let start = design.start_line(model);
+        for &(uline, _) in uses {
+            out.push(ClassifiedAssoc {
+                assoc: Association::new(p.name.clone(), start, model, uline, model),
+                class: Classification::Strong,
+            });
+        }
+    }
+}
+
+/// Where the samples feeding an input port originate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Origin {
+    /// A user-code model (handled by the forward cluster traversal).
+    UserModel,
+    /// A testbench source, an open input, or a component chain that starts
+    /// at one.
+    External,
+}
+
+fn upstream_origin(netlist: &Netlist, model: &str, port: &str) -> Origin {
+    let mut visited: HashSet<(String, String)> = HashSet::new();
+    let mut cur = (model.to_owned(), port.to_owned());
+    loop {
+        if !visited.insert(cur.clone()) {
+            return Origin::External; // component cycle without a model
+        }
+        let Some(binding) = netlist.driver(&cur.0, &cur.1) else {
+            return Origin::External; // open input
+        };
+        match netlist.class_of(&binding.from.model) {
+            Some(ModuleClass::UserCode) => return Origin::UserModel,
+            Some(ModuleClass::Testbench) | None => return Origin::External,
+            Some(ModuleClass::Redefining(_)) | Some(ModuleClass::Transparent) => {
+                // SISO library element: continue from its (sole) input.
+                let Some(info) = netlist.module(&binding.from.model) else {
+                    return Origin::External;
+                };
+                let Some(inp) = info.in_ports.first() else {
+                    return Origin::External; // source-like component
+                };
+                cur = (info.name.clone(), inp.clone());
+            }
+        }
+    }
+}
+
+/// One resolved branch of an output port's fanout: `site` is `None` while
+/// the signal is still the original definition, or the binding site of the
+/// last redefining element passed.
+#[derive(Debug, Clone)]
+struct Branch {
+    site: Option<DefSite>,
+    dest: PortRef,
+}
+
+fn collect_branches(netlist: &Netlist, model: &str, port: &str) -> Vec<Branch> {
+    let mut out = Vec::new();
+    let mut visited: HashSet<(String, String)> = HashSet::new();
+    walk_branches(netlist, model, port, None, &mut visited, &mut out);
+    out
+}
+
+fn walk_branches(
+    netlist: &Netlist,
+    model: &str,
+    port: &str,
+    site: Option<DefSite>,
+    visited: &mut HashSet<(String, String)>,
+    out: &mut Vec<Branch>,
+) {
+    if !visited.insert((model.to_owned(), port.to_owned())) {
+        return;
+    }
+    for b in netlist.fanout(model, port) {
+        match netlist.class_of(&b.to.model) {
+            Some(ModuleClass::UserCode) => out.push(Branch {
+                site: site.clone(),
+                dest: b.to.clone(),
+            }),
+            Some(ModuleClass::Testbench) | None => {}
+            Some(ModuleClass::Transparent) => {
+                if let Some(info) = netlist.module(&b.to.model) {
+                    for op in info.out_ports.clone() {
+                        walk_branches(netlist, &b.to.model, &op, site.clone(), visited, out);
+                    }
+                }
+            }
+            Some(ModuleClass::Redefining(s)) => {
+                let s = s.clone();
+                if let Some(info) = netlist.module(&b.to.model) {
+                    for op in info.out_ports.clone() {
+                        walk_branches(netlist, &b.to.model, &op, Some(s.clone()), visited, out);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Cluster-level associations from every output port of `model`.
+fn cluster_ports(
+    design: &Design,
+    model: &str,
+    flows: &HashMap<String, ModelFlow>,
+    out: &mut Vec<ClassifiedAssoc>,
+) {
+    let Some(iface) = design.interface(model) else {
+        return;
+    };
+    let flow = &flows[model];
+    for p in &iface.outputs {
+        let defs = flow.rd.defs_reaching_exit(&flow.cfg, &p.name);
+        let branches = collect_branches(design.netlist(), model, &p.name);
+        // Group branches by destination model (§IV-B.1 rule d).
+        let mut by_dest: HashMap<&str, Vec<&Branch>> = HashMap::new();
+        for b in &branches {
+            by_dest.entry(b.dest.model.as_str()).or_default().push(b);
+        }
+        for (dest_model, group) in by_dest {
+            let has_original = group.iter().any(|b| b.site.is_none());
+            let has_redefined = group.iter().any(|b| b.site.is_some());
+            let class = match (has_original, has_redefined) {
+                (true, false) => Classification::Strong,
+                (true, true) => Classification::PFirm,
+                (false, true) => Classification::PWeak,
+                (false, false) => continue,
+            };
+            let Some(dest_flow) = flows.get(dest_model) else {
+                continue;
+            };
+            for b in group {
+                let Some(uses) = dest_flow.uses.get(&b.dest.port) else {
+                    continue;
+                };
+                match &b.site {
+                    None => {
+                        for d in &defs {
+                            for &(uline, _) in uses {
+                                out.push(ClassifiedAssoc {
+                                    assoc: Association::new(
+                                        p.name.clone(),
+                                        d.line,
+                                        model,
+                                        uline,
+                                        dest_model,
+                                    ),
+                                    class,
+                                });
+                            }
+                        }
+                    }
+                    Some(site) => {
+                        for &(uline, _) in uses {
+                            out.push(ClassifiedAssoc {
+                                assoc: Association::new(
+                                    p.name.clone(),
+                                    site.line,
+                                    site.model.clone(),
+                                    uline,
+                                    dest_model,
+                                ),
+                                class,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn lint_model(design: &Design, model: &str, flow: &ModelFlow, lints: &mut Vec<StaticLint>) {
+    let Some(iface) = design.interface(model) else {
+        return;
+    };
+    // Escaping names: ports and members survive the activation.
+    let escaping: Vec<String> = iface
+        .outputs
+        .iter()
+        .map(|p| p.name.clone())
+        .chain(iface.members.iter().map(|(m, _)| m.clone()))
+        .collect();
+    let lv = Liveness::compute(&flow.cfg, &escaping);
+    for (node, var) in lv.dead_defs(&flow.cfg) {
+        if design.kind_of(model, &var) == VarKind::Local {
+            lints.push(StaticLint::DeadLocalDef {
+                model: model.to_owned(),
+                var,
+                line: flow.cfg.node(node).line,
+            });
+        }
+    }
+    for p in &iface.inputs {
+        if !flow.uses.contains_key(&p.name) {
+            lints.push(StaticLint::UnusedInputPort {
+                model: model.to_owned(),
+                port: p.name.clone(),
+            });
+        }
+    }
+    for p in &iface.outputs {
+        if flow.rd.defs_of(&p.name).is_empty() {
+            lints.push(StaticLint::NeverWrittenOutput {
+                model: model.to_owned(),
+                port: p.name.clone(),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdf_interp::{Interface, TdfModelDef};
+    use tdf_sim::{ModuleInfo, NetBinding};
+
+    fn user(name: &str, ins: &[&str], outs: &[&str]) -> ModuleInfo {
+        ModuleInfo {
+            name: name.into(),
+            class: ModuleClass::UserCode,
+            in_ports: ins.iter().map(|s| s.to_string()).collect(),
+            out_ports: outs.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    fn lib(name: &str, class: ModuleClass) -> ModuleInfo {
+        ModuleInfo {
+            name: name.into(),
+            class,
+            in_ports: vec!["tdf_i".into()],
+            out_ports: vec!["tdf_o".into()],
+        }
+    }
+
+    fn bind(fm: &str, fp: &str, tm: &str, tp: &str) -> NetBinding {
+        NetBinding {
+            from: PortRef::new(fm, fp),
+            to: PortRef::new(tm, tp),
+        }
+    }
+
+    fn find<'a>(
+        sa: &'a StaticAnalysis,
+        var: &str,
+        d: u32,
+        dm: &str,
+        u: u32,
+        um: &str,
+    ) -> Option<&'a ClassifiedAssoc> {
+        sa.associations
+            .iter()
+            .find(|c| c.assoc == Association::new(var, d, dm, u, um))
+    }
+
+    /// A two-model design: A computes and drives B directly and through a
+    /// delay (the PFirm shape), while a gain-only path feeds C (PWeak).
+    fn pfirm_design() -> Design {
+        let src = "\
+void A::processing()
+{
+    double t = ip_in * 2;
+    double o = 0;
+    if (t > 1) { o = t; }
+    op_y = o;
+}
+void B::processing()
+{
+    double v = ip_direct + ip_delayed;
+    op_out = v;
+}
+void C::processing()
+{
+    double w = ip_scaled;
+    op_out = w;
+}";
+        let tu = minic::parse(src).unwrap();
+        let models = vec![
+            TdfModelDef::new("A", Interface::new().input("ip_in").output("op_y")),
+            TdfModelDef::new(
+                "B",
+                Interface::new()
+                    .input("ip_direct")
+                    .input("ip_delayed")
+                    .output("op_out"),
+            ),
+            TdfModelDef::new("C", Interface::new().input("ip_scaled").output("op_out")),
+        ];
+        let netlist = Netlist {
+            cluster: "top".into(),
+            bindings: vec![
+                bind("src", "op_out", "A", "ip_in"),
+                bind("A", "op_y", "B", "ip_direct"),
+                bind("A", "op_y", "z1", "tdf_i"),
+                bind("z1", "tdf_o", "B", "ip_delayed"),
+                bind("A", "op_y", "g1", "tdf_i"),
+                bind("g1", "tdf_o", "C", "ip_scaled"),
+            ],
+            modules: vec![
+                ModuleInfo {
+                    name: "src".into(),
+                    class: ModuleClass::Testbench,
+                    in_ports: vec![],
+                    out_ports: vec!["op_out".into()],
+                },
+                user("A", &["ip_in"], &["op_y"]),
+                user("B", &["ip_direct", "ip_delayed"], &["op_out"]),
+                user("C", &["ip_scaled"], &["op_out"]),
+                lib("z1", ModuleClass::Redefining(DefSite::new("top", 74))),
+                lib("g1", ModuleClass::Redefining(DefSite::new("top", 77))),
+            ],
+        };
+        Design::new(tu, models, netlist).unwrap()
+    }
+
+    #[test]
+    fn local_strong_and_firm_split() {
+        let sa = analyse(&pfirm_design());
+        // (t, 3, A, 5, A): single path, Strong.
+        assert_eq!(
+            find(&sa, "t", 3, "A", 5, "A").unwrap().class,
+            Classification::Strong
+        );
+        // (o, 4, A, 6, A): redefined on the then-branch, Firm.
+        assert_eq!(
+            find(&sa, "o", 4, "A", 6, "A").unwrap().class,
+            Classification::Firm
+        );
+        // (o, 5, A, 6, A): the redefinition itself is Strong.
+        assert_eq!(
+            find(&sa, "o", 5, "A", 6, "A").unwrap().class,
+            Classification::Strong
+        );
+    }
+
+    #[test]
+    fn mixed_branches_to_same_model_are_pfirm() {
+        let sa = analyse(&pfirm_design());
+        // Original branch into B (use of ip_direct at line 10).
+        let orig = find(&sa, "op_y", 6, "A", 10, "B").unwrap();
+        assert_eq!(orig.class, Classification::PFirm);
+        // Redefined branch through the delay bound at top:74.
+        let redef = find(&sa, "op_y", 74, "top", 10, "B").unwrap();
+        assert_eq!(redef.class, Classification::PFirm);
+    }
+
+    #[test]
+    fn purely_redefined_branch_is_pweak() {
+        let sa = analyse(&pfirm_design());
+        let pw = find(&sa, "op_y", 77, "top", 15, "C").unwrap();
+        assert_eq!(pw.class, Classification::PWeak);
+        // And no original-coordinate pair into C exists.
+        assert!(find(&sa, "op_y", 6, "A", 15, "C").is_none());
+    }
+
+    #[test]
+    fn testbench_driven_input_gets_pseudo_def_at_start_line() {
+        let sa = analyse(&pfirm_design());
+        // A::processing() is declared on line 1; ip_in is used on line 3.
+        let p = find(&sa, "ip_in", 1, "A", 3, "A").unwrap();
+        assert_eq!(p.class, Classification::Strong);
+    }
+
+    #[test]
+    fn model_driven_input_has_no_pseudo_def() {
+        let sa = analyse(&pfirm_design());
+        // ip_direct is driven by A, so no pseudo-def pair at B's start.
+        assert!(find(&sa, "ip_direct", 8, "B", 10, "B").is_none());
+    }
+
+    #[test]
+    fn direct_connection_is_strong() {
+        // A drives B directly with no component in between.
+        let src = "void A::processing() { op_y = ip_in; }\n\
+                   void B::processing() { op_z = ip_x; }";
+        let tu = minic::parse(src).unwrap();
+        let models = vec![
+            TdfModelDef::new("A", Interface::new().input("ip_in").output("op_y")),
+            TdfModelDef::new("B", Interface::new().input("ip_x").output("op_z")),
+        ];
+        let netlist = Netlist {
+            cluster: "top".into(),
+            bindings: vec![bind("A", "op_y", "B", "ip_x")],
+            modules: vec![
+                user("A", &["ip_in"], &["op_y"]),
+                user("B", &["ip_x"], &["op_z"]),
+            ],
+        };
+        let d = Design::new(tu, models, netlist).unwrap();
+        let sa = analyse(&d);
+        let s = find(&sa, "op_y", 1, "A", 2, "B").unwrap();
+        assert_eq!(s.class, Classification::Strong);
+    }
+
+    /// The paper's ctrl-style member: defined at the end of one activation,
+    /// used at the start of the next — still Strong.
+    #[test]
+    fn member_cross_activation_pairs_are_found_strong() {
+        let src = "\
+void M::processing()
+{
+    if (ip_go) {
+        if (m_state == 1) { op_y = 1; m_state = 0; }
+        else { m_state = 1; }
+    }
+}";
+        let tu = minic::parse(src).unwrap();
+        let models = vec![TdfModelDef::new(
+            "M",
+            Interface::new()
+                .input("ip_go")
+                .output("op_y")
+                .member("m_state", 0i64),
+        )];
+        let netlist = Netlist {
+            cluster: "top".into(),
+            bindings: vec![],
+            modules: vec![user("M", &["ip_go"], &["op_y"])],
+        };
+        let d = Design::new(tu, models, netlist).unwrap();
+        let sa = analyse(&d);
+        // def at 5 (else branch), use at 4 (next activation's condition):
+        let a = find(&sa, "m_state", 5, "M", 4, "M").unwrap();
+        assert_eq!(a.class, Classification::Strong);
+        // def at 4 (then branch), use at 4 as well (next activation):
+        let b = find(&sa, "m_state", 4, "M", 4, "M").unwrap();
+        assert_eq!(b.class, Classification::Strong);
+    }
+
+    #[test]
+    fn member_cross_activation_firm_when_redefined_before_use() {
+        // m is unconditionally redefined at the top of the activation, so a
+        // def surviving from the previous activation only feeds the line-3
+        // use; the cross pair def(5) -> use(4) must not exist... but the
+        // use at line 3 (before redefinition) pairs with def 5 and is
+        // upward-exposed. The redefinition at line 3 kills everything else.
+        let src = "\
+void M::processing()
+{
+    double t = m_s;
+    m_s = ip_in;
+    op_y = m_s + t;
+}";
+        let tu = minic::parse(src).unwrap();
+        let models = vec![TdfModelDef::new(
+            "M",
+            Interface::new()
+                .input("ip_in")
+                .output("op_y")
+                .member("m_s", 0i64),
+        )];
+        let netlist = Netlist {
+            cluster: "top".into(),
+            bindings: vec![],
+            modules: vec![user("M", &["ip_in"], &["op_y"])],
+        };
+        let d = Design::new(tu, models, netlist).unwrap();
+        let sa = analyse(&d);
+        // Cross-activation: def(4) -> use(3) exists and is Strong (no other
+        // defs of m_s anywhere on def->exit or entry->use segments).
+        let a = find(&sa, "m_s", 4, "M", 3, "M").unwrap();
+        assert_eq!(a.class, Classification::Strong);
+        // Same-activation def(4) -> use(5) Strong as well.
+        let b = find(&sa, "m_s", 4, "M", 5, "M").unwrap();
+        assert_eq!(b.class, Classification::Strong);
+        // The use at 5 is NOT upward-exposed (killed at 4): no pair with a
+        // def from a previous activation — there is only one def anyway.
+        assert_eq!(
+            sa.associations
+                .iter()
+                .filter(|c| c.assoc.var == "m_s")
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn lints_flag_dead_defs_and_unused_ports() {
+        let src = "\
+void M::processing()
+{
+    double dead = 1;
+    double used = 2;
+    op_y = used;
+}";
+        let tu = minic::parse(src).unwrap();
+        let models = vec![TdfModelDef::new(
+            "M",
+            Interface::new()
+                .input("ip_never")
+                .output("op_y")
+                .output("op_never"),
+        )];
+        let netlist = Netlist {
+            cluster: "top".into(),
+            bindings: vec![],
+            modules: vec![user("M", &["ip_never"], &["op_y", "op_never"])],
+        };
+        let d = Design::new(tu, models, netlist).unwrap();
+        let sa = analyse(&d);
+        assert!(sa.lints.iter().any(|l| matches!(
+            l,
+            StaticLint::DeadLocalDef { var, .. } if var == "dead"
+        )));
+        assert!(sa.lints.iter().any(|l| matches!(
+            l,
+            StaticLint::UnusedInputPort { port, .. } if port == "ip_never"
+        )));
+        assert!(sa.lints.iter().any(|l| matches!(
+            l,
+            StaticLint::NeverWrittenOutput { port, .. } if port == "op_never"
+        )));
+    }
+
+    #[test]
+    fn open_input_gets_pseudo_def() {
+        let src = "void M::processing() { op_y = ip_open; }";
+        let tu = minic::parse(src).unwrap();
+        let models = vec![TdfModelDef::new(
+            "M",
+            Interface::new().input("ip_open").output("op_y"),
+        )];
+        let netlist = Netlist {
+            cluster: "top".into(),
+            bindings: vec![],
+            modules: vec![user("M", &["ip_open"], &["op_y"])],
+        };
+        let d = Design::new(tu, models, netlist).unwrap();
+        let sa = analyse(&d);
+        assert!(find(&sa, "ip_open", 1, "M", 1, "M").is_some());
+    }
+
+    #[test]
+    fn killed_port_def_does_not_escape() {
+        let src = "\
+void M::processing()
+{
+    op_y = 1;
+    op_y = 2;
+}
+void N::processing() { op_z = ip_x; }";
+        let tu = minic::parse(src).unwrap();
+        let models = vec![
+            TdfModelDef::new("M", Interface::new().output("op_y")),
+            TdfModelDef::new("N", Interface::new().input("ip_x").output("op_z")),
+        ];
+        let netlist = Netlist {
+            cluster: "top".into(),
+            bindings: vec![bind("M", "op_y", "N", "ip_x")],
+            modules: vec![user("M", &[], &["op_y"]), user("N", &["ip_x"], &["op_z"])],
+        };
+        let d = Design::new(tu, models, netlist).unwrap();
+        let sa = analyse(&d);
+        assert!(find(&sa, "op_y", 3, "M", 6, "N").is_none(), "killed def");
+        assert!(find(&sa, "op_y", 4, "M", 6, "N").is_some());
+    }
+
+    #[test]
+    fn associations_are_deduplicated_and_sorted_by_class() {
+        let sa = analyse(&pfirm_design());
+        let mut seen = HashSet::new();
+        for c in &sa.associations {
+            assert!(seen.insert(c.assoc.clone()), "duplicate {c}");
+        }
+        let classes: Vec<Classification> = sa.associations.iter().map(|c| c.class).collect();
+        let mut sorted = classes.clone();
+        sorted.sort();
+        assert_eq!(classes, sorted, "grouped by classification");
+    }
+}
+
+#[cfg(test)]
+mod cycle_tests {
+    use super::*;
+    use crate::design::Design;
+    use tdf_interp::{Interface, TdfModelDef};
+    use tdf_sim::{ModuleInfo, NetBinding, Netlist};
+
+    /// A pathological netlist where two gains feed each other in a loop and
+    /// one of them also feeds a model: traversal must terminate and the
+    /// input's upstream origin must resolve as external.
+    #[test]
+    fn component_only_cycles_terminate() {
+        let src = "void M::processing() { op_y = ip_x; }";
+        let tu = minic::parse(src).unwrap();
+        let models = vec![TdfModelDef::new(
+            "M",
+            Interface::new().input("ip_x").output("op_y"),
+        )];
+        let lib = |name: &str, line: u32| ModuleInfo {
+            name: name.into(),
+            class: ModuleClass::Redefining(DefSite::new("top", line)),
+            in_ports: vec!["tdf_i".into()],
+            out_ports: vec!["tdf_o".into()],
+        };
+        let bind = |fm: &str, fp: &str, tm: &str, tp: &str| NetBinding {
+            from: PortRef::new(fm, fp),
+            to: PortRef::new(tm, tp),
+        };
+        let netlist = Netlist {
+            cluster: "top".into(),
+            bindings: vec![
+                // g1 <-> g2 loop, with g2 also feeding M and M feeding g1.
+                bind("g1", "tdf_o", "g2", "tdf_i"),
+                bind("g2", "tdf_o", "g1", "tdf_i"),
+                bind("g2", "tdf_o", "M", "ip_x"),
+                bind("M", "op_y", "g1", "tdf_i"),
+            ],
+            modules: vec![
+                ModuleInfo {
+                    name: "M".into(),
+                    class: ModuleClass::UserCode,
+                    in_ports: vec!["ip_x".into()],
+                    out_ports: vec!["op_y".into()],
+                },
+                lib("g1", 10),
+                lib("g2", 11),
+            ],
+        };
+        let d = Design::new(tu, models, netlist).unwrap();
+        let sa = analyse(&d); // must terminate
+                              // M's own output loops back through g1/g2 into M: a purely
+                              // redefined branch with g2's site.
+        assert!(sa.associations.iter().any(|c| c.assoc.def_line == 11
+            && c.assoc.def_model == "top"
+            && c.class == Classification::PWeak));
+    }
+
+    #[test]
+    fn upstream_origin_of_component_cycle_is_external() {
+        let netlist = Netlist {
+            cluster: "top".into(),
+            bindings: vec![
+                NetBinding {
+                    from: PortRef::new("g1", "tdf_o"),
+                    to: PortRef::new("M", "ip_x"),
+                },
+                NetBinding {
+                    from: PortRef::new("g1", "tdf_o"),
+                    to: PortRef::new("g1", "tdf_i"),
+                },
+            ],
+            modules: vec![
+                ModuleInfo {
+                    name: "M".into(),
+                    class: ModuleClass::UserCode,
+                    in_ports: vec!["ip_x".into()],
+                    out_ports: vec![],
+                },
+                ModuleInfo {
+                    name: "g1".into(),
+                    class: ModuleClass::Redefining(DefSite::new("top", 9)),
+                    in_ports: vec!["tdf_i".into()],
+                    out_ports: vec!["tdf_o".into()],
+                },
+            ],
+        };
+        assert_eq!(upstream_origin(&netlist, "M", "ip_x"), Origin::External);
+    }
+}

@@ -1,0 +1,716 @@
+//! Control-flow graph construction from a minic [`Function`].
+//!
+//! Each executable statement becomes one node (control statements contribute
+//! a node for their condition; `for` headers contribute separate init/step
+//! nodes). Two synthetic nodes, entry and exit, bracket the graph.
+
+use std::fmt;
+
+use minic::{Function, Stmt, StmtId, StmtKind};
+
+use crate::bitset::BitSet;
+use crate::defuse::{stmt_def_use, StmtDefUse};
+
+/// Index of a node within its [`Cfg`].
+pub type NodeId = usize;
+
+/// What a CFG node represents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeKind {
+    /// Synthetic function entry.
+    Entry,
+    /// Synthetic function exit.
+    Exit,
+    /// A real statement (or a `for` header part).
+    Stmt,
+}
+
+/// One node of the control-flow graph.
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// Index within the CFG.
+    pub id: NodeId,
+    /// Entry, exit or statement.
+    pub kind: NodeKind,
+    /// The originating statement, for [`NodeKind::Stmt`] nodes.
+    pub stmt: Option<StmtId>,
+    /// Source line (0 for entry/exit).
+    pub line: u32,
+    /// Defs and uses performed by this node.
+    pub def_use: StmtDefUse,
+    /// One-line rendering for debugging and reports.
+    pub label: String,
+}
+
+/// A control-flow graph of one `processing()` function.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    /// The TDF model (class) name the function belongs to.
+    pub model: String,
+    nodes: Vec<Node>,
+    succs: Vec<Vec<NodeId>>,
+    preds: Vec<Vec<NodeId>>,
+    entry: NodeId,
+    exit: NodeId,
+}
+
+impl Cfg {
+    /// Builds the CFG of `f`.
+    ///
+    /// ```
+    /// let tu = minic::parse("void M::processing() { if (a) { x = 1; } y = 2; }").unwrap();
+    /// let cfg = dataflow::Cfg::from_function(&tu.functions[0]);
+    /// // entry, if, x=1, y=2, exit
+    /// assert_eq!(cfg.len(), 5);
+    /// ```
+    pub fn from_function(f: &Function) -> Cfg {
+        let mut b = Builder::new(f.model.clone());
+        let entry = b.add_synthetic(NodeKind::Entry, "<entry>");
+        let body_exits = b.lower_block(&f.body.stmts, vec![entry]);
+        let exit = b.add_synthetic(NodeKind::Exit, "<exit>");
+        for p in body_exits {
+            b.edge(p, exit);
+        }
+        for r in std::mem::take(&mut b.returns) {
+            b.edge(r, exit);
+        }
+        Cfg {
+            model: b.model,
+            nodes: b.nodes,
+            succs: b.succs,
+            preds: b.preds,
+            entry,
+            exit,
+        }
+    }
+
+    /// The synthetic entry node.
+    pub fn entry(&self) -> NodeId {
+        self.entry
+    }
+
+    /// The synthetic exit node.
+    pub fn exit(&self) -> NodeId {
+        self.exit
+    }
+
+    /// Number of nodes (including entry/exit).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the graph is trivial (never: there are always entry/exit).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The node with index `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id]
+    }
+
+    /// All nodes in creation order (entry first, exit last).
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Successor node ids of `id`.
+    pub fn succs(&self, id: NodeId) -> &[NodeId] {
+        &self.succs[id]
+    }
+
+    /// Predecessor node ids of `id`.
+    pub fn preds(&self, id: NodeId) -> &[NodeId] {
+        &self.preds[id]
+    }
+
+    /// The node representing statement `stmt`, if any.
+    ///
+    /// `for` headers map their init/step sub-statements to their own nodes.
+    pub fn node_of_stmt(&self, stmt: StmtId) -> Option<NodeId> {
+        self.nodes.iter().position(|n| n.stmt == Some(stmt))
+    }
+
+    /// Ids of all statement nodes, in creation order.
+    pub fn stmt_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes
+            .iter()
+            .filter(|n| n.kind == NodeKind::Stmt)
+            .map(|n| n.id)
+    }
+
+    /// The set of nodes reachable from `from` by following ≥ `min_steps`
+    /// edges (use `min_steps = 1` to exclude `from` itself unless it sits on
+    /// a cycle).
+    pub fn reachable_from(&self, from: NodeId, min_steps: usize) -> BitSet {
+        let mut seen = BitSet::new(self.len());
+        let mut work: Vec<NodeId> = if min_steps == 0 {
+            vec![from]
+        } else {
+            self.succs[from].clone()
+        };
+        while let Some(n) = work.pop() {
+            if seen.insert(n) {
+                work.extend(self.succs[n].iter().copied());
+            }
+        }
+        seen
+    }
+
+    /// Reverse postorder over the graph starting at entry (a good iteration
+    /// order for forward dataflow problems).
+    pub fn reverse_postorder(&self) -> Vec<NodeId> {
+        let mut visited = BitSet::new(self.len());
+        let mut post = Vec::with_capacity(self.len());
+        // Iterative DFS with an explicit stack of (node, next-successor-index).
+        let mut stack: Vec<(NodeId, usize)> = vec![(self.entry, 0)];
+        visited.insert(self.entry);
+        while let Some(&mut (n, ref mut i)) = stack.last_mut() {
+            if *i < self.succs[n].len() {
+                let s = self.succs[n][*i];
+                *i += 1;
+                if visited.insert(s) {
+                    stack.push((s, 0));
+                }
+            } else {
+                post.push(n);
+                stack.pop();
+            }
+        }
+        post.reverse();
+        post
+    }
+
+    /// A copy of this CFG with an extra exit→entry edge, modelling the
+    /// periodic re-activation of a TDF `processing()` function. Member
+    /// variables persist across activations, so their def-use flows are
+    /// computed on this looped graph.
+    pub fn looped(&self) -> Cfg {
+        let mut c = self.clone();
+        if !c.succs[c.exit].contains(&c.entry) {
+            c.succs[c.exit].push(c.entry);
+            c.preds[c.entry].push(c.exit);
+        }
+        c
+    }
+
+    /// Renders the CFG in a `dot`-like textual form (for debugging).
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for n in &self.nodes {
+            out.push_str(&format!("n{}: {}\n", n.id, n.label));
+            for s in &self.succs[n.id] {
+                out.push_str(&format!("  -> n{s}\n"));
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for Cfg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_text())
+    }
+}
+
+struct LoopCtx {
+    continue_target: NodeId,
+    breaks: Vec<NodeId>,
+}
+
+struct Builder {
+    model: String,
+    nodes: Vec<Node>,
+    succs: Vec<Vec<NodeId>>,
+    preds: Vec<Vec<NodeId>>,
+    loops: Vec<LoopCtx>,
+    returns: Vec<NodeId>,
+}
+
+impl Builder {
+    fn new(model: String) -> Self {
+        Builder {
+            model,
+            nodes: Vec::new(),
+            succs: Vec::new(),
+            preds: Vec::new(),
+            loops: Vec::new(),
+            returns: Vec::new(),
+        }
+    }
+
+    fn add_synthetic(&mut self, kind: NodeKind, label: &str) -> NodeId {
+        let id = self.nodes.len();
+        self.nodes.push(Node {
+            id,
+            kind,
+            stmt: None,
+            line: 0,
+            def_use: StmtDefUse::default(),
+            label: label.to_owned(),
+        });
+        self.succs.push(Vec::new());
+        self.preds.push(Vec::new());
+        id
+    }
+
+    fn add_stmt(&mut self, stmt: &Stmt, label: String) -> NodeId {
+        let id = self.nodes.len();
+        self.nodes.push(Node {
+            id,
+            kind: NodeKind::Stmt,
+            stmt: Some(stmt.id),
+            line: stmt.span.line(),
+            def_use: stmt_def_use(stmt),
+            label,
+        });
+        self.succs.push(Vec::new());
+        self.preds.push(Vec::new());
+        id
+    }
+
+    fn edge(&mut self, from: NodeId, to: NodeId) {
+        if !self.succs[from].contains(&to) {
+            self.succs[from].push(to);
+            self.preds[to].push(from);
+        }
+    }
+
+    fn connect_all(&mut self, preds: &[NodeId], to: NodeId) {
+        for &p in preds {
+            self.edge(p, to);
+        }
+    }
+
+    /// Lowers `stmts` with incoming edges from `preds`; returns the dangling
+    /// exits (nodes whose control continues after the block).
+    fn lower_block(&mut self, stmts: &[Stmt], mut preds: Vec<NodeId>) -> Vec<NodeId> {
+        for s in stmts {
+            preds = self.lower_stmt(s, preds);
+        }
+        dedup(preds)
+    }
+
+    fn lower_stmt(&mut self, s: &Stmt, preds: Vec<NodeId>) -> Vec<NodeId> {
+        match &s.kind {
+            StmtKind::Decl { .. }
+            | StmtKind::Assign { .. }
+            | StmtKind::Write { .. }
+            | StmtKind::Expr(_) => {
+                let n = self.add_stmt(s, minic::pretty_stmt(s));
+                self.connect_all(&preds, n);
+                vec![n]
+            }
+            StmtKind::Return => {
+                let n = self.add_stmt(s, "return;".into());
+                self.connect_all(&preds, n);
+                self.returns.push(n);
+                Vec::new()
+            }
+            StmtKind::Break => {
+                let n = self.add_stmt(s, "break;".into());
+                self.connect_all(&preds, n);
+                if let Some(l) = self.loops.last_mut() {
+                    l.breaks.push(n);
+                }
+                Vec::new()
+            }
+            StmtKind::Continue => {
+                let n = self.add_stmt(s, "continue;".into());
+                self.connect_all(&preds, n);
+                let target = self.loops.last().map(|l| l.continue_target);
+                if let Some(t) = target {
+                    self.edge(n, t);
+                }
+                Vec::new()
+            }
+            StmtKind::Block(b) => self.lower_block(&b.stmts, preds),
+            StmtKind::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                let c = self.add_stmt(s, format!("if ({})", minic::pretty_expr(cond)));
+                self.connect_all(&preds, c);
+                let mut exits = self.lower_block(&then_branch.stmts, vec![c]);
+                match else_branch {
+                    Some(e) => {
+                        exits.extend(self.lower_block(&e.stmts, vec![c]));
+                    }
+                    None => exits.push(c),
+                }
+                dedup(exits)
+            }
+            StmtKind::While { cond, body } => {
+                let c = self.add_stmt(s, format!("while ({})", minic::pretty_expr(cond)));
+                self.connect_all(&preds, c);
+                self.loops.push(LoopCtx {
+                    continue_target: c,
+                    breaks: Vec::new(),
+                });
+                let body_exits = self.lower_block(&body.stmts, vec![c]);
+                self.connect_all(&body_exits, c);
+                let ctx = self.loops.pop().expect("loop context pushed above");
+                let mut exits = vec![c];
+                exits.extend(ctx.breaks);
+                dedup(exits)
+            }
+            StmtKind::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                let mut preds = preds;
+                if let Some(i) = init {
+                    preds = self.lower_stmt(i, preds);
+                }
+                let c = self.add_stmt(
+                    s,
+                    format!(
+                        "for (; {};)",
+                        cond.as_ref().map(minic::pretty_expr).unwrap_or_default()
+                    ),
+                );
+                self.connect_all(&preds, c);
+                // The step node (if any) is created before the body so that
+                // `continue` can target it.
+                let step_node = step.as_ref().map(|st| {
+                    let n = self.add_stmt(st, minic::pretty_stmt(st));
+                    self.edge(n, c);
+                    n
+                });
+                self.loops.push(LoopCtx {
+                    continue_target: step_node.unwrap_or(c),
+                    breaks: Vec::new(),
+                });
+                let body_exits = self.lower_block(&body.stmts, vec![c]);
+                let back_target = step_node.unwrap_or(c);
+                self.connect_all(&body_exits, back_target);
+                let ctx = self.loops.pop().expect("loop context pushed above");
+                let mut exits = Vec::new();
+                if cond.is_some() {
+                    exits.push(c);
+                }
+                exits.extend(ctx.breaks);
+                dedup(exits)
+            }
+        }
+    }
+}
+
+fn dedup(mut v: Vec<NodeId>) -> Vec<NodeId> {
+    let mut seen = Vec::new();
+    v.retain(|x| {
+        if seen.contains(x) {
+            false
+        } else {
+            seen.push(*x);
+            true
+        }
+    });
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minic::parse;
+
+    fn cfg_of(body: &str) -> Cfg {
+        let src = format!("void M::processing() {{ {body} }}");
+        let tu = parse(&src).unwrap();
+        Cfg::from_function(&tu.functions[0])
+    }
+
+    #[test]
+    fn straight_line_chain() {
+        let cfg = cfg_of("x = 1; y = x; z = y;");
+        assert_eq!(cfg.len(), 5);
+        // entry -> x -> y -> z -> exit
+        let mut n = cfg.entry();
+        for _ in 0..4 {
+            assert_eq!(cfg.succs(n).len(), 1);
+            n = cfg.succs(n)[0];
+        }
+        assert_eq!(n, cfg.exit());
+    }
+
+    #[test]
+    fn if_without_else_joins() {
+        let cfg = cfg_of("if (a) { x = 1; } y = 2;");
+        // entry, if, x=1, y=2, exit
+        assert_eq!(cfg.len(), 5);
+        let if_node = cfg
+            .nodes()
+            .iter()
+            .find(|n| n.label.starts_with("if"))
+            .unwrap()
+            .id;
+        assert_eq!(cfg.succs(if_node).len(), 2, "then-branch and fallthrough");
+        let y_node = cfg
+            .nodes()
+            .iter()
+            .find(|n| n.label.starts_with("y"))
+            .unwrap()
+            .id;
+        assert_eq!(cfg.preds(y_node).len(), 2, "join of both branches");
+    }
+
+    #[test]
+    fn if_with_else_has_no_direct_fallthrough() {
+        let cfg = cfg_of("if (a) { x = 1; } else { x = 2; } y = x;");
+        let if_node = cfg
+            .nodes()
+            .iter()
+            .find(|n| n.label.starts_with("if"))
+            .unwrap()
+            .id;
+        let y_node = cfg
+            .nodes()
+            .iter()
+            .find(|n| n.label.starts_with("y"))
+            .unwrap()
+            .id;
+        assert!(
+            !cfg.succs(if_node).contains(&y_node),
+            "cond must not jump straight to join when else exists"
+        );
+        assert_eq!(cfg.preds(y_node).len(), 2);
+    }
+
+    #[test]
+    fn while_loop_back_edge() {
+        let cfg = cfg_of("while (i < 3) { i = i + 1; } done = 1;");
+        let w = cfg
+            .nodes()
+            .iter()
+            .find(|n| n.label.starts_with("while"))
+            .unwrap()
+            .id;
+        let body = cfg
+            .nodes()
+            .iter()
+            .find(|n| n.label.starts_with("i ="))
+            .unwrap()
+            .id;
+        assert!(cfg.succs(body).contains(&w), "back edge body -> cond");
+        assert_eq!(cfg.succs(w).len(), 2, "into body and past loop");
+    }
+
+    #[test]
+    fn for_loop_structure() {
+        let cfg = cfg_of("for (int i = 0; i < 3; i++) { s += i; } t = s;");
+        let init = cfg
+            .nodes()
+            .iter()
+            .find(|n| n.label.starts_with("int i"))
+            .unwrap()
+            .id;
+        let cond = cfg
+            .nodes()
+            .iter()
+            .find(|n| n.label.starts_with("for"))
+            .unwrap()
+            .id;
+        let step = cfg
+            .nodes()
+            .iter()
+            .find(|n| n.label.contains("i += 1"))
+            .unwrap()
+            .id;
+        let body = cfg
+            .nodes()
+            .iter()
+            .find(|n| n.label.starts_with("s +="))
+            .unwrap()
+            .id;
+        assert!(cfg.succs(init).contains(&cond));
+        assert!(cfg.succs(cond).contains(&body));
+        assert!(cfg.succs(body).contains(&step));
+        assert!(cfg.succs(step).contains(&cond));
+    }
+
+    #[test]
+    fn break_exits_loop_continue_reenters() {
+        let cfg = cfg_of("while (a) { if (b) break; else continue; } z = 1;");
+        let brk = cfg.nodes().iter().find(|n| n.label == "break;").unwrap().id;
+        let cont = cfg
+            .nodes()
+            .iter()
+            .find(|n| n.label == "continue;")
+            .unwrap()
+            .id;
+        let w = cfg
+            .nodes()
+            .iter()
+            .find(|n| n.label.starts_with("while"))
+            .unwrap()
+            .id;
+        let z = cfg
+            .nodes()
+            .iter()
+            .find(|n| n.label.starts_with("z"))
+            .unwrap()
+            .id;
+        assert!(cfg.succs(cont).contains(&w));
+        assert!(cfg.succs(brk).contains(&z));
+    }
+
+    #[test]
+    fn return_goes_to_exit() {
+        let cfg = cfg_of("if (a) return; x = 1;");
+        let ret = cfg
+            .nodes()
+            .iter()
+            .find(|n| n.label == "return;")
+            .unwrap()
+            .id;
+        assert_eq!(cfg.succs(ret), &[cfg.exit()]);
+    }
+
+    #[test]
+    fn code_after_return_is_unreachable() {
+        let cfg = cfg_of("return; x = 1;");
+        let x = cfg
+            .nodes()
+            .iter()
+            .find(|n| n.label.starts_with("x"))
+            .unwrap()
+            .id;
+        assert!(cfg.preds(x).is_empty());
+        assert!(!cfg.reachable_from(cfg.entry(), 0).contains(x));
+    }
+
+    #[test]
+    fn reachable_from_excludes_self_unless_cyclic() {
+        let cfg = cfg_of("x = 1; y = 2;");
+        let x = cfg
+            .nodes()
+            .iter()
+            .find(|n| n.label.starts_with("x"))
+            .unwrap()
+            .id;
+        let r = cfg.reachable_from(x, 1);
+        assert!(!r.contains(x), "acyclic node does not reach itself");
+        let cfg2 = cfg_of("while (a) { x = 1; }");
+        let x2 = cfg2
+            .nodes()
+            .iter()
+            .find(|n| n.label.starts_with("x"))
+            .unwrap()
+            .id;
+        assert!(
+            cfg2.reachable_from(x2, 1).contains(x2),
+            "loop node reaches itself"
+        );
+    }
+
+    #[test]
+    fn reverse_postorder_starts_at_entry_covers_reachable() {
+        let cfg = cfg_of("if (a) { x = 1; } else { y = 2; } z = 3;");
+        let rpo = cfg.reverse_postorder();
+        assert_eq!(rpo[0], cfg.entry());
+        assert_eq!(rpo.len(), cfg.len());
+        // every edge u->v with v not a back edge target appears in order
+        let pos: Vec<usize> = {
+            let mut p = vec![0; cfg.len()];
+            for (i, &n) in rpo.iter().enumerate() {
+                p[n] = i;
+            }
+            p
+        };
+        let z = cfg
+            .nodes()
+            .iter()
+            .find(|n| n.label.starts_with("z"))
+            .unwrap()
+            .id;
+        for &p in cfg.preds(z) {
+            assert!(pos[p] < pos[z]);
+        }
+    }
+
+    #[test]
+    fn node_of_stmt_finds_for_header_parts() {
+        let src = "void M::processing() { for (int i = 0; i < 3; i++) { s += i; } }";
+        let tu = parse(src).unwrap();
+        let cfg = Cfg::from_function(&tu.functions[0]);
+        for (_, s) in tu.all_stmts() {
+            assert!(
+                cfg.node_of_stmt(s.id).is_some(),
+                "stmt {:?} has a node",
+                s.kind
+            );
+        }
+    }
+
+    #[test]
+    fn to_text_mentions_all_nodes() {
+        let cfg = cfg_of("x = 1;");
+        let text = cfg.to_text();
+        assert!(text.contains("<entry>"));
+        assert!(text.contains("<exit>"));
+        assert!(text.contains("x = 1;"));
+        assert_eq!(format!("{cfg}"), text);
+    }
+
+    #[test]
+    fn empty_function_is_entry_to_exit() {
+        let cfg = cfg_of("");
+        assert_eq!(cfg.len(), 2);
+        assert_eq!(cfg.succs(cfg.entry()), &[cfg.exit()]);
+        assert!(!cfg.is_empty());
+    }
+}
+
+#[cfg(test)]
+mod looped_tests {
+    use super::*;
+    use crate::reaching::ReachingDefs;
+    use minic::parse;
+
+    #[test]
+    fn looped_adds_exactly_one_back_edge() {
+        let tu = parse("void M::processing() { x = 1; }").unwrap();
+        let cfg = Cfg::from_function(&tu.functions[0]);
+        let looped = cfg.looped();
+        assert!(looped.succs(looped.exit()).contains(&looped.entry()));
+        assert_eq!(looped.len(), cfg.len());
+        // Idempotent: looping twice adds nothing.
+        let twice = looped.looped();
+        assert_eq!(
+            twice.succs(twice.exit()).len(),
+            looped.succs(looped.exit()).len()
+        );
+    }
+
+    #[test]
+    fn looped_cfg_carries_defs_across_activations() {
+        // A member-style flow: def at the end reaches a use at the start
+        // only around the activation loop.
+        let tu = parse(
+            "void M::processing() {\n\
+                 y = m;\n\
+                 m = x;\n\
+             }",
+        )
+        .unwrap();
+        let plain = Cfg::from_function(&tu.functions[0]);
+        let rd_plain = ReachingDefs::compute(&plain);
+        assert!(
+            !rd_plain.pairs().iter().any(|p| p.var == "m"),
+            "no same-activation flow of m"
+        );
+        let looped = plain.looped();
+        let rd_looped = ReachingDefs::compute(&looped);
+        assert!(
+            rd_looped.pairs().iter().any(|p| p.var == "m"),
+            "wrapped flow m@3 -> m@2 found on the looped graph"
+        );
+    }
+}

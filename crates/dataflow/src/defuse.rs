@@ -1,0 +1,217 @@
+//! Per-statement definition/use extraction.
+//!
+//! A *definition* of variable `v` is a statement that writes `v`: a
+//! declaration with initializer, an assignment target, or a `v.write(e)`
+//! port write. A *use* is any read: operands of expressions, conditions of
+//! `if`/`while`/`for`, compound-assignment targets, and `v.read()` receivers.
+//!
+//! Only the statement's *own* accesses are reported — nested statements of a
+//! control-flow construct are separate CFG nodes and carry their own
+//! summaries.
+
+use minic::{Expr, SourceLoc, Stmt, StmtId, StmtKind};
+
+/// A single access (definition or use) of a variable at a statement.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct VarAccess {
+    /// Variable, member or port name.
+    pub name: String,
+    /// Statement performing the access.
+    pub stmt: StmtId,
+    /// Source line of the statement (the paper's association coordinate).
+    pub line: u32,
+    /// Exact location of the access if finer than the statement.
+    pub loc: SourceLoc,
+}
+
+/// The defs and uses a single statement performs, uses listed before defs in
+/// evaluation order (`x = x + 1` first *uses* then *defines* `x`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StmtDefUse {
+    /// Variables defined (written) by the statement.
+    pub defs: Vec<VarAccess>,
+    /// Variables used (read) by the statement.
+    pub uses: Vec<VarAccess>,
+}
+
+impl StmtDefUse {
+    /// Whether the statement defines `name`.
+    pub fn defines(&self, name: &str) -> bool {
+        self.defs.iter().any(|d| d.name == name)
+    }
+
+    /// Whether the statement uses `name`.
+    pub fn uses_var(&self, name: &str) -> bool {
+        self.uses.iter().any(|u| u.name == name)
+    }
+}
+
+/// Extracts the def/use summary of `stmt` (own accesses only; see module
+/// docs).
+///
+/// ```
+/// let s = minic::parse_stmt("tmpr = sig_in * 1000;").unwrap();
+/// let du = dataflow::stmt_def_use(&s);
+/// assert_eq!(du.defs[0].name, "tmpr");
+/// assert_eq!(du.uses[0].name, "sig_in");
+/// ```
+pub fn stmt_def_use(stmt: &Stmt) -> StmtDefUse {
+    let mut out = StmtDefUse::default();
+    let line = stmt.span.line();
+    let push_uses = |expr: &Expr, out: &mut StmtDefUse| {
+        for name in expr.reads() {
+            out.uses.push(VarAccess {
+                name,
+                stmt: stmt.id,
+                line,
+                loc: expr.span.start,
+            });
+        }
+    };
+
+    match &stmt.kind {
+        StmtKind::Decl { name, init, .. } => {
+            if let Some(e) = init {
+                push_uses(e, &mut out);
+                out.defs.push(VarAccess {
+                    name: name.clone(),
+                    stmt: stmt.id,
+                    line,
+                    loc: stmt.span.start,
+                });
+            }
+            // A declaration without initializer neither defines nor uses.
+        }
+        StmtKind::Assign { target, op, value } => {
+            if op.reads_target() {
+                out.uses.push(VarAccess {
+                    name: target.clone(),
+                    stmt: stmt.id,
+                    line,
+                    loc: stmt.span.start,
+                });
+            }
+            push_uses(value, &mut out);
+            out.defs.push(VarAccess {
+                name: target.clone(),
+                stmt: stmt.id,
+                line,
+                loc: stmt.span.start,
+            });
+        }
+        StmtKind::Write { port, value } => {
+            push_uses(value, &mut out);
+            out.defs.push(VarAccess {
+                name: port.clone(),
+                stmt: stmt.id,
+                line,
+                loc: stmt.span.start,
+            });
+        }
+        StmtKind::If { cond, .. } => push_uses(cond, &mut out),
+        StmtKind::While { cond, .. } => push_uses(cond, &mut out),
+        // The `for` header's init/step are separate CFG nodes; only the
+        // condition belongs to the `for` node itself.
+        StmtKind::For { cond, .. } => {
+            if let Some(c) = cond {
+                push_uses(c, &mut out);
+            }
+        }
+        StmtKind::Expr(e) => push_uses(e, &mut out),
+        StmtKind::Return | StmtKind::Break | StmtKind::Continue | StmtKind::Block(_) => {}
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minic::parse_stmt;
+
+    fn names(v: &[VarAccess]) -> Vec<&str> {
+        v.iter().map(|a| a.name.as_str()).collect()
+    }
+
+    #[test]
+    fn decl_with_init_defines() {
+        let s = parse_stmt("double tmpr = sig_in * 1000;").unwrap();
+        let du = stmt_def_use(&s);
+        assert_eq!(names(&du.defs), vec!["tmpr"]);
+        assert_eq!(names(&du.uses), vec!["sig_in"]);
+    }
+
+    #[test]
+    fn decl_without_init_has_no_def() {
+        let s = parse_stmt("double x;").unwrap();
+        let du = stmt_def_use(&s);
+        assert!(du.defs.is_empty());
+        assert!(du.uses.is_empty());
+    }
+
+    #[test]
+    fn compound_assign_uses_then_defines_target() {
+        let s = parse_stmt("acc += delta;").unwrap();
+        let du = stmt_def_use(&s);
+        assert_eq!(names(&du.uses), vec!["acc", "delta"]);
+        assert_eq!(names(&du.defs), vec!["acc"]);
+    }
+
+    #[test]
+    fn port_write_defines_port() {
+        let s = parse_stmt("op_intr.write(intr_ && en);").unwrap();
+        let du = stmt_def_use(&s);
+        assert_eq!(names(&du.defs), vec!["op_intr"]);
+        assert_eq!(names(&du.uses), vec!["intr_", "en"]);
+    }
+
+    #[test]
+    fn if_condition_only_uses() {
+        let s = parse_stmt("if ((tmpr > 30) && (tmpr < 1500)) { out = tmpr; }").unwrap();
+        let du = stmt_def_use(&s);
+        assert!(du.defs.is_empty());
+        assert_eq!(names(&du.uses), vec!["tmpr", "tmpr"]);
+    }
+
+    #[test]
+    fn for_node_uses_only_condition() {
+        let s = parse_stmt("for (int i = 0; i < n; i++) { s = s + i; }").unwrap();
+        let du = stmt_def_use(&s);
+        assert!(du.defs.is_empty());
+        assert_eq!(names(&du.uses), vec!["i", "n"]);
+    }
+
+    #[test]
+    fn method_read_is_a_use() {
+        let s = parse_stmt("x = ip_in.read();").unwrap();
+        let du = stmt_def_use(&s);
+        assert_eq!(names(&du.uses), vec!["ip_in"]);
+        assert_eq!(names(&du.defs), vec!["x"]);
+    }
+
+    #[test]
+    fn return_break_continue_are_silent() {
+        for src in ["return;", "break;", "continue;"] {
+            let s = parse_stmt(src).unwrap();
+            let du = stmt_def_use(&s);
+            assert!(du.defs.is_empty() && du.uses.is_empty(), "{src}");
+        }
+    }
+
+    #[test]
+    fn lines_recorded_on_accesses() {
+        let s = parse_stmt("x = y;").unwrap();
+        let du = stmt_def_use(&s);
+        assert_eq!(du.defs[0].line, 1);
+        assert_eq!(du.uses[0].line, 1);
+    }
+
+    #[test]
+    fn defines_and_uses_helpers() {
+        let s = parse_stmt("x = y;").unwrap();
+        let du = stmt_def_use(&s);
+        assert!(du.defines("x"));
+        assert!(!du.defines("y"));
+        assert!(du.uses_var("y"));
+        assert!(!du.uses_var("x"));
+    }
+}

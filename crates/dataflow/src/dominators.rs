@@ -1,0 +1,179 @@
+//! Dominator tree computation (Cooper–Harvey–Kennedy).
+//!
+//! Used by the coverage core to reason about definitions that *must* execute
+//! whenever the model fires (entry-dominating definitions) — these feed the
+//! `all-defs` criterion diagnostics.
+
+use crate::cfg::{Cfg, NodeId};
+
+/// Immediate-dominator table for a [`Cfg`].
+#[derive(Debug, Clone)]
+pub struct Dominators {
+    idom: Vec<Option<NodeId>>,
+    rpo_pos: Vec<usize>,
+}
+
+impl Dominators {
+    /// Computes dominators of all nodes reachable from the entry.
+    pub fn compute(cfg: &Cfg) -> Dominators {
+        let rpo = cfg.reverse_postorder();
+        let mut rpo_pos = vec![usize::MAX; cfg.len()];
+        for (i, &n) in rpo.iter().enumerate() {
+            rpo_pos[n] = i;
+        }
+
+        let mut idom: Vec<Option<NodeId>> = vec![None; cfg.len()];
+        idom[cfg.entry()] = Some(cfg.entry());
+
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &n in rpo.iter().skip(1) {
+                // First processed predecessor.
+                let mut new_idom: Option<NodeId> = None;
+                for &p in cfg.preds(n) {
+                    if idom[p].is_none() {
+                        continue;
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(&idom, &rpo_pos, p, cur),
+                    });
+                }
+                if let Some(ni) = new_idom {
+                    if idom[n] != Some(ni) {
+                        idom[n] = Some(ni);
+                        changed = true;
+                    }
+                }
+            }
+        }
+
+        Dominators { idom, rpo_pos }
+    }
+
+    /// The immediate dominator of `n` (`None` for unreachable nodes; the
+    /// entry is its own idom).
+    pub fn idom(&self, n: NodeId) -> Option<NodeId> {
+        self.idom[n]
+    }
+
+    /// Whether `a` dominates `b` (reflexive: every node dominates itself).
+    ///
+    /// Unreachable nodes dominate nothing and are dominated by nothing.
+    pub fn dominates(&self, a: NodeId, b: NodeId) -> bool {
+        if self.idom[b].is_none() || self.idom[a].is_none() {
+            return false;
+        }
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            let parent = self.idom[cur].expect("reachable chain");
+            if parent == cur {
+                return false; // reached entry
+            }
+            cur = parent;
+        }
+    }
+
+    /// Position of `n` in reverse postorder (`usize::MAX` if unreachable).
+    pub fn rpo_position(&self, n: NodeId) -> usize {
+        self.rpo_pos[n]
+    }
+}
+
+fn intersect(idom: &[Option<NodeId>], rpo_pos: &[usize], mut a: NodeId, mut b: NodeId) -> NodeId {
+    while a != b {
+        while rpo_pos[a] > rpo_pos[b] {
+            a = idom[a].expect("processed node");
+        }
+        while rpo_pos[b] > rpo_pos[a] {
+            b = idom[b].expect("processed node");
+        }
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minic::parse;
+
+    fn cfg_of(body: &str) -> Cfg {
+        let src = format!("void M::processing() {{ {body} }}");
+        let tu = parse(&src).unwrap();
+        Cfg::from_function(&tu.functions[0])
+    }
+
+    fn node_by_label(cfg: &Cfg, prefix: &str) -> NodeId {
+        cfg.nodes()
+            .iter()
+            .find(|n| n.label.starts_with(prefix))
+            .unwrap_or_else(|| panic!("no node {prefix}"))
+            .id
+    }
+
+    #[test]
+    fn entry_dominates_everything_reachable() {
+        let cfg = cfg_of("if (a) { x = 1; } else { y = 2; } z = 3;");
+        let dom = Dominators::compute(&cfg);
+        for n in 0..cfg.len() {
+            assert!(dom.dominates(cfg.entry(), n));
+        }
+    }
+
+    #[test]
+    fn branch_nodes_do_not_dominate_join() {
+        let cfg = cfg_of("if (a) { x = 1; } else { y = 2; } z = 3;");
+        let dom = Dominators::compute(&cfg);
+        let x = node_by_label(&cfg, "x");
+        let z = node_by_label(&cfg, "z");
+        let cond = node_by_label(&cfg, "if");
+        assert!(!dom.dominates(x, z));
+        assert!(dom.dominates(cond, z));
+        assert_eq!(dom.idom(z), Some(cond));
+    }
+
+    #[test]
+    fn loop_header_dominates_body() {
+        let cfg = cfg_of("while (c) { b = 1; }");
+        let dom = Dominators::compute(&cfg);
+        let w = node_by_label(&cfg, "while");
+        let b = node_by_label(&cfg, "b");
+        assert!(dom.dominates(w, b));
+        assert!(!dom.dominates(b, w));
+    }
+
+    #[test]
+    fn dominance_is_reflexive() {
+        let cfg = cfg_of("x = 1;");
+        let dom = Dominators::compute(&cfg);
+        let x = node_by_label(&cfg, "x");
+        assert!(dom.dominates(x, x));
+    }
+
+    #[test]
+    fn unreachable_nodes_have_no_idom() {
+        let cfg = cfg_of("return; x = 1;");
+        let dom = Dominators::compute(&cfg);
+        let x = node_by_label(&cfg, "x");
+        assert_eq!(dom.idom(x), None);
+        assert!(!dom.dominates(cfg.entry(), x));
+        assert!(!dom.dominates(x, cfg.exit()));
+        assert_eq!(dom.rpo_position(x), usize::MAX);
+    }
+
+    #[test]
+    fn straight_line_chain_of_idoms() {
+        let cfg = cfg_of("a = 1; b = 2; c = 3;");
+        let dom = Dominators::compute(&cfg);
+        let a = node_by_label(&cfg, "a");
+        let b = node_by_label(&cfg, "b");
+        let c = node_by_label(&cfg, "c");
+        assert_eq!(dom.idom(b), Some(a));
+        assert_eq!(dom.idom(c), Some(b));
+        assert!(dom.dominates(a, c));
+    }
+}

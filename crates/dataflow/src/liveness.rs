@@ -1,0 +1,227 @@
+//! Live-variable analysis (backward may) and dead-definition detection.
+//!
+//! A definition whose variable is not live-out at its node can never feed a
+//! use — on circuit level the paper maps such "dead code associations" to
+//! component isolation (open circuits, wrong transistor configuration). The
+//! coverage core surfaces dead *local* definitions as lint warnings; port
+//! and member definitions escape the model and are excluded by the caller.
+
+use std::collections::HashMap;
+
+use crate::bitset::BitSet;
+use crate::cfg::{Cfg, NodeId};
+use crate::framework::{solve, Direction, Meet, Transfer};
+
+/// Result of live-variable analysis over one CFG.
+#[derive(Debug, Clone)]
+pub struct Liveness {
+    vars: Vec<String>,
+    var_index: HashMap<String, usize>,
+    live_in: Vec<BitSet>,
+    live_out: Vec<BitSet>,
+}
+
+struct Problem {
+    gens: Vec<BitSet>,
+    kills: Vec<BitSet>,
+    nvars: usize,
+}
+
+impl Transfer for Problem {
+    fn num_facts(&self) -> usize {
+        self.nvars
+    }
+    fn direction(&self) -> Direction {
+        Direction::Backward
+    }
+    fn meet(&self) -> Meet {
+        Meet::Union
+    }
+    fn gen_set(&self, n: NodeId) -> &BitSet {
+        &self.gens[n]
+    }
+    fn kill_set(&self, n: NodeId) -> &BitSet {
+        &self.kills[n]
+    }
+}
+
+impl Liveness {
+    /// Runs live-variable analysis over `cfg`.
+    ///
+    /// Variables listed in `escaping` (typically output ports and members,
+    /// whose values outlive one activation) are treated as live at the
+    /// function exit.
+    pub fn compute(cfg: &Cfg, escaping: &[String]) -> Liveness {
+        let mut vars: Vec<String> = Vec::new();
+        let mut var_index: HashMap<String, usize> = HashMap::new();
+        let index_of = |name: &str, vars: &mut Vec<String>, idx: &mut HashMap<String, usize>| {
+            if let Some(&i) = idx.get(name) {
+                i
+            } else {
+                let i = vars.len();
+                vars.push(name.to_owned());
+                idx.insert(name.to_owned(), i);
+                i
+            }
+        };
+        for n in cfg.nodes() {
+            for a in n.def_use.defs.iter().chain(&n.def_use.uses) {
+                index_of(&a.name, &mut vars, &mut var_index);
+            }
+        }
+        for e in escaping {
+            index_of(e, &mut vars, &mut var_index);
+        }
+        let nvars = vars.len();
+
+        let mut gens = vec![BitSet::new(nvars); cfg.len()];
+        let mut kills = vec![BitSet::new(nvars); cfg.len()];
+        for n in cfg.nodes() {
+            // GEN = upward-exposed uses; KILL = defs. In minic uses happen
+            // before defs within a statement, so a use of the defined
+            // variable stays in GEN.
+            for u in &n.def_use.uses {
+                gens[n.id].insert(var_index[&u.name]);
+            }
+            for d in &n.def_use.defs {
+                kills[n.id].insert(var_index[&d.name]);
+            }
+        }
+
+        let mut problem = Problem { gens, kills, nvars };
+        // Escaping variables are live at exit: model as GEN at the exit node.
+        for e in escaping {
+            let i = var_index[e];
+            problem.gens[cfg.exit()].insert(i);
+        }
+        let sol = solve(cfg, &problem);
+        Liveness {
+            vars,
+            var_index,
+            live_in: sol.in_sets,
+            live_out: sol.out_sets,
+        }
+    }
+
+    /// Variables live before node `n`.
+    pub fn live_in(&self, n: NodeId) -> Vec<&str> {
+        self.live_in[n]
+            .iter()
+            .map(|i| self.vars[i].as_str())
+            .collect()
+    }
+
+    /// Variables live after node `n`.
+    pub fn live_out(&self, n: NodeId) -> Vec<&str> {
+        self.live_out[n]
+            .iter()
+            .map(|i| self.vars[i].as_str())
+            .collect()
+    }
+
+    /// Whether `var` is live after node `n`.
+    pub fn is_live_out(&self, n: NodeId, var: &str) -> bool {
+        self.var_index
+            .get(var)
+            .is_some_and(|&i| self.live_out[n].contains(i))
+    }
+
+    /// Definitions whose value is never used afterwards: `(node, var)` pairs
+    /// where the node defines `var` but `var` is not live-out.
+    pub fn dead_defs(&self, cfg: &Cfg) -> Vec<(NodeId, String)> {
+        let mut out = Vec::new();
+        for n in cfg.nodes() {
+            for d in &n.def_use.defs {
+                if !self.is_live_out(n.id, &d.name) {
+                    out.push((n.id, d.name.clone()));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minic::parse;
+
+    fn analyse(body: &str, escaping: &[&str]) -> (Cfg, Liveness) {
+        let src = format!("void M::processing() {{ {body} }}");
+        let tu = parse(&src).unwrap();
+        let cfg = Cfg::from_function(&tu.functions[0]);
+        let esc: Vec<String> = escaping.iter().map(|s| s.to_string()).collect();
+        let lv = Liveness::compute(&cfg, &esc);
+        (cfg, lv)
+    }
+
+    fn node_by_label(cfg: &Cfg, prefix: &str) -> NodeId {
+        cfg.nodes()
+            .iter()
+            .find(|n| n.label.starts_with(prefix))
+            .unwrap_or_else(|| panic!("no node {prefix}"))
+            .id
+    }
+
+    #[test]
+    fn used_variable_is_live() {
+        let (cfg, lv) = analyse("x = 1; y = x;", &[]);
+        let x = node_by_label(&cfg, "x");
+        assert!(lv.is_live_out(x, "x"));
+        assert!(lv.live_in(node_by_label(&cfg, "y")).contains(&"x"));
+    }
+
+    #[test]
+    fn overwritten_def_is_dead() {
+        let (cfg, lv) = analyse("x = 1; x = 2; y = x;", &[]);
+        let dead = lv.dead_defs(&cfg);
+        // The first x = 1 is dead; the second is used; y is dead (nothing
+        // reads it and it does not escape).
+        assert!(dead.iter().any(|(_, v)| v == "x"));
+        assert!(dead.iter().any(|(_, v)| v == "y"));
+        assert_eq!(dead.len(), 2);
+    }
+
+    #[test]
+    fn escaping_ports_are_live_at_exit() {
+        let (cfg, lv) = analyse("op_out = 5;", &["op_out"]);
+        assert!(lv.dead_defs(&cfg).is_empty());
+        let n = node_by_label(&cfg, "op_out");
+        assert!(lv.is_live_out(n, "op_out"));
+    }
+
+    #[test]
+    fn compound_assign_keeps_var_live_through_itself() {
+        let (cfg, lv) = analyse("x = 1; x += 2; y = x;", &[]);
+        let first = node_by_label(&cfg, "x = 1");
+        assert!(
+            lv.is_live_out(first, "x"),
+            "x += 2 reads x, keeping the first def alive"
+        );
+        assert!(lv.dead_defs(&cfg).iter().all(|(_, v)| v != "x"));
+    }
+
+    #[test]
+    fn loop_keeps_loop_carried_values_live() {
+        let (cfg, lv) = analyse("s = 0; while (c) { s = s + 1; } t = s;", &["t"]);
+        assert!(lv.dead_defs(&cfg).is_empty());
+        let w = node_by_label(&cfg, "while");
+        assert!(lv.live_in(w).contains(&"s"));
+    }
+
+    #[test]
+    fn branch_local_liveness() {
+        let (cfg, lv) = analyse("x = 1; if (c) { y = x; } z = 2;", &["z"]);
+        let x = node_by_label(&cfg, "x");
+        assert!(lv.is_live_out(x, "x"));
+        // y is defined but never used anywhere.
+        assert!(lv.dead_defs(&cfg).iter().any(|(_, v)| v == "y"));
+    }
+
+    #[test]
+    fn unknown_variable_is_not_live() {
+        let (cfg, lv) = analyse("x = 1;", &[]);
+        assert!(!lv.is_live_out(cfg.entry(), "nothere"));
+        assert!(lv.live_out(cfg.exit()).is_empty());
+    }
+}

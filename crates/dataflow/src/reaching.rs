@@ -1,0 +1,344 @@
+//! Reaching definitions and intra-procedural def-use chains.
+
+use std::collections::HashMap;
+
+use minic::StmtId;
+
+use crate::bitset::BitSet;
+use crate::cfg::{Cfg, NodeId};
+use crate::framework::{solve, Direction, Meet, Solution, Transfer};
+
+/// Identifier of a definition site (dense per [`ReachingDefs`]).
+pub type DefId = usize;
+
+/// One definition site: statement `stmt` at `node` defines `var`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DefSite {
+    /// Dense id of this definition.
+    pub id: DefId,
+    /// The defined variable (local, member or port).
+    pub var: String,
+    /// CFG node performing the definition.
+    pub node: NodeId,
+    /// Originating statement.
+    pub stmt: StmtId,
+    /// Source line of the definition.
+    pub line: u32,
+}
+
+/// An intra-model def-use pair: definition `def` reaches a use of the same
+/// variable at `use_node`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DuPair {
+    /// The definition site.
+    pub def: DefId,
+    /// CFG node using the variable.
+    pub use_node: NodeId,
+    /// Statement using the variable.
+    pub use_stmt: StmtId,
+    /// Source line of the use.
+    pub use_line: u32,
+    /// The variable name.
+    pub var: String,
+}
+
+/// Result of the reaching-definitions analysis over one CFG.
+#[derive(Debug, Clone)]
+pub struct ReachingDefs {
+    defs: Vec<DefSite>,
+    solution: Solution,
+    pairs: Vec<DuPair>,
+}
+
+struct Problem {
+    gens: Vec<BitSet>,
+    kills: Vec<BitSet>,
+}
+
+impl Transfer for Problem {
+    fn num_facts(&self) -> usize {
+        self.gens.first().map_or(0, |g| g.capacity())
+    }
+    fn direction(&self) -> Direction {
+        Direction::Forward
+    }
+    fn meet(&self) -> Meet {
+        Meet::Union
+    }
+    fn gen_set(&self, n: NodeId) -> &BitSet {
+        &self.gens[n]
+    }
+    fn kill_set(&self, n: NodeId) -> &BitSet {
+        &self.kills[n]
+    }
+}
+
+impl ReachingDefs {
+    /// Runs the analysis over `cfg` and derives all def-use chains.
+    ///
+    /// Within a node, uses are evaluated *before* the node's own definition
+    /// (`x = x + 1` pairs the right-hand `x` with definitions flowing *into*
+    /// the node, not with itself).
+    ///
+    /// ```
+    /// let tu = minic::parse("void M::processing() { double t = a; b = t; }").unwrap();
+    /// let cfg = dataflow::Cfg::from_function(&tu.functions[0]);
+    /// let rd = dataflow::ReachingDefs::compute(&cfg);
+    /// assert!(rd.pairs().iter().any(|p| p.var == "t"));
+    /// ```
+    pub fn compute(cfg: &Cfg) -> ReachingDefs {
+        // 1. Collect definition sites.
+        let mut defs: Vec<DefSite> = Vec::new();
+        let mut defs_of_var: HashMap<String, Vec<DefId>> = HashMap::new();
+        for n in cfg.nodes() {
+            for d in &n.def_use.defs {
+                let id = defs.len();
+                defs.push(DefSite {
+                    id,
+                    var: d.name.clone(),
+                    node: n.id,
+                    stmt: d.stmt,
+                    line: d.line,
+                });
+                defs_of_var.entry(d.name.clone()).or_default().push(id);
+            }
+        }
+        let nfacts = defs.len();
+
+        // 2. GEN/KILL per node.
+        let mut gens = vec![BitSet::new(nfacts); cfg.len()];
+        let mut kills = vec![BitSet::new(nfacts); cfg.len()];
+        for d in &defs {
+            gens[d.node].insert(d.id);
+            for &other in &defs_of_var[&d.var] {
+                if other != d.id {
+                    kills[d.node].insert(other);
+                }
+            }
+        }
+
+        // 3. Solve.
+        let solution = solve(cfg, &Problem { gens, kills });
+
+        // 4. Match uses with reaching definitions.
+        let mut pairs = Vec::new();
+        for n in cfg.nodes() {
+            for u in &n.def_use.uses {
+                if let Some(cands) = defs_of_var.get(&u.name) {
+                    for &d in cands {
+                        if solution.in_sets[n.id].contains(d) {
+                            pairs.push(DuPair {
+                                def: d,
+                                use_node: n.id,
+                                use_stmt: u.stmt,
+                                use_line: u.line,
+                                var: u.name.clone(),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        pairs.sort_by_key(|p| (p.def, p.use_node, p.use_line));
+        pairs.dedup();
+
+        ReachingDefs {
+            defs,
+            solution,
+            pairs,
+        }
+    }
+
+    /// All definition sites, indexed by [`DefId`].
+    pub fn defs(&self) -> &[DefSite] {
+        &self.defs
+    }
+
+    /// The definition site with id `d`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d` is out of range.
+    pub fn def(&self, d: DefId) -> &DefSite {
+        &self.defs[d]
+    }
+
+    /// All intra-model def-use pairs.
+    pub fn pairs(&self) -> &[DuPair] {
+        &self.pairs
+    }
+
+    /// Definitions reaching the start of node `n`.
+    pub fn reaching_in(&self, n: NodeId) -> &BitSet {
+        &self.solution.in_sets[n]
+    }
+
+    /// Definitions live just after node `n`.
+    pub fn reaching_out(&self, n: NodeId) -> &BitSet {
+        &self.solution.out_sets[n]
+    }
+
+    /// Definitions of `var` that reach the function exit, i.e. whose value
+    /// can flow out of the TDF model through ports/members.
+    pub fn defs_reaching_exit<'a>(&'a self, cfg: &Cfg, var: &str) -> Vec<&'a DefSite> {
+        let exit_in = &self.solution.in_sets[cfg.exit()];
+        self.defs
+            .iter()
+            .filter(|d| d.var == var && exit_in.contains(d.id))
+            .collect()
+    }
+
+    /// All definition sites of `var`.
+    pub fn defs_of<'a>(&'a self, var: &str) -> Vec<&'a DefSite> {
+        self.defs.iter().filter(|d| d.var == var).collect()
+    }
+
+    /// Number of solver sweeps (exposed for the scalability benchmarks).
+    pub fn iterations(&self) -> usize {
+        self.solution.iterations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minic::parse;
+
+    fn analyse(body: &str) -> (Cfg, ReachingDefs) {
+        let src = format!("void M::processing() {{ {body} }}");
+        let tu = parse(&src).unwrap();
+        let cfg = Cfg::from_function(&tu.functions[0]);
+        let rd = ReachingDefs::compute(&cfg);
+        (cfg, rd)
+    }
+
+    fn pair_lines(rd: &ReachingDefs) -> Vec<(String, u32, u32)> {
+        rd.pairs()
+            .iter()
+            .map(|p| (p.var.clone(), rd.def(p.def).line, p.use_line))
+            .collect()
+    }
+
+    #[test]
+    fn straight_line_pairs() {
+        let (_, rd) = analyse("double t = a;\nb = t;");
+        // All on line 1 because the body is one logical line offset; use
+        // variable names instead.
+        let pairs = pair_lines(&rd);
+        assert!(pairs.iter().any(|(v, _, _)| v == "t"));
+        // `a` and `b` have no defs in scope -> only uses without pairs.
+        assert!(!pairs.iter().any(|(v, _, _)| v == "a"));
+    }
+
+    #[test]
+    fn redefinition_kills() {
+        let (_, rd) = analyse("x = 1; x = 2; y = x;");
+        let x_pairs: Vec<_> = rd.pairs().iter().filter(|p| p.var == "x").collect();
+        assert_eq!(x_pairs.len(), 1, "only the second def reaches the use");
+        assert_eq!(rd.def(x_pairs[0].def).line, 1); // same source line here
+                                                    // Distinguish by definition order instead: the reaching def is the
+                                                    // second definition site of x.
+        let defs_x = rd.defs_of("x");
+        assert_eq!(defs_x.len(), 2);
+        assert_eq!(x_pairs[0].def, defs_x[1].id);
+    }
+
+    #[test]
+    fn branch_merges_both_defs() {
+        let (_, rd) = analyse("if (c) { x = 1; } else { x = 2; } y = x;");
+        let x_pairs: Vec<_> = rd.pairs().iter().filter(|p| p.var == "x").collect();
+        assert_eq!(x_pairs.len(), 2, "defs from both branches reach the join");
+    }
+
+    #[test]
+    fn if_without_else_keeps_initial_def() {
+        let (_, rd) = analyse("x = 0; if (c) { x = 1; } y = x;");
+        let x_pairs: Vec<_> = rd.pairs().iter().filter(|p| p.var == "x").collect();
+        assert_eq!(x_pairs.len(), 2, "fallthrough keeps x = 0 alive");
+    }
+
+    #[test]
+    fn loop_carried_definition() {
+        let (_, rd) = analyse("s = 0; while (c) { s = s + 1; } t = s;");
+        // The use `s + 1` sees both the init and the loop-carried def.
+        let uses_in_loop: Vec<_> = rd.pairs().iter().filter(|p| p.var == "s").collect();
+        // s=0 -> s+1, s=s+1 -> s+1 (around the loop),
+        // s=0 -> t=s, s=s+1 -> t=s, and the while cond uses nothing.
+        assert_eq!(uses_in_loop.len(), 4);
+    }
+
+    #[test]
+    fn compound_assign_does_not_pair_with_itself_in_straight_line() {
+        let (_, rd) = analyse("x = 0; x += 1;");
+        let defs_x = rd.defs_of("x");
+        assert_eq!(defs_x.len(), 2);
+        let pairs: Vec<_> = rd.pairs().iter().filter(|p| p.var == "x").collect();
+        // The += use pairs only with x = 0, never with its own def.
+        assert_eq!(pairs.len(), 1);
+        assert_eq!(pairs[0].def, defs_x[0].id);
+    }
+
+    #[test]
+    fn defs_reaching_exit_filters_killed() {
+        let (cfg, rd) = analyse("op = 1; op = 2;");
+        let escaping = rd.defs_reaching_exit(&cfg, "op");
+        assert_eq!(escaping.len(), 1, "first def killed before exit");
+        let (cfg2, rd2) = analyse("op = 1; if (c) { op = 2; }");
+        assert_eq!(
+            rd2.defs_reaching_exit(&cfg2, "op").len(),
+            2,
+            "conditional redefinition leaves both live"
+        );
+    }
+
+    #[test]
+    fn use_without_def_produces_no_pair() {
+        let (_, rd) = analyse("y = undefined_var;");
+        assert!(rd.pairs().iter().all(|p| p.var != "undefined_var"));
+    }
+
+    #[test]
+    fn unreachable_defs_do_not_reach() {
+        let (_, rd) = analyse("return; x = 1; y = x;");
+        assert!(
+            rd.pairs().iter().all(|p| p.var != "x"),
+            "defs after return are unreachable and never flow"
+        );
+    }
+
+    #[test]
+    fn fig2_ts_pairs_match_paper_lines() {
+        // The TS model of Fig. 2 with its original line numbers (the body
+        // starts on line 3 == paper line 3).
+        let src = "\
+void TS::processing()
+{
+    double sig_in = ip_signal_in;
+    double tmpr = sig_in*1000;
+    double out_tmpr = 0;
+    bool intr_ = false;
+    if (!ip_hold){
+        if (ip_clear) intr_ = 0;
+        else if ((tmpr > 30) && (tmpr < 1500 )){
+            out_tmpr = tmpr;
+            intr_ = true;
+        }
+        op_intr.write(intr_);
+        op_signal_out = out_tmpr;
+    }
+}";
+        let tu = parse(src).unwrap();
+        let cfg = Cfg::from_function(&tu.functions[0]);
+        let rd = ReachingDefs::compute(&cfg);
+        let pairs = pair_lines(&rd);
+        // Paper Table I pairs (within TS, adjusted to this snippet's lines):
+        assert!(pairs.contains(&("sig_in".into(), 3, 4)));
+        assert!(pairs.contains(&("tmpr".into(), 4, 9)));
+        assert!(pairs.contains(&("tmpr".into(), 4, 10)));
+        assert!(pairs.contains(&("intr_".into(), 6, 13)));
+        assert!(pairs.contains(&("intr_".into(), 8, 13)));
+        assert!(pairs.contains(&("intr_".into(), 11, 13)));
+        assert!(pairs.contains(&("out_tmpr".into(), 5, 14)));
+        assert!(pairs.contains(&("out_tmpr".into(), 10, 14)));
+    }
+}

@@ -1,0 +1,187 @@
+//! Model interfaces: the elaboration-time declaration of a minic model's
+//! ports and members (what SystemC-AMS declares as `sca_tdf::sca_in<T>`,
+//! `sca_tdf::sca_out<T>` fields and C++ member variables).
+
+use tdf_sim::{PortSpec, SimTime, Value};
+
+/// How an identifier inside a `processing()` body resolves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VarKind {
+    /// Function-local variable (fresh every activation).
+    Local,
+    /// Input port with the given port index.
+    InPort(usize),
+    /// Output port with the given port index.
+    OutPort(usize),
+    /// Module member (persists across activations).
+    Member,
+}
+
+impl VarKind {
+    /// Whether this is a port of either direction.
+    pub fn is_port(self) -> bool {
+        matches!(self, VarKind::InPort(_) | VarKind::OutPort(_))
+    }
+}
+
+/// Declared interface of one minic TDF model.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Interface {
+    /// Input port specs, index order.
+    pub inputs: Vec<PortSpec>,
+    /// Output port specs, index order.
+    pub outputs: Vec<PortSpec>,
+    /// Members with initial values.
+    pub members: Vec<(String, Value)>,
+    /// Optional timestep anchor.
+    pub timestep: Option<SimTime>,
+}
+
+impl Interface {
+    /// An empty interface.
+    pub fn new() -> Self {
+        Interface::default()
+    }
+
+    /// Adds a rate-1 input port (builder style).
+    pub fn input(mut self, name: &str) -> Self {
+        self.inputs.push(PortSpec::new(name));
+        self
+    }
+
+    /// Adds an input port with explicit spec.
+    pub fn input_spec(mut self, spec: PortSpec) -> Self {
+        self.inputs.push(spec);
+        self
+    }
+
+    /// Adds a rate-1 output port (builder style).
+    pub fn output(mut self, name: &str) -> Self {
+        self.outputs.push(PortSpec::new(name));
+        self
+    }
+
+    /// Adds an output port with explicit spec.
+    pub fn output_spec(mut self, spec: PortSpec) -> Self {
+        self.outputs.push(spec);
+        self
+    }
+
+    /// Adds a member with an initial value (builder style).
+    pub fn member(mut self, name: &str, initial: impl Into<Value>) -> Self {
+        self.members.push((name.to_owned(), initial.into()));
+        self
+    }
+
+    /// Anchors the module timestep (builder style).
+    pub fn timestep(mut self, ts: SimTime) -> Self {
+        self.timestep = Some(ts);
+        self
+    }
+
+    /// Resolves `name` against this interface (locals resolve elsewhere).
+    pub fn kind_of(&self, name: &str) -> Option<VarKind> {
+        if let Some(i) = self.inputs.iter().position(|p| p.name == name) {
+            return Some(VarKind::InPort(i));
+        }
+        if let Some(i) = self.outputs.iter().position(|p| p.name == name) {
+            return Some(VarKind::OutPort(i));
+        }
+        if self.members.iter().any(|(m, _)| m == name) {
+            return Some(VarKind::Member);
+        }
+        None
+    }
+
+    /// The [`minic::ExternalDecls`] view of this interface, for semantic
+    /// checking of the model body with [`minic::type_check`]. Port element
+    /// types are not tracked by TDF interfaces, so ports are declared as
+    /// `double` (every minic type coerces both ways).
+    pub fn external_decls(&self) -> minic::ExternalDecls {
+        let mut ext = minic::ExternalDecls::new();
+        for p in &self.inputs {
+            ext = ext.input(&p.name, minic::Type::Double);
+        }
+        for p in &self.outputs {
+            ext = ext.output(&p.name, minic::Type::Double);
+        }
+        for (m, v) in &self.members {
+            let ty = match v {
+                Value::Double(_) => minic::Type::Double,
+                Value::Int(_) => minic::Type::Int,
+                Value::Bool(_) => minic::Type::Bool,
+            };
+            ext = ext.member(m, ty);
+        }
+        ext
+    }
+
+    /// All declared names (for duplicate checking).
+    pub fn names(&self) -> Vec<&str> {
+        self.inputs
+            .iter()
+            .map(|p| p.name.as_str())
+            .chain(self.outputs.iter().map(|p| p.name.as_str()))
+            .chain(self.members.iter().map(|(m, _)| m.as_str()))
+            .collect()
+    }
+}
+
+/// A minic model definition: the model name plus its declared interface.
+/// The static analysis (in `dft-core`) consumes a slice of these together
+/// with the parsed sources and the cluster netlist.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TdfModelDef {
+    /// The model (class) name, matching `model::processing()` in the source.
+    pub model: String,
+    /// The declared interface.
+    pub interface: Interface,
+}
+
+impl TdfModelDef {
+    /// Creates a model definition.
+    pub fn new(model: impl Into<String>, interface: Interface) -> Self {
+        TdfModelDef {
+            model: model.into(),
+            interface,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_and_lookup() {
+        let iface = Interface::new()
+            .input("ip_a")
+            .input("ip_b")
+            .output("op_y")
+            .member("m_state", 0i64)
+            .timestep(SimTime::from_us(5));
+        assert_eq!(iface.kind_of("ip_b"), Some(VarKind::InPort(1)));
+        assert_eq!(iface.kind_of("op_y"), Some(VarKind::OutPort(0)));
+        assert_eq!(iface.kind_of("m_state"), Some(VarKind::Member));
+        assert_eq!(iface.kind_of("local"), None);
+        assert_eq!(iface.names().len(), 4);
+        assert_eq!(iface.timestep, Some(SimTime::from_us(5)));
+    }
+
+    #[test]
+    fn var_kind_is_port() {
+        assert!(VarKind::InPort(0).is_port());
+        assert!(VarKind::OutPort(1).is_port());
+        assert!(!VarKind::Member.is_port());
+        assert!(!VarKind::Local.is_port());
+    }
+
+    #[test]
+    fn explicit_port_specs() {
+        let iface = Interface::new()
+            .input_spec(PortSpec::new("ip_x").with_rate(2))
+            .output_spec(PortSpec::new("op_y").with_delay(1));
+        assert_eq!(iface.inputs[0].rate, 2);
+        assert_eq!(iface.outputs[0].delay, 1);
+    }
+}

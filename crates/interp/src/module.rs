@@ -1,0 +1,1122 @@
+//! The interpreted TDF module: executes a minic `processing()` body inside
+//! the `tdf-sim` kernel, emitting a def/use [`Event`] for every variable
+//! access — the dynamic-analysis instrumentation of the paper, without the
+//! printf round trip.
+
+use std::collections::HashMap;
+
+use minic::{BinOp, Block, Expr, ExprKind, Function, Stmt, StmtKind, TranslationUnit, UnOp};
+use tdf_sim::{
+    Event, ModuleClass, ModuleSpec, ProcessingCtx, Provenance, Sample, TdfModule, Value,
+};
+
+use crate::error::{InterpError, Result};
+use crate::interface::{Interface, TdfModelDef, VarKind};
+
+/// Builtin math functions callable from minic code.
+const BUILTINS: &[&str] = &["abs", "min", "max", "sqrt", "floor", "ceil", "pow"];
+
+/// Safety valve against runaway `while`/`for` loops in model code.
+const MAX_LOOP_ITERATIONS: usize = 1_000_000;
+
+/// A TDF module whose behaviour is an interpreted minic `processing()` body.
+///
+/// Every definition and use executed is reported to the simulator's
+/// [`EventSink`](tdf_sim::EventSink); output-port writes stamp the produced
+/// [`Sample`] with `(port, line, model)` provenance so downstream models can
+/// attribute the samples they read.
+pub struct InterpModule {
+    name: String,
+    def: TdfModelDef,
+    function: Function,
+    /// Optional `model::initialize()` body, run (with instrumentation) at
+    /// the start of the first activation after elaboration — the paper's
+    /// "location of initialize() function" definition site for members.
+    init_function: Option<Function>,
+    kinds: HashMap<String, VarKind>,
+    members: HashMap<String, Value>,
+    run_init: bool,
+}
+
+impl std::fmt::Debug for InterpModule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("InterpModule")
+            .field("name", &self.name)
+            .field("model", &self.def.model)
+            .finish()
+    }
+}
+
+impl InterpModule {
+    /// Binds the `model::processing()` function from `tu` to `interface`.
+    ///
+    /// # Errors
+    ///
+    /// * [`InterpError::MissingProcessing`] — no such function in `tu`;
+    /// * [`InterpError::DuplicateName`] — interface declares a name twice;
+    /// * [`InterpError::UnknownIdentifier`] — the body references a name
+    ///   that is neither a declared local nor in the interface;
+    /// * [`InterpError::WriteToInput`] — the body assigns an input port.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any interface port has a rate other than 1 (interpreted
+    /// models are single-rate; use native components for multirate blocks).
+    pub fn new(tu: &TranslationUnit, model: &str, interface: Interface) -> Result<InterpModule> {
+        Self::with_processing(tu, model, "processing", interface)
+    }
+
+    /// Like [`InterpModule::new`], but the behaviour lives in a user-named
+    /// function instead of `processing()` — the `register_processing()`
+    /// mechanism of §V ("it could also be in a user defined function. This
+    /// is registered in the elaboration phase").
+    ///
+    /// # Errors
+    ///
+    /// Same as [`InterpModule::new`], with [`InterpError::MissingProcessing`]
+    /// referring to the registered function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any interface port has a rate other than 1.
+    pub fn with_processing(
+        tu: &TranslationUnit,
+        model: &str,
+        registered: &str,
+        interface: Interface,
+    ) -> Result<InterpModule> {
+        for p in interface.inputs.iter().chain(&interface.outputs) {
+            assert_eq!(p.rate, 1, "interpreted models are single-rate");
+        }
+        let function = tu
+            .function(model, registered)
+            .ok_or_else(|| InterpError::MissingProcessing {
+                model: model.to_owned(),
+            })?
+            .clone();
+        let init_function = tu.function(model, "initialize").cloned();
+
+        // Duplicate check across the interface.
+        let mut seen: Vec<&str> = Vec::new();
+        for n in interface.names() {
+            if seen.contains(&n) {
+                return Err(InterpError::DuplicateName {
+                    model: model.to_owned(),
+                    name: n.to_owned(),
+                });
+            }
+            seen.push(n);
+        }
+
+        // Resolve every identifier: interface first, then declared locals.
+        let mut kinds: HashMap<String, VarKind> = HashMap::new();
+        for (i, p) in interface.inputs.iter().enumerate() {
+            kinds.insert(p.name.clone(), VarKind::InPort(i));
+        }
+        for (i, p) in interface.outputs.iter().enumerate() {
+            kinds.insert(p.name.clone(), VarKind::OutPort(i));
+        }
+        for (m, _) in &interface.members {
+            kinds.insert(m.clone(), VarKind::Member);
+        }
+        collect_locals(&function.body, &mut kinds);
+        if let Some(init) = &init_function {
+            collect_locals(&init.body, &mut kinds);
+            check_resolved(&init.body, model, &kinds)?;
+        }
+        check_resolved(&function.body, model, &kinds)?;
+
+        let members: HashMap<String, Value> = interface
+            .members
+            .iter()
+            .map(|(n, v)| (n.clone(), *v))
+            .collect();
+
+        let run_init = init_function.is_some();
+        Ok(InterpModule {
+            name: model.to_owned(),
+            def: TdfModelDef::new(model, interface),
+            function,
+            init_function,
+            kinds,
+            members,
+            run_init,
+        })
+    }
+
+    /// The model definition (name + interface), as consumed by the static
+    /// analysis.
+    pub fn model_def(&self) -> &TdfModelDef {
+        &self.def
+    }
+
+    /// Resolution kind of `name`, if it exists in this model.
+    pub fn kind_of(&self, name: &str) -> Option<VarKind> {
+        self.kinds.get(name).copied()
+    }
+
+    /// Current value of member `name` (testing/debug aid).
+    pub fn member(&self, name: &str) -> Option<Value> {
+        self.members.get(name).copied()
+    }
+}
+
+fn collect_locals(block: &Block, kinds: &mut HashMap<String, VarKind>) {
+    for s in &block.stmts {
+        match &s.kind {
+            StmtKind::Decl { name, .. } => {
+                kinds.entry(name.clone()).or_insert(VarKind::Local);
+            }
+            StmtKind::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                collect_locals(then_branch, kinds);
+                if let Some(e) = else_branch {
+                    collect_locals(e, kinds);
+                }
+            }
+            StmtKind::While { body, .. } => collect_locals(body, kinds),
+            StmtKind::For {
+                init, step, body, ..
+            } => {
+                if let Some(i) = init {
+                    if let StmtKind::Decl { name, .. } = &i.kind {
+                        kinds.entry(name.clone()).or_insert(VarKind::Local);
+                    }
+                }
+                let _ = step;
+                collect_locals(body, kinds);
+            }
+            StmtKind::Block(b) => collect_locals(b, kinds),
+            _ => {}
+        }
+    }
+}
+
+fn check_resolved(block: &Block, model: &str, kinds: &HashMap<String, VarKind>) -> Result<()> {
+    use minic::visit::{walk_expr, walk_stmt, Visitor};
+    struct Check<'a> {
+        model: &'a str,
+        kinds: &'a HashMap<String, VarKind>,
+        error: Option<InterpError>,
+    }
+    impl Check<'_> {
+        fn require(&mut self, name: &str, line: u32) {
+            if self.error.is_none() && !self.kinds.contains_key(name) {
+                self.error = Some(InterpError::UnknownIdentifier {
+                    model: self.model.to_owned(),
+                    name: name.to_owned(),
+                    line,
+                });
+            }
+        }
+        fn forbid_input_write(&mut self, name: &str, line: u32) {
+            if self.error.is_none() {
+                if let Some(VarKind::InPort(_)) = self.kinds.get(name) {
+                    self.error = Some(InterpError::WriteToInput {
+                        model: self.model.to_owned(),
+                        name: name.to_owned(),
+                        line,
+                    });
+                }
+            }
+        }
+    }
+    impl Visitor for Check<'_> {
+        fn visit_stmt(&mut self, s: &Stmt) {
+            let line = s.span.line();
+            match &s.kind {
+                StmtKind::Assign { target, .. } => {
+                    self.require(target, line);
+                    self.forbid_input_write(target, line);
+                }
+                StmtKind::Write { port, .. } => {
+                    self.require(port, line);
+                    self.forbid_input_write(port, line);
+                }
+                _ => {}
+            }
+            walk_stmt(self, s);
+        }
+        fn visit_expr(&mut self, e: &Expr) {
+            match &e.kind {
+                ExprKind::Var(name) => self.require(name, e.span.line()),
+                ExprKind::MethodCall { receiver, .. } => {
+                    self.require(receiver, e.span.line());
+                }
+                ExprKind::Call { callee, .. }
+                    if self.error.is_none() && !BUILTINS.contains(&callee.as_str()) =>
+                {
+                    self.error = Some(InterpError::UnknownIdentifier {
+                        model: self.model.to_owned(),
+                        name: callee.clone(),
+                        line: e.span.line(),
+                    });
+                }
+                _ => {}
+            }
+            walk_expr(self, e);
+        }
+    }
+    let mut check = Check {
+        model,
+        kinds,
+        error: None,
+    };
+    for s in &block.stmts {
+        check.visit_stmt(s);
+    }
+    match check.error {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
+impl TdfModule for InterpModule {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn spec(&self) -> ModuleSpec {
+        ModuleSpec {
+            in_ports: self.def.interface.inputs.clone(),
+            out_ports: self.def.interface.outputs.clone(),
+            timestep: self.def.interface.timestep,
+        }
+    }
+
+    fn class(&self) -> ModuleClass {
+        ModuleClass::UserCode
+    }
+
+    fn initialize(&mut self) {
+        self.members = self
+            .def
+            .interface
+            .members
+            .iter()
+            .map(|(n, v)| (n.clone(), *v))
+            .collect();
+        self.run_init = self.init_function.is_some();
+    }
+
+    fn processing(&mut self, ctx: &mut ProcessingCtx<'_>) {
+        let mut out_values: Vec<Option<(Value, u32)>> =
+            vec![None; self.def.interface.outputs.len()];
+        if self.run_init {
+            self.run_init = false;
+            let init = self.init_function.clone().expect("armed only when present");
+            let mut exec = Exec {
+                model: &self.name,
+                kinds: &self.kinds,
+                members: &mut self.members,
+                locals: HashMap::new(),
+                out_values: &mut out_values,
+                ctx,
+            };
+            exec.block(&init.body);
+        }
+        {
+            let function = &self.function;
+            let mut exec = Exec {
+                model: &self.name,
+                kinds: &self.kinds,
+                members: &mut self.members,
+                locals: HashMap::new(),
+                out_values: &mut out_values,
+                ctx,
+            };
+            exec.block(&function.body);
+        }
+        for (i, slot) in out_values.into_iter().enumerate() {
+            if let Some((v, line)) = slot {
+                let port = &self.def.interface.outputs[i].name;
+                ctx.write(
+                    i,
+                    Sample::with_provenance(v, Provenance::new(port.clone(), line, &self.name)),
+                );
+            }
+            // Unwritten ports are padded as undefined by the kernel.
+        }
+    }
+}
+
+/// Control-flow outcome of executing a statement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Flow {
+    Normal,
+    Break,
+    Continue,
+    Return,
+}
+
+struct Exec<'m, 'c> {
+    model: &'m str,
+    kinds: &'m HashMap<String, VarKind>,
+    members: &'m mut HashMap<String, Value>,
+    locals: HashMap<String, Value>,
+    out_values: &'m mut Vec<Option<(Value, u32)>>,
+    ctx: &'m mut ProcessingCtx<'c>,
+}
+
+impl Exec<'_, '_> {
+    fn emit_def(&mut self, var: &str, line: u32) {
+        let time = self.ctx.time();
+        self.ctx.emit(Event::Def {
+            time,
+            model: self.model.to_owned(),
+            var: var.to_owned(),
+            line,
+        });
+    }
+
+    fn emit_use(&mut self, var: &str, line: u32, feeding: Option<Provenance>, defined: bool) {
+        let time = self.ctx.time();
+        self.ctx.emit(Event::Use {
+            time,
+            model: self.model.to_owned(),
+            var: var.to_owned(),
+            line,
+            feeding,
+            defined,
+        });
+    }
+
+    fn block(&mut self, b: &Block) -> Flow {
+        for s in &b.stmts {
+            match self.stmt(s) {
+                Flow::Normal => {}
+                other => return other,
+            }
+        }
+        Flow::Normal
+    }
+
+    fn stmt(&mut self, s: &Stmt) -> Flow {
+        let line = s.span.line();
+        match &s.kind {
+            StmtKind::Decl { name, init, .. } => {
+                if let Some(e) = init {
+                    let v = self.eval(e);
+                    self.locals.insert(name.clone(), v);
+                    self.emit_def(name, line);
+                }
+                Flow::Normal
+            }
+            StmtKind::Assign { target, op, value } => {
+                let base = if op.reads_target() {
+                    let v = self.read_var(target, line);
+                    Some(v)
+                } else {
+                    None
+                };
+                let rhs = self.eval(value);
+                let v = match (base, op.binop()) {
+                    (Some(b), Some(binop)) => apply_binop(binop, b, rhs),
+                    _ => rhs,
+                };
+                self.write_var(target, v, line);
+                Flow::Normal
+            }
+            StmtKind::Write { port, value } => {
+                let v = self.eval(value);
+                self.write_var(port, v, line);
+                Flow::Normal
+            }
+            StmtKind::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                if self.eval(cond).as_bool() {
+                    self.block(then_branch)
+                } else if let Some(e) = else_branch {
+                    self.block(e)
+                } else {
+                    Flow::Normal
+                }
+            }
+            StmtKind::While { cond, body } => {
+                let mut iters = 0usize;
+                while self.eval(cond).as_bool() {
+                    iters += 1;
+                    assert!(
+                        iters <= MAX_LOOP_ITERATIONS,
+                        "runaway while loop in model `{}` (line {line})",
+                        self.model
+                    );
+                    match self.block(body) {
+                        Flow::Break => break,
+                        Flow::Return => return Flow::Return,
+                        Flow::Continue | Flow::Normal => {}
+                    }
+                }
+                Flow::Normal
+            }
+            StmtKind::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                if let Some(i) = init {
+                    if self.stmt(i) == Flow::Return {
+                        return Flow::Return;
+                    }
+                }
+                let mut iters = 0usize;
+                loop {
+                    if let Some(c) = cond {
+                        if !self.eval(c).as_bool() {
+                            break;
+                        }
+                    }
+                    iters += 1;
+                    assert!(
+                        iters <= MAX_LOOP_ITERATIONS,
+                        "runaway for loop in model `{}` (line {line})",
+                        self.model
+                    );
+                    match self.block(body) {
+                        Flow::Break => break,
+                        Flow::Return => return Flow::Return,
+                        Flow::Continue | Flow::Normal => {}
+                    }
+                    if let Some(st) = step {
+                        if self.stmt(st) == Flow::Return {
+                            return Flow::Return;
+                        }
+                    }
+                }
+                Flow::Normal
+            }
+            StmtKind::Return => Flow::Return,
+            StmtKind::Break => Flow::Break,
+            StmtKind::Continue => Flow::Continue,
+            StmtKind::Block(b) => self.block(b),
+            StmtKind::Expr(e) => {
+                self.eval(e);
+                Flow::Normal
+            }
+        }
+    }
+
+    /// Reads a variable, emitting the corresponding use event.
+    fn read_var(&mut self, name: &str, line: u32) -> Value {
+        match self.kinds.get(name).copied() {
+            Some(VarKind::InPort(i)) => {
+                let sample = self.ctx.input1(i).clone();
+                self.emit_use(name, line, sample.provenance.clone(), sample.defined);
+                sample.value
+            }
+            Some(VarKind::OutPort(i)) => {
+                // Reading back an output port: the value written earlier in
+                // this activation (or default).
+                let v = self.out_values[i].map(|(v, _)| v).unwrap_or_default();
+                self.emit_use(name, line, None, true);
+                v
+            }
+            Some(VarKind::Member) => {
+                let v = self.members.get(name).copied().unwrap_or_default();
+                self.emit_use(name, line, None, true);
+                v
+            }
+            Some(VarKind::Local) | None => {
+                let v = self.locals.get(name).copied().unwrap_or_default();
+                self.emit_use(name, line, None, true);
+                v
+            }
+        }
+    }
+
+    /// Writes a variable, emitting the corresponding def event.
+    fn write_var(&mut self, name: &str, v: Value, line: u32) {
+        match self.kinds.get(name).copied() {
+            Some(VarKind::OutPort(i)) => {
+                self.out_values[i] = Some((v, line));
+            }
+            Some(VarKind::Member) => {
+                self.members.insert(name.to_owned(), v);
+            }
+            Some(VarKind::InPort(_)) => {
+                unreachable!("writes to input ports rejected at construction");
+            }
+            Some(VarKind::Local) | None => {
+                self.locals.insert(name.to_owned(), v);
+            }
+        }
+        self.emit_def(name, line);
+    }
+
+    fn eval(&mut self, e: &Expr) -> Value {
+        let line = e.span.line();
+        match &e.kind {
+            ExprKind::IntLit(v) => Value::Int(*v),
+            ExprKind::FloatLit(v) => Value::Double(*v),
+            ExprKind::BoolLit(v) => Value::Bool(*v),
+            ExprKind::Var(name) => self.read_var(name, line),
+            ExprKind::MethodCall { receiver, .. } => self.read_var(receiver, line),
+            ExprKind::Unary(op, inner) => {
+                let v = self.eval(inner);
+                match op {
+                    UnOp::Neg => match v {
+                        Value::Int(i) => Value::Int(-i),
+                        other => Value::Double(-other.as_f64()),
+                    },
+                    UnOp::Not => Value::Bool(!v.as_bool()),
+                }
+            }
+            ExprKind::Binary(op, l, r) => match op {
+                // Short-circuit evaluation: skipped operands really are
+                // skipped, so their uses are *not* exercised — faithful to
+                // the instrumented-C++ behaviour.
+                BinOp::And => {
+                    if !self.eval(l).as_bool() {
+                        Value::Bool(false)
+                    } else {
+                        Value::Bool(self.eval(r).as_bool())
+                    }
+                }
+                BinOp::Or => {
+                    if self.eval(l).as_bool() {
+                        Value::Bool(true)
+                    } else {
+                        Value::Bool(self.eval(r).as_bool())
+                    }
+                }
+                _ => {
+                    let lv = self.eval(l);
+                    let rv = self.eval(r);
+                    apply_binop(*op, lv, rv)
+                }
+            },
+            ExprKind::Call { callee, args } => {
+                let vals: Vec<Value> = args.iter().map(|a| self.eval(a)).collect();
+                builtin(callee, &vals)
+            }
+        }
+    }
+}
+
+fn both_int(l: Value, r: Value) -> Option<(i64, i64)> {
+    match (l, r) {
+        (Value::Int(a), Value::Int(b)) => Some((a, b)),
+        (Value::Int(a), Value::Bool(b)) => Some((a, b as i64)),
+        (Value::Bool(a), Value::Int(b)) => Some((a as i64, b)),
+        (Value::Bool(a), Value::Bool(b)) => Some((a as i64, b as i64)),
+        _ => None,
+    }
+}
+
+/// C-like arithmetic: integer ops stay integral, anything touching a double
+/// promotes; comparisons yield bools; integer division by zero yields 0
+/// (documented deviation from C's UB, chosen for determinism).
+fn apply_binop(op: BinOp, l: Value, r: Value) -> Value {
+    match op {
+        BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Rem => {
+            if let Some((a, b)) = both_int(l, r) {
+                let v = match op {
+                    BinOp::Add => a.wrapping_add(b),
+                    BinOp::Sub => a.wrapping_sub(b),
+                    BinOp::Mul => a.wrapping_mul(b),
+                    BinOp::Div => {
+                        if b == 0 {
+                            0
+                        } else {
+                            a.wrapping_div(b)
+                        }
+                    }
+                    BinOp::Rem => {
+                        if b == 0 {
+                            0
+                        } else {
+                            a.wrapping_rem(b)
+                        }
+                    }
+                    _ => unreachable!(),
+                };
+                Value::Int(v)
+            } else {
+                let (a, b) = (l.as_f64(), r.as_f64());
+                let v = match op {
+                    BinOp::Add => a + b,
+                    BinOp::Sub => a - b,
+                    BinOp::Mul => a * b,
+                    BinOp::Div => a / b,
+                    BinOp::Rem => a % b,
+                    _ => unreachable!(),
+                };
+                Value::Double(v)
+            }
+        }
+        BinOp::Eq => Value::Bool(l.numeric_eq(r)),
+        BinOp::Ne => Value::Bool(!l.numeric_eq(r)),
+        BinOp::Lt => Value::Bool(l.as_f64() < r.as_f64()),
+        BinOp::Le => Value::Bool(l.as_f64() <= r.as_f64()),
+        BinOp::Gt => Value::Bool(l.as_f64() > r.as_f64()),
+        BinOp::Ge => Value::Bool(l.as_f64() >= r.as_f64()),
+        BinOp::And | BinOp::Or => unreachable!("short-circuited in eval"),
+    }
+}
+
+fn builtin(name: &str, args: &[Value]) -> Value {
+    let a = |i: usize| args.get(i).copied().unwrap_or_default().as_f64();
+    match name {
+        "abs" => Value::Double(a(0).abs()),
+        "min" => Value::Double(a(0).min(a(1))),
+        "max" => Value::Double(a(0).max(a(1))),
+        "sqrt" => Value::Double(a(0).max(0.0).sqrt()),
+        "floor" => Value::Double(a(0).floor()),
+        "ceil" => Value::Double(a(0).ceil()),
+        "pow" => Value::Double(a(0).powf(a(1))),
+        _ => Value::default(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdf_sim::{Cluster, FnSource, NullSink, Probe, RecordingSink, SimTime, Simulator};
+
+    fn run_model(
+        src: &str,
+        model: &str,
+        iface: Interface,
+        input_value: f64,
+        periods: u64,
+    ) -> (Vec<Event>, Vec<f64>) {
+        let tu = minic::parse(src).expect("parses");
+        let module = InterpModule::new(&tu, model, iface).expect("binds");
+        let has_input = !module.def.interface.inputs.is_empty();
+        let in_name = module.def.interface.inputs.first().map(|p| p.name.clone());
+        let out_name = module.def.interface.outputs.first().map(|p| p.name.clone());
+
+        let mut cluster = Cluster::new("top");
+        let mid = cluster.add_module(Box::new(module)).unwrap();
+        if let (true, Some(inp)) = (has_input, in_name) {
+            let srcm = cluster
+                .add_module(Box::new(FnSource::new(
+                    "src",
+                    SimTime::from_us(1),
+                    move |_| Value::Double(input_value),
+                )))
+                .unwrap();
+            cluster.connect(srcm, "op_out", mid, &inp).unwrap();
+        }
+        let trace = out_name.map(|out| {
+            let (probe, buf) = Probe::new("probe");
+            let pid = cluster.add_module(Box::new(probe)).unwrap();
+            cluster.connect(mid, &out, pid, "tdf_i").unwrap();
+            buf
+        });
+        let mut sim = Simulator::new(cluster).unwrap();
+        let mut sink = RecordingSink::new();
+        sim.run_periods(periods, &mut sink).unwrap();
+        let values = trace.map(|t| t.values_f64()).unwrap_or_default();
+        (sink.events, values)
+    }
+
+    const TS_SRC: &str = "\
+void TS::processing()
+{
+    double sig_in = ip_signal_in;
+    double tmpr = sig_in*1000;
+    double out_tmpr = 0;
+    bool intr_ = false;
+    if (!ip_hold){
+        if (ip_clear) intr_ = 0;
+        else if ((tmpr > 30) && (tmpr < 1500 )){
+            out_tmpr = tmpr;
+            intr_ = true;
+        }
+        op_intr.write(intr_);
+        op_signal_out = out_tmpr;
+    }
+}";
+
+    fn ts_iface() -> Interface {
+        Interface::new()
+            .input("ip_signal_in")
+            .input("ip_hold")
+            .input("ip_clear")
+            .output("op_intr")
+            .output("op_signal_out")
+            .timestep(SimTime::from_us(1))
+    }
+
+    #[test]
+    fn binds_fig2_ts_model() {
+        let tu = minic::parse(TS_SRC).unwrap();
+        let m = InterpModule::new(&tu, "TS", ts_iface()).unwrap();
+        assert_eq!(m.kind_of("tmpr"), Some(VarKind::Local));
+        assert_eq!(m.kind_of("ip_hold"), Some(VarKind::InPort(1)));
+        assert_eq!(m.kind_of("op_intr"), Some(VarKind::OutPort(0)));
+    }
+
+    #[test]
+    fn missing_processing_reported() {
+        let tu = minic::parse("void X::processing() { }").unwrap();
+        let err = InterpModule::new(&tu, "TS", Interface::new()).unwrap_err();
+        assert!(matches!(err, InterpError::MissingProcessing { .. }));
+    }
+
+    #[test]
+    fn unknown_identifier_reported_with_line() {
+        let tu = minic::parse("void M::processing() {\n  x = missing;\n}").unwrap();
+        let err = InterpModule::new(&tu, "M", Interface::new().member("x", 0i64)).unwrap_err();
+        let InterpError::UnknownIdentifier { name, line, .. } = err else {
+            panic!("wrong error");
+        };
+        assert_eq!(name, "missing");
+        assert_eq!(line, 2);
+    }
+
+    #[test]
+    fn write_to_input_rejected() {
+        let tu = minic::parse("void M::processing() { ip_x = 1; }").unwrap();
+        let err = InterpModule::new(&tu, "M", Interface::new().input("ip_x")).unwrap_err();
+        assert!(matches!(err, InterpError::WriteToInput { .. }));
+    }
+
+    #[test]
+    fn duplicate_interface_name_rejected() {
+        let tu = minic::parse("void M::processing() { }").unwrap();
+        let err = InterpModule::new(&tu, "M", Interface::new().input("x").output("x")).unwrap_err();
+        assert!(matches!(err, InterpError::DuplicateName { .. }));
+    }
+
+    #[test]
+    fn simple_pipeline_computes() {
+        // Scale volts to millivolts and pass threshold.
+        let src = "void M::processing() {\n\
+                   double t = ip_in * 1000;\n\
+                   if (t > 30) { op_out = t; } else { op_out = 0; }\n\
+                   }";
+        let iface = Interface::new()
+            .input("ip_in")
+            .output("op_out")
+            .timestep(SimTime::from_us(1));
+        let (_, vals) = run_model(src, "M", iface, 0.1, 3);
+        assert_eq!(vals, vec![100.0, 100.0, 100.0]);
+        let iface2 = Interface::new()
+            .input("ip_in")
+            .output("op_out")
+            .timestep(SimTime::from_us(1));
+        let (_, vals2) = run_model(src, "M", iface2, 0.02, 2);
+        assert_eq!(vals2, vec![0.0, 0.0], "below threshold goes to else");
+    }
+
+    #[test]
+    fn def_use_events_carry_lines() {
+        let src = "void M::processing() {\n\
+                   double t = ip_in * 2;\n\
+                   op_out = t;\n\
+                   }";
+        let iface = Interface::new()
+            .input("ip_in")
+            .output("op_out")
+            .timestep(SimTime::from_us(1));
+        let (events, _) = run_model(src, "M", iface, 1.0, 1);
+        // use ip_in @2, def t @2, use t @3, def op_out @3
+        let summary: Vec<(bool, &str, u32)> = events
+            .iter()
+            .map(|e| match e {
+                Event::Def { var, line, .. } => (true, var.as_str(), *line),
+                Event::Use { var, line, .. } => (false, var.as_str(), *line),
+            })
+            .collect();
+        assert_eq!(
+            summary,
+            vec![
+                (false, "ip_in", 2),
+                (true, "t", 2),
+                (false, "t", 3),
+                (true, "op_out", 3),
+            ]
+        );
+    }
+
+    #[test]
+    fn input_port_use_carries_feeding_provenance() {
+        // Chain two interp models: A defines op_y, B reads ip_x.
+        let src = "void A::processing() { op_y = 5; }\n\
+                   void B::processing() { double v = ip_x; op_z = v; }";
+        let tu = minic::parse(src).unwrap();
+        let a = InterpModule::new(
+            &tu,
+            "A",
+            Interface::new()
+                .output("op_y")
+                .timestep(SimTime::from_us(1)),
+        )
+        .unwrap();
+        let b = InterpModule::new(&tu, "B", Interface::new().input("ip_x").output("op_z")).unwrap();
+        let mut cluster = Cluster::new("top");
+        let aid = cluster.add_module(Box::new(a)).unwrap();
+        let bid = cluster.add_module(Box::new(b)).unwrap();
+        cluster.connect(aid, "op_y", bid, "ip_x").unwrap();
+        let mut sim = Simulator::new(cluster).unwrap();
+        let mut sink = RecordingSink::new();
+        sim.run_periods(1, &mut sink).unwrap();
+        let use_ev = sink
+            .events
+            .iter()
+            .find_map(|e| match e {
+                Event::Use {
+                    var,
+                    feeding: Some(p),
+                    ..
+                } if var == "ip_x" => Some(p.clone()),
+                _ => None,
+            })
+            .expect("input use with provenance");
+        assert_eq!(use_ev, Provenance::new("op_y", 1, "A"));
+    }
+
+    #[test]
+    fn short_circuit_skips_right_operand_uses() {
+        let src = "void M::processing() {\n\
+                   bool a = false;\n\
+                   bool c = a && ip_in;\n\
+                   op_out = c;\n\
+                   }";
+        let iface = Interface::new()
+            .input("ip_in")
+            .output("op_out")
+            .timestep(SimTime::from_us(1));
+        let (events, _) = run_model(src, "M", iface, 1.0, 1);
+        assert!(
+            !events
+                .iter()
+                .any(|e| matches!(e, Event::Use { var, .. } if var == "ip_in")),
+            "ip_in must not be used when && short-circuits"
+        );
+    }
+
+    #[test]
+    fn members_persist_across_activations() {
+        let src = "void M::processing() {\n\
+                   m_count = m_count + 1;\n\
+                   op_out = m_count;\n\
+                   }";
+        let iface = Interface::new()
+            .member("m_count", 0i64)
+            .output("op_out")
+            .timestep(SimTime::from_us(1));
+        let (_, vals) = run_model(src, "M", iface, 0.0, 4);
+        assert_eq!(vals, vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn initialize_resets_members() {
+        let src = "void M::processing() { m_c = m_c + 1; op_out = m_c; }";
+        let tu = minic::parse(src).unwrap();
+        let mut m = InterpModule::new(
+            &tu,
+            "M",
+            Interface::new()
+                .member("m_c", 10i64)
+                .output("op_out")
+                .timestep(SimTime::from_us(1)),
+        )
+        .unwrap();
+        assert_eq!(m.member("m_c"), Some(Value::Int(10)));
+        m.initialize();
+        assert_eq!(m.member("m_c"), Some(Value::Int(10)));
+    }
+
+    #[test]
+    fn unwritten_output_port_yields_undefined_downstream() {
+        // M only writes op_out when the input exceeds a threshold;
+        // downstream use of the unwritten port is flagged undefined.
+        let src = "void A::processing() { if (ip_in > 10) { op_y = 1; } }\n\
+                   void B::processing() { op_z = ip_x; }";
+        let tu = minic::parse(src).unwrap();
+        let a = InterpModule::new(
+            &tu,
+            "A",
+            Interface::new()
+                .input("ip_in")
+                .output("op_y")
+                .timestep(SimTime::from_us(1)),
+        )
+        .unwrap();
+        let b = InterpModule::new(&tu, "B", Interface::new().input("ip_x").output("op_z")).unwrap();
+        let mut cluster = Cluster::new("top");
+        let srcm = cluster
+            .add_module(Box::new(FnSource::new("src", SimTime::from_us(1), |_| {
+                Value::Double(0.0)
+            })))
+            .unwrap();
+        let aid = cluster.add_module(Box::new(a)).unwrap();
+        let bid = cluster.add_module(Box::new(b)).unwrap();
+        cluster.connect(srcm, "op_out", aid, "ip_in").unwrap();
+        cluster.connect(aid, "op_y", bid, "ip_x").unwrap();
+        let mut sim = Simulator::new(cluster).unwrap();
+        let mut sink = RecordingSink::new();
+        sim.run_periods(1, &mut sink).unwrap();
+        let undef_use = sink
+            .events
+            .iter()
+            .any(|e| matches!(e, Event::Use { var, defined: false, .. } if var == "ip_x"));
+        assert!(undef_use, "B reads an undefined sample");
+    }
+
+    #[test]
+    fn loops_and_builtins_execute() {
+        let src = "void M::processing() {\n\
+                   double acc = 0;\n\
+                   for (int i = 0; i < 4; i++) { acc += sqrt(ip_in); }\n\
+                   int guard = 0;\n\
+                   while (guard < 2) { guard++; }\n\
+                   op_out = max(acc, guard);\n\
+                   }";
+        let iface = Interface::new()
+            .input("ip_in")
+            .output("op_out")
+            .timestep(SimTime::from_us(1));
+        let (_, vals) = run_model(src, "M", iface, 4.0, 1);
+        assert_eq!(vals, vec![8.0]); // 4 * sqrt(4) = 8 > 2
+    }
+
+    #[test]
+    fn integer_division_truncates_like_c() {
+        let src = "void M::processing() {\n\
+                   op_out = ip_in / 10;\n\
+                   }";
+        // Feed an int through: use an interp source to keep Int typing.
+        let full = format!("void S::processing() {{ op_out = 599; }}\n{src}");
+        let tu = minic::parse(&full).unwrap();
+        let s = InterpModule::new(
+            &tu,
+            "S",
+            Interface::new()
+                .output("op_out")
+                .timestep(SimTime::from_us(1)),
+        )
+        .unwrap();
+        let m =
+            InterpModule::new(&tu, "M", Interface::new().input("ip_in").output("op_out")).unwrap();
+        let mut cluster = Cluster::new("top");
+        let sid = cluster.add_module(Box::new(s)).unwrap();
+        let mid = cluster.add_module(Box::new(m)).unwrap();
+        let (probe, buf) = Probe::new("probe");
+        let pid = cluster.add_module(Box::new(probe)).unwrap();
+        cluster.connect(sid, "op_out", mid, "ip_in").unwrap();
+        cluster.connect(mid, "op_out", pid, "tdf_i").unwrap();
+        let mut sim = Simulator::new(cluster).unwrap();
+        sim.run_periods(1, &mut NullSink).unwrap();
+        assert_eq!(buf.values_f64(), vec![59.0], "599 / 10 == 59 in C");
+    }
+
+    #[test]
+    fn division_by_zero_int_yields_zero() {
+        assert_eq!(
+            apply_binop(BinOp::Div, Value::Int(5), Value::Int(0)),
+            Value::Int(0)
+        );
+        assert_eq!(
+            apply_binop(BinOp::Rem, Value::Int(5), Value::Int(0)),
+            Value::Int(0)
+        );
+    }
+
+    #[test]
+    fn mixed_arithmetic_promotes_to_double() {
+        assert_eq!(
+            apply_binop(BinOp::Add, Value::Int(1), Value::Double(0.5)),
+            Value::Double(1.5)
+        );
+        assert_eq!(
+            apply_binop(BinOp::Mul, Value::Bool(true), Value::Int(3)),
+            Value::Int(3)
+        );
+    }
+
+    #[test]
+    fn comparisons_are_boolean() {
+        assert_eq!(
+            apply_binop(BinOp::Lt, Value::Int(1), Value::Double(1.5)),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            apply_binop(BinOp::Eq, Value::Bool(true), Value::Int(1)),
+            Value::Bool(true)
+        );
+    }
+
+    #[test]
+    fn builtins_compute() {
+        assert_eq!(builtin("abs", &[Value::Double(-2.0)]), Value::Double(2.0));
+        assert_eq!(
+            builtin("min", &[Value::Double(1.0), Value::Double(2.0)]),
+            Value::Double(1.0)
+        );
+        assert_eq!(builtin("sqrt", &[Value::Double(-1.0)]), Value::Double(0.0));
+        assert_eq!(
+            builtin("pow", &[Value::Double(2.0), Value::Double(3.0)]),
+            Value::Double(8.0)
+        );
+        assert_eq!(builtin("nope", &[]), Value::default());
+    }
+}
+
+#[cfg(test)]
+mod register_processing_tests {
+    use super::*;
+    use tdf_sim::{Cluster, NullSink, Probe, SimTime, Simulator};
+
+    #[test]
+    fn user_named_processing_function_registers() {
+        // §V: behaviour in `sig_proc()` instead of `processing()`.
+        let src = "void DSP::sig_proc() { op_out = 7; }";
+        let tu = minic::parse(src).unwrap();
+        let iface = Interface::new()
+            .output("op_out")
+            .timestep(SimTime::from_us(1));
+        let m = InterpModule::with_processing(&tu, "DSP", "sig_proc", iface).unwrap();
+        let mut cluster = Cluster::new("top");
+        let id = cluster.add_module(Box::new(m)).unwrap();
+        let (probe, buf) = Probe::new("p");
+        let pid = cluster.add_module(Box::new(probe)).unwrap();
+        cluster.connect(id, "op_out", pid, "tdf_i").unwrap();
+        let mut sim = Simulator::new(cluster).unwrap();
+        sim.run_periods(2, &mut NullSink).unwrap();
+        assert_eq!(buf.values_f64(), vec![7.0, 7.0]);
+    }
+
+    #[test]
+    fn default_name_still_required_when_not_registered() {
+        let src = "void DSP::sig_proc() { op_out = 7; }";
+        let tu = minic::parse(src).unwrap();
+        let err = InterpModule::new(&tu, "DSP", Interface::new().output("op_out"));
+        assert!(matches!(err, Err(InterpError::MissingProcessing { .. })));
+    }
+}
+
+#[cfg(test)]
+mod loop_guard_tests {
+    use super::*;
+    use tdf_sim::{Cluster, NullSink, SimTime, Simulator};
+
+    #[test]
+    #[should_panic(expected = "runaway while loop")]
+    fn infinite_loop_is_caught() {
+        let src = "void M::processing() { while (true) { m_x = m_x + 1; } }";
+        let tu = minic::parse(src).unwrap();
+        let m = InterpModule::new(
+            &tu,
+            "M",
+            Interface::new()
+                .member("m_x", 0i64)
+                .timestep(SimTime::from_us(1)),
+        )
+        .unwrap();
+        let mut cluster = Cluster::new("top");
+        cluster.add_module(Box::new(m)).unwrap();
+        let mut sim = Simulator::new(cluster).unwrap();
+        let _ = sim.run_periods(1, &mut NullSink);
+    }
+}

@@ -1,0 +1,543 @@
+//! Abstract syntax tree for the minic language.
+//!
+//! minic models the subset of C++ in which SystemC-AMS TDF `processing()`
+//! bodies are written (cf. Fig. 2 of the paper): typed local declarations,
+//! assignments, port writes via `port.write(expr)`, `if`/`else` chains,
+//! `while`/`for` loops and expressions over doubles, ints and bools.
+//!
+//! Every statement carries a unique [`StmtId`] and a [`Span`]; the span's
+//! start line is the "statement number" used in def-use association tuples
+//! such as `(tmpr, 4, TS, 9, TS)`.
+
+use std::fmt;
+
+use crate::token::Span;
+
+/// Unique identifier of a statement within a [`TranslationUnit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StmtId(pub u32);
+
+impl fmt::Display for StmtId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// The primitive types of minic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Type {
+    /// IEEE-754 double, the workhorse type of analog signal processing.
+    Double,
+    /// 64-bit signed integer.
+    Int,
+    /// Boolean.
+    Bool,
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Type::Double => write!(f, "double"),
+            Type::Int => write!(f, "int"),
+            Type::Bool => write!(f, "bool"),
+        }
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Arithmetic negation `-e`.
+    Neg,
+    /// Logical not `!e`.
+    Not,
+}
+
+impl fmt::Display for UnOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UnOp::Neg => write!(f, "-"),
+            UnOp::Not => write!(f, "!"),
+        }
+    }
+}
+
+/// Binary operators, in increasing precedence groups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// `||`
+    Or,
+    /// `&&`
+    And,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+}
+
+impl BinOp {
+    /// Whether the operator yields a boolean result.
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+        )
+    }
+
+    /// Whether the operator is `&&` or `||`.
+    pub fn is_logical(self) -> bool {
+        matches!(self, BinOp::And | BinOp::Or)
+    }
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOp::Or => "||",
+            BinOp::And => "&&",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Rem => "%",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Compound assignment operators (`=`, `+=`, `-=`, `*=`, `/=`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AssignOp {
+    /// `=`
+    Assign,
+    /// `+=` — reads and then redefines the target.
+    AddAssign,
+    /// `-=`
+    SubAssign,
+    /// `*=`
+    MulAssign,
+    /// `/=`
+    DivAssign,
+}
+
+impl AssignOp {
+    /// Whether the target variable is *also read* by this assignment
+    /// (true for every compound operator).
+    pub fn reads_target(self) -> bool {
+        !matches!(self, AssignOp::Assign)
+    }
+
+    /// The underlying binary operator of a compound assignment.
+    pub fn binop(self) -> Option<BinOp> {
+        match self {
+            AssignOp::Assign => None,
+            AssignOp::AddAssign => Some(BinOp::Add),
+            AssignOp::SubAssign => Some(BinOp::Sub),
+            AssignOp::MulAssign => Some(BinOp::Mul),
+            AssignOp::DivAssign => Some(BinOp::Div),
+        }
+    }
+}
+
+impl fmt::Display for AssignOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AssignOp::Assign => "=",
+            AssignOp::AddAssign => "+=",
+            AssignOp::SubAssign => "-=",
+            AssignOp::MulAssign => "*=",
+            AssignOp::DivAssign => "/=",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// An expression with its source span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Expr {
+    /// What kind of expression this is.
+    pub kind: ExprKind,
+    /// Source region of the expression.
+    pub span: Span,
+}
+
+impl Expr {
+    /// Creates an expression node.
+    pub fn new(kind: ExprKind, span: Span) -> Self {
+        Expr { kind, span }
+    }
+
+    /// Collects the names of all variables *read* by this expression, in
+    /// left-to-right order (duplicates preserved).
+    ///
+    /// A `port.read()` method call counts as a read of `port`.
+    ///
+    /// ```
+    /// let tu = minic::parse("void f() { y = a + b * a; }").unwrap();
+    /// let f = &tu.functions[0];
+    /// if let minic::StmtKind::Assign { value, .. } = &f.body.stmts[0].kind {
+    ///     assert_eq!(value.reads(), vec!["a", "b", "a"]);
+    /// } else {
+    ///     unreachable!();
+    /// }
+    /// ```
+    pub fn reads(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_reads(&mut out);
+        out
+    }
+
+    fn collect_reads(&self, out: &mut Vec<String>) {
+        match &self.kind {
+            ExprKind::IntLit(_) | ExprKind::FloatLit(_) | ExprKind::BoolLit(_) => {}
+            ExprKind::Var(name) => out.push(name.clone()),
+            ExprKind::Unary(_, e) => e.collect_reads(out),
+            ExprKind::Binary(_, l, r) => {
+                l.collect_reads(out);
+                r.collect_reads(out);
+            }
+            ExprKind::Call { args, .. } => {
+                for a in args {
+                    a.collect_reads(out);
+                }
+            }
+            ExprKind::MethodCall { receiver, args, .. } => {
+                out.push(receiver.clone());
+                for a in args {
+                    a.collect_reads(out);
+                }
+            }
+        }
+    }
+}
+
+/// The different kinds of expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExprKind {
+    /// Integer literal.
+    IntLit(i64),
+    /// Floating point literal.
+    FloatLit(f64),
+    /// Boolean literal.
+    BoolLit(bool),
+    /// Read of a variable, member or port (e.g. `tmpr`, `ip_signal_in`).
+    Var(String),
+    /// Unary operation.
+    Unary(UnOp, Box<Expr>),
+    /// Binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// Free function call, e.g. `abs(x)`; only builtin math functions exist.
+    Call {
+        /// Function name.
+        callee: String,
+        /// Argument expressions.
+        args: Vec<Expr>,
+    },
+    /// Method call on a variable, e.g. `ip_signal_in.read()`.
+    ///
+    /// The receiver counts as a *read* of that variable. `port.write(e)` is
+    /// never an expression — it is parsed as [`StmtKind::Write`].
+    MethodCall {
+        /// Receiver variable name.
+        receiver: String,
+        /// Method name (`read` in practice).
+        method: String,
+        /// Argument expressions.
+        args: Vec<Expr>,
+    },
+}
+
+/// A statement with identity and source span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stmt {
+    /// Unique id within the translation unit.
+    pub id: StmtId,
+    /// What kind of statement this is.
+    pub kind: StmtKind,
+    /// Source region; `span.line()` is the line reported in associations.
+    pub span: Span,
+}
+
+/// The different kinds of statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StmtKind {
+    /// Local declaration `double x = e;` (the initializer is optional).
+    Decl {
+        /// Declared type.
+        ty: Type,
+        /// Variable name.
+        name: String,
+        /// Optional initializer; when present the declaration *defines* the
+        /// variable.
+        init: Option<Expr>,
+    },
+    /// Assignment `x = e;` or compound `x += e;`.
+    Assign {
+        /// Assigned variable (local, member or output port).
+        target: String,
+        /// Plain or compound operator.
+        op: AssignOp,
+        /// Right-hand side.
+        value: Expr,
+    },
+    /// Port write `p.write(e);` — semantically a definition of `p`.
+    Write {
+        /// Port name.
+        port: String,
+        /// Written value.
+        value: Expr,
+    },
+    /// Conditional with optional else branch. `else if` chains are
+    /// represented as an else-block containing a single `If`.
+    If {
+        /// Condition (uses only, no defs).
+        cond: Expr,
+        /// Then branch.
+        then_branch: Block,
+        /// Optional else branch.
+        else_branch: Option<Block>,
+    },
+    /// `while (cond) body`.
+    While {
+        /// Loop condition.
+        cond: Expr,
+        /// Loop body.
+        body: Block,
+    },
+    /// `for (init; cond; step) body`.
+    For {
+        /// Optional init statement (decl or assignment).
+        init: Option<Box<Stmt>>,
+        /// Optional condition; absent means `true`.
+        cond: Option<Expr>,
+        /// Optional step statement.
+        step: Option<Box<Stmt>>,
+        /// Loop body.
+        body: Block,
+    },
+    /// `return;` — TDF processing functions return no value.
+    Return,
+    /// `break;`
+    Break,
+    /// `continue;`
+    Continue,
+    /// A nested `{ ... }` block.
+    Block(Block),
+    /// A bare expression statement (e.g. a call for its side effects).
+    Expr(Expr),
+}
+
+/// A `{ ... }` sequence of statements.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Block {
+    /// The statements in order.
+    pub stmts: Vec<Stmt>,
+    /// Source region of the whole block.
+    pub span: Span,
+}
+
+impl Block {
+    /// An empty block with an empty span.
+    pub fn empty(span: Span) -> Self {
+        Block {
+            stmts: Vec::new(),
+            span,
+        }
+    }
+}
+
+/// A function definition, e.g. `void TS::processing() { ... }`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Function {
+    /// The TDF model (class) name, e.g. `TS`; empty for free functions.
+    pub model: String,
+    /// The method name, conventionally `processing`.
+    pub name: String,
+    /// Function body.
+    pub body: Block,
+    /// Source region of the whole definition.
+    pub span: Span,
+}
+
+impl Function {
+    /// `Model::name` or just `name` for free functions.
+    pub fn qualified_name(&self) -> String {
+        if self.model.is_empty() {
+            self.name.clone()
+        } else {
+            format!("{}::{}", self.model, self.name)
+        }
+    }
+}
+
+/// A parsed source file: a sequence of function definitions.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TranslationUnit {
+    /// All functions in source order.
+    pub functions: Vec<Function>,
+    /// One past the largest [`StmtId`] allocated; ids are dense in
+    /// `0..stmt_count`.
+    pub stmt_count: u32,
+}
+
+impl TranslationUnit {
+    /// Finds the function implementing `model::name`.
+    pub fn function(&self, model: &str, name: &str) -> Option<&Function> {
+        self.functions
+            .iter()
+            .find(|f| f.model == model && f.name == name)
+    }
+
+    /// Finds the `processing()` function of `model`.
+    pub fn processing(&self, model: &str) -> Option<&Function> {
+        self.function(model, "processing")
+    }
+
+    /// Iterates over every statement in the unit (depth-first, in source
+    /// order), together with the enclosing model name.
+    pub fn all_stmts(&self) -> Vec<(&str, &Stmt)> {
+        let mut out = Vec::new();
+        for f in &self.functions {
+            collect_stmts(&f.body, f.model.as_str(), &mut out);
+        }
+        out
+    }
+}
+
+fn collect_stmts<'a>(block: &'a Block, model: &'a str, out: &mut Vec<(&'a str, &'a Stmt)>) {
+    for s in &block.stmts {
+        out.push((model, s));
+        match &s.kind {
+            StmtKind::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                collect_stmts(then_branch, model, out);
+                if let Some(e) = else_branch {
+                    collect_stmts(e, model, out);
+                }
+            }
+            StmtKind::While { body, .. } => collect_stmts(body, model, out),
+            StmtKind::For {
+                init, step, body, ..
+            } => {
+                if let Some(i) = init {
+                    out.push((model, i));
+                }
+                if let Some(st) = step {
+                    out.push((model, st));
+                }
+                collect_stmts(body, model, out);
+            }
+            StmtKind::Block(b) => collect_stmts(b, model, out),
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    #[test]
+    fn assign_op_reads_target() {
+        assert!(!AssignOp::Assign.reads_target());
+        assert!(AssignOp::AddAssign.reads_target());
+        assert_eq!(AssignOp::AddAssign.binop(), Some(BinOp::Add));
+        assert_eq!(AssignOp::Assign.binop(), None);
+    }
+
+    #[test]
+    fn binop_classification() {
+        assert!(BinOp::Le.is_comparison());
+        assert!(!BinOp::Add.is_comparison());
+        assert!(BinOp::And.is_logical());
+        assert!(!BinOp::Lt.is_logical());
+    }
+
+    #[test]
+    fn expr_reads_include_method_receiver() {
+        let tu = parse("void f() { x = ip_in.read() + y; }").unwrap();
+        let f = &tu.functions[0];
+        let StmtKind::Assign { value, .. } = &f.body.stmts[0].kind else {
+            panic!("expected assignment");
+        };
+        assert_eq!(value.reads(), vec!["ip_in", "y"]);
+    }
+
+    #[test]
+    fn qualified_name_formats() {
+        let tu = parse("void TS::processing() { }").unwrap();
+        assert_eq!(tu.functions[0].qualified_name(), "TS::processing");
+        let tu2 = parse("void helper() { }").unwrap();
+        assert_eq!(tu2.functions[0].qualified_name(), "helper");
+    }
+
+    #[test]
+    fn all_stmts_walks_nested_structures() {
+        let src = "void M::processing() {\n\
+                   int i = 0;\n\
+                   while (i < 3) { i = i + 1; if (i == 2) { x = 1; } }\n\
+                   }";
+        let tu = parse(src).unwrap();
+        let stmts = tu.all_stmts();
+        // decl, while, assign, if, assign-in-if
+        assert_eq!(stmts.len(), 5);
+        assert!(stmts.iter().all(|(m, _)| *m == "M"));
+    }
+
+    #[test]
+    fn stmt_ids_are_dense_and_unique() {
+        let src = "void A::processing() { x = 1; y = 2; }\n\
+                   void B::processing() { if (c) { z = 3; } }";
+        let tu = parse(src).unwrap();
+        let mut ids: Vec<u32> = tu.all_stmts().iter().map(|(_, s)| s.id.0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len() as u32, tu.stmt_count);
+        assert_eq!(*ids.last().unwrap() + 1, tu.stmt_count);
+    }
+
+    #[test]
+    fn lookup_by_model() {
+        let tu = parse("void TS::processing() { }\nvoid HS::processing() { }").unwrap();
+        assert!(tu.processing("TS").is_some());
+        assert!(tu.processing("HS").is_some());
+        assert!(tu.processing("AM").is_none());
+    }
+
+    #[test]
+    fn display_impls() {
+        assert_eq!(Type::Double.to_string(), "double");
+        assert_eq!(BinOp::Ge.to_string(), ">=");
+        assert_eq!(UnOp::Not.to_string(), "!");
+        assert_eq!(AssignOp::MulAssign.to_string(), "*=");
+        assert_eq!(StmtId(3).to_string(), "s3");
+    }
+}

@@ -1,0 +1,96 @@
+//! Diagnostics for the minic frontend.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::token::SourceLoc;
+
+/// Errors produced while lexing or parsing minic source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MinicError {
+    /// A lexical error (unknown character, bad literal, unterminated comment).
+    Lex {
+        /// Where the problem starts.
+        loc: SourceLoc,
+        /// What went wrong.
+        message: String,
+    },
+    /// A syntax error.
+    Parse {
+        /// Where the offending token starts.
+        loc: SourceLoc,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl MinicError {
+    /// Creates a lexical error at `loc`.
+    pub fn lex(loc: SourceLoc, message: impl Into<String>) -> Self {
+        MinicError::Lex {
+            loc,
+            message: message.into(),
+        }
+    }
+
+    /// Creates a syntax error at `loc`.
+    pub fn parse(loc: SourceLoc, message: impl Into<String>) -> Self {
+        MinicError::Parse {
+            loc,
+            message: message.into(),
+        }
+    }
+
+    /// The source location the error points at.
+    pub fn loc(&self) -> SourceLoc {
+        match self {
+            MinicError::Lex { loc, .. } | MinicError::Parse { loc, .. } => *loc,
+        }
+    }
+
+    /// The error message without the location prefix.
+    pub fn message(&self) -> &str {
+        match self {
+            MinicError::Lex { message, .. } | MinicError::Parse { message, .. } => message,
+        }
+    }
+}
+
+impl fmt::Display for MinicError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MinicError::Lex { loc, message } => write!(f, "lex error at {loc}: {message}"),
+            MinicError::Parse { loc, message } => write!(f, "parse error at {loc}: {message}"),
+        }
+    }
+}
+
+impl Error for MinicError {}
+
+/// Result alias used throughout the frontend.
+pub type Result<T> = std::result::Result<T, MinicError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_location_and_message() {
+        let e = MinicError::parse(SourceLoc::new(3, 7), "expected `;`");
+        assert_eq!(e.to_string(), "parse error at 3:7: expected `;`");
+        assert_eq!(e.loc(), SourceLoc::new(3, 7));
+        assert_eq!(e.message(), "expected `;`");
+    }
+
+    #[test]
+    fn lex_error_display() {
+        let e = MinicError::lex(SourceLoc::new(1, 2), "bad char");
+        assert_eq!(e.to_string(), "lex error at 1:2: bad char");
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err<E: Error + Send + Sync + 'static>(_: E) {}
+        takes_err(MinicError::lex(SourceLoc::start(), "x"));
+    }
+}

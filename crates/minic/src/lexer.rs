@@ -1,0 +1,435 @@
+//! Hand-written lexer for the minic language.
+//!
+//! The lexer keeps precise line/column information so that every AST node can
+//! be tied back to the source line it came from — the unit in which the paper
+//! reports def-use associations.
+//!
+//! Supported trivia: spaces, tabs, newlines, `// line comments` and
+//! `/* block comments */` (which may span lines).
+
+use crate::diag::{MinicError, Result};
+use crate::token::{SourceLoc, Span, Token, TokenKind};
+
+/// Converts source text into a stream of [`Token`]s.
+#[derive(Debug)]
+pub struct Lexer<'src> {
+    src: &'src str,
+    bytes: &'src [u8],
+    pos: usize,
+    loc: SourceLoc,
+}
+
+impl<'src> Lexer<'src> {
+    /// Creates a lexer over `src`.
+    pub fn new(src: &'src str) -> Self {
+        Lexer {
+            src,
+            bytes: src.as_bytes(),
+            pos: 0,
+            loc: SourceLoc::start(),
+        }
+    }
+
+    /// Lexes the entire input, returning all tokens including a trailing
+    /// [`TokenKind::Eof`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MinicError::Lex`] on an unrecognised character, a malformed
+    /// numeric literal, or an unterminated block comment.
+    pub fn tokenize(mut self) -> Result<Vec<Token>> {
+        let mut out = Vec::new();
+        loop {
+            let tok = self.next_token()?;
+            let is_eof = tok.kind == TokenKind::Eof;
+            out.push(tok);
+            if is_eof {
+                return Ok(out);
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.bytes.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == b'\n' {
+            self.loc.line += 1;
+            self.loc.col = 1;
+        } else {
+            self.loc.col += 1;
+        }
+        Some(c)
+    }
+
+    fn skip_trivia(&mut self) -> Result<()> {
+        loop {
+            match self.peek() {
+                Some(b' ') | Some(b'\t') | Some(b'\r') | Some(b'\n') => {
+                    self.bump();
+                }
+                Some(b'/') if self.peek2() == Some(b'/') => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                Some(b'/') if self.peek2() == Some(b'*') => {
+                    let open = self.loc;
+                    self.bump();
+                    self.bump();
+                    loop {
+                        match self.peek() {
+                            Some(b'*') if self.peek2() == Some(b'/') => {
+                                self.bump();
+                                self.bump();
+                                break;
+                            }
+                            Some(_) => {
+                                self.bump();
+                            }
+                            None => {
+                                return Err(MinicError::lex(open, "unterminated block comment"));
+                            }
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn next_token(&mut self) -> Result<Token> {
+        self.skip_trivia()?;
+        let start = self.loc;
+        let Some(c) = self.peek() else {
+            return Ok(Token::new(TokenKind::Eof, Span::point(start)));
+        };
+
+        let kind = match c {
+            b'0'..=b'9' => return self.lex_number(),
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => return Ok(self.lex_ident()),
+            b'(' => self.single(TokenKind::LParen),
+            b')' => self.single(TokenKind::RParen),
+            b'{' => self.single(TokenKind::LBrace),
+            b'}' => self.single(TokenKind::RBrace),
+            b';' => self.single(TokenKind::Semi),
+            b',' => self.single(TokenKind::Comma),
+            b'.' => self.single(TokenKind::Dot),
+            b':' => {
+                self.bump();
+                if self.peek() == Some(b':') {
+                    self.bump();
+                    TokenKind::ColonColon
+                } else {
+                    return Err(MinicError::lex(start, "expected `::`, found lone `:`"));
+                }
+            }
+            b'+' => self.one_or_two(
+                TokenKind::Plus,
+                &[(b'=', TokenKind::PlusAssign), (b'+', TokenKind::PlusPlus)],
+            ),
+            b'-' => self.one_or_two(
+                TokenKind::Minus,
+                &[
+                    (b'=', TokenKind::MinusAssign),
+                    (b'-', TokenKind::MinusMinus),
+                ],
+            ),
+            b'*' => self.one_or_two(TokenKind::Star, &[(b'=', TokenKind::StarAssign)]),
+            b'/' => self.one_or_two(TokenKind::Slash, &[(b'=', TokenKind::SlashAssign)]),
+            b'%' => self.single(TokenKind::Percent),
+            b'=' => self.one_or_two(TokenKind::Assign, &[(b'=', TokenKind::EqEq)]),
+            b'!' => self.one_or_two(TokenKind::Not, &[(b'=', TokenKind::NotEq)]),
+            b'<' => self.one_or_two(TokenKind::Lt, &[(b'=', TokenKind::Le)]),
+            b'>' => self.one_or_two(TokenKind::Gt, &[(b'=', TokenKind::Ge)]),
+            b'&' => {
+                self.bump();
+                if self.peek() == Some(b'&') {
+                    self.bump();
+                    TokenKind::AndAnd
+                } else {
+                    return Err(MinicError::lex(start, "expected `&&`, found lone `&`"));
+                }
+            }
+            b'|' => {
+                self.bump();
+                if self.peek() == Some(b'|') {
+                    self.bump();
+                    TokenKind::OrOr
+                } else {
+                    return Err(MinicError::lex(start, "expected `||`, found lone `|`"));
+                }
+            }
+            other => {
+                return Err(MinicError::lex(
+                    start,
+                    format!("unrecognised character `{}`", other as char),
+                ));
+            }
+        };
+        Ok(Token::new(kind, Span::new(start, self.loc)))
+    }
+
+    fn single(&mut self, kind: TokenKind) -> TokenKind {
+        self.bump();
+        kind
+    }
+
+    fn one_or_two(&mut self, base: TokenKind, alts: &[(u8, TokenKind)]) -> TokenKind {
+        self.bump();
+        if let Some(next) = self.peek() {
+            for (c, kind) in alts {
+                if next == *c {
+                    self.bump();
+                    return kind.clone();
+                }
+            }
+        }
+        base
+    }
+
+    fn lex_ident(&mut self) -> Token {
+        let start = self.loc;
+        let begin = self.pos;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == b'_' {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let text = &self.src[begin..self.pos];
+        let kind = TokenKind::keyword(text).unwrap_or_else(|| TokenKind::Ident(text.to_owned()));
+        Token::new(kind, Span::new(start, self.loc))
+    }
+
+    fn lex_number(&mut self) -> Result<Token> {
+        let start = self.loc;
+        let begin = self.pos;
+        let mut is_float = false;
+
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.bump();
+        }
+        // Fractional part: only if the dot is followed by a digit, so that
+        // `x.write` is not mis-lexed (numbers never precede `.write` here,
+        // but be conservative anyway).
+        if self.peek() == Some(b'.') && matches!(self.peek2(), Some(b'0'..=b'9')) {
+            is_float = true;
+            self.bump();
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.bump();
+            }
+        }
+        // Exponent part, e.g. `153e-12`.
+        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+            let next = self.peek2();
+            let digit_after_sign = matches!(next, Some(b'+') | Some(b'-'))
+                && matches!(self.bytes.get(self.pos + 2), Some(b'0'..=b'9'));
+            if matches!(next, Some(b'0'..=b'9')) || digit_after_sign {
+                is_float = true;
+                self.bump(); // e
+                if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                    self.bump();
+                }
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.bump();
+                }
+            }
+        }
+
+        let text = &self.src[begin..self.pos];
+        let span = Span::new(start, self.loc);
+        let kind = if is_float {
+            let v: f64 = text
+                .parse()
+                .map_err(|_| MinicError::lex(start, format!("invalid float literal `{text}`")))?;
+            TokenKind::FloatLit(v)
+        } else {
+            let v: i64 = text
+                .parse()
+                .map_err(|_| MinicError::lex(start, format!("invalid integer literal `{text}`")))?;
+            TokenKind::IntLit(v)
+        };
+        Ok(Token::new(kind, span))
+    }
+}
+
+/// Convenience function: lexes `src` into tokens.
+///
+/// # Errors
+///
+/// See [`Lexer::tokenize`].
+///
+/// ```
+/// let toks = minic::lex("x = 1;").unwrap();
+/// assert_eq!(toks.len(), 5); // x, =, 1, ;, EOF
+/// ```
+pub fn lex(src: &str) -> Result<Vec<Token>> {
+    Lexer::new(src).tokenize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_simple_assignment() {
+        assert_eq!(
+            kinds("x = 1;"),
+            vec![
+                TokenKind::Ident("x".into()),
+                TokenKind::Assign,
+                TokenKind::IntLit(1),
+                TokenKind::Semi,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_keywords_and_bools() {
+        assert_eq!(
+            kinds("if else while bool true false"),
+            vec![
+                TokenKind::KwIf,
+                TokenKind::KwElse,
+                TokenKind::KwWhile,
+                TokenKind::KwBool,
+                TokenKind::BoolLit(true),
+                TokenKind::BoolLit(false),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_scientific_float() {
+        assert_eq!(
+            kinds("153e-12"),
+            vec![TokenKind::FloatLit(153e-12), TokenKind::Eof]
+        );
+        assert_eq!(
+            kinds("0.25e-12"),
+            vec![TokenKind::FloatLit(0.25e-12), TokenKind::Eof]
+        );
+        assert_eq!(kinds("1e9"), vec![TokenKind::FloatLit(1e9), TokenKind::Eof]);
+    }
+
+    #[test]
+    fn integer_followed_by_ident_e_is_not_exponent() {
+        // `2 * e` style: `2e` alone has no digits after `e` — the `e` must be
+        // lexed as a separate identifier.
+        assert_eq!(
+            kinds("2 e"),
+            vec![
+                TokenKind::IntLit(2),
+                TokenKind::Ident("e".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_member_call() {
+        assert_eq!(
+            kinds("op_intr.write(intr_);"),
+            vec![
+                TokenKind::Ident("op_intr".into()),
+                TokenKind::Dot,
+                TokenKind::Ident("write".into()),
+                TokenKind::LParen,
+                TokenKind::Ident("intr_".into()),
+                TokenKind::RParen,
+                TokenKind::Semi,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_scope_resolution() {
+        assert_eq!(
+            kinds("void TS::processing()"),
+            vec![
+                TokenKind::KwVoid,
+                TokenKind::Ident("TS".into()),
+                TokenKind::ColonColon,
+                TokenKind::Ident("processing".into()),
+                TokenKind::LParen,
+                TokenKind::RParen,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped_but_lines_counted() {
+        let toks = lex("// first line\n/* spans\ntwo lines */ x").unwrap();
+        assert_eq!(toks[0].kind, TokenKind::Ident("x".into()));
+        assert_eq!(toks[0].span.start.line, 3);
+    }
+
+    #[test]
+    fn line_and_column_tracking() {
+        let toks = lex("a\n  b").unwrap();
+        assert_eq!(toks[0].span.start, SourceLoc::new(1, 1));
+        assert_eq!(toks[1].span.start, SourceLoc::new(2, 3));
+    }
+
+    #[test]
+    fn compound_operators() {
+        assert_eq!(
+            kinds("<= >= == != && || += -= *= /= ++ --"),
+            vec![
+                TokenKind::Le,
+                TokenKind::Ge,
+                TokenKind::EqEq,
+                TokenKind::NotEq,
+                TokenKind::AndAnd,
+                TokenKind::OrOr,
+                TokenKind::PlusAssign,
+                TokenKind::MinusAssign,
+                TokenKind::StarAssign,
+                TokenKind::SlashAssign,
+                TokenKind::PlusPlus,
+                TokenKind::MinusMinus,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn errors_on_lone_ampersand() {
+        assert!(lex("a & b").is_err());
+    }
+
+    #[test]
+    fn errors_on_unterminated_block_comment() {
+        assert!(lex("/* never closed").is_err());
+    }
+
+    #[test]
+    fn errors_on_unknown_character() {
+        assert!(lex("a # b").is_err());
+    }
+
+    #[test]
+    fn empty_input_is_just_eof() {
+        assert_eq!(kinds(""), vec![TokenKind::Eof]);
+    }
+}

@@ -1,0 +1,56 @@
+//! # minic — a C-like frontend for SystemC-AMS TDF `processing()` bodies
+//!
+//! The DATE 2019 paper *"Data Flow Testing for SystemC-AMS Timed Data Flow
+//! Models"* analyses C++ SystemC-AMS sources through the Clang AST. This
+//! crate is the Rust-native stand-in for that frontend: a small C-like
+//! language (`minic`) in which TDF model behaviours are authored, together
+//! with a lexer, a recursive-descent parser producing a typed AST with exact
+//! source locations, a pretty-printer and visitor infrastructure.
+//!
+//! The language covers exactly what the paper's Fig. 2 uses:
+//!
+//! * typed local declarations: `double tmpr = sig_in*1000;`
+//! * assignments (plain and compound) to locals, members (`m_mux_s`) and
+//!   output ports (`op_signal_out`)
+//! * port writes: `op_intr.write(intr_);`
+//! * `if`/`else if`/`else`, `while`, `for`, `break`, `continue`, `return`
+//! * arithmetic, comparison and logical expressions over doubles/ints/bools
+//!
+//! ## Quick start
+//!
+//! ```
+//! let tu = minic::parse(
+//!     "void TS::processing() {\n\
+//!          double tmpr = ip_signal_in * 1000;\n\
+//!          if (tmpr > 30) op_signal_out = tmpr;\n\
+//!      }",
+//! )?;
+//! let ts = tu.processing("TS").expect("model TS exists");
+//! assert_eq!(ts.body.stmts.len(), 2);
+//! // The declaration sits on source line 2 — the line number that def-use
+//! // associations will refer to.
+//! assert_eq!(ts.body.stmts[0].span.line(), 2);
+//! # Ok::<(), minic::MinicError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod ast;
+mod diag;
+mod lexer;
+mod parser;
+mod pretty;
+mod token;
+mod typeck;
+pub mod visit;
+
+pub use ast::{
+    AssignOp, BinOp, Block, Expr, ExprKind, Function, Stmt, StmtId, StmtKind, TranslationUnit,
+    Type, UnOp,
+};
+pub use diag::{MinicError, Result};
+pub use lexer::{lex, Lexer};
+pub use parser::{parse, parse_expr, parse_stmt};
+pub use pretty::{pretty, pretty_expr, pretty_stmt};
+pub use token::{SourceLoc, Span, Token, TokenKind};
+pub use typeck::{type_check, Access, ExternalDecls, TypeCheckResult, TypeError, TypeWarning};

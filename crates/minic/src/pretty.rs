@@ -1,0 +1,275 @@
+//! Pretty-printer: renders ASTs back to minic source.
+//!
+//! Used by the instrumentation story (dumping the analysed program next to
+//! coverage reports) and for round-trip testing of the parser.
+
+use std::fmt::Write as _;
+
+use crate::ast::*;
+
+/// Renders a whole translation unit.
+///
+/// ```
+/// let tu = minic::parse("void TS::processing() { x = 1; }").unwrap();
+/// let src = minic::pretty(&tu);
+/// assert!(src.contains("void TS::processing()"));
+/// assert!(src.contains("x = 1;"));
+/// ```
+pub fn pretty(tu: &TranslationUnit) -> String {
+    let mut out = String::new();
+    for (i, f) in tu.functions.iter().enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        let _ = writeln!(out, "void {}()", f.qualified_name());
+        print_block(&f.body, 0, &mut out);
+    }
+    out
+}
+
+/// Renders a single statement at indentation level 0.
+pub fn pretty_stmt(stmt: &Stmt) -> String {
+    let mut out = String::new();
+    print_stmt(stmt, 0, &mut out);
+    // Drop the trailing newline for single-statement rendering.
+    if out.ends_with('\n') {
+        out.pop();
+    }
+    out
+}
+
+/// Renders an expression.
+pub fn pretty_expr(expr: &Expr) -> String {
+    let mut out = String::new();
+    print_expr(expr, &mut out);
+    out
+}
+
+fn indent(level: usize, out: &mut String) {
+    for _ in 0..level {
+        out.push_str("    ");
+    }
+}
+
+fn print_block(block: &Block, level: usize, out: &mut String) {
+    indent(level, out);
+    out.push_str("{\n");
+    for s in &block.stmts {
+        print_stmt(s, level + 1, out);
+    }
+    indent(level, out);
+    out.push_str("}\n");
+}
+
+fn print_stmt(stmt: &Stmt, level: usize, out: &mut String) {
+    match &stmt.kind {
+        StmtKind::Decl { ty, name, init } => {
+            indent(level, out);
+            let _ = write!(out, "{ty} {name}");
+            if let Some(e) = init {
+                out.push_str(" = ");
+                print_expr(e, out);
+            }
+            out.push_str(";\n");
+        }
+        StmtKind::Assign { target, op, value } => {
+            indent(level, out);
+            let _ = write!(out, "{target} {op} ");
+            print_expr(value, out);
+            out.push_str(";\n");
+        }
+        StmtKind::Write { port, value } => {
+            indent(level, out);
+            let _ = write!(out, "{port}.write(");
+            print_expr(value, out);
+            out.push_str(");\n");
+        }
+        StmtKind::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
+            indent(level, out);
+            out.push_str("if (");
+            print_expr(cond, out);
+            out.push_str(")\n");
+            print_block(then_branch, level, out);
+            if let Some(e) = else_branch {
+                indent(level, out);
+                out.push_str("else\n");
+                print_block(e, level, out);
+            }
+        }
+        StmtKind::While { cond, body } => {
+            indent(level, out);
+            out.push_str("while (");
+            print_expr(cond, out);
+            out.push_str(")\n");
+            print_block(body, level, out);
+        }
+        StmtKind::For {
+            init,
+            cond,
+            step,
+            body,
+        } => {
+            indent(level, out);
+            out.push_str("for (");
+            if let Some(i) = init {
+                let mut s = String::new();
+                print_stmt(i, 0, &mut s);
+                // init renders with trailing ";\n"; keep just the ";".
+                out.push_str(s.trim_end());
+            } else {
+                out.push(';');
+            }
+            out.push(' ');
+            if let Some(c) = cond {
+                print_expr(c, out);
+            }
+            out.push_str("; ");
+            if let Some(st) = step {
+                let mut s = String::new();
+                print_stmt(st, 0, &mut s);
+                let trimmed = s.trim_end().trim_end_matches(';');
+                out.push_str(trimmed);
+            }
+            out.push_str(")\n");
+            print_block(body, level, out);
+        }
+        StmtKind::Return => {
+            indent(level, out);
+            out.push_str("return;\n");
+        }
+        StmtKind::Break => {
+            indent(level, out);
+            out.push_str("break;\n");
+        }
+        StmtKind::Continue => {
+            indent(level, out);
+            out.push_str("continue;\n");
+        }
+        StmtKind::Block(b) => print_block(b, level, out),
+        StmtKind::Expr(e) => {
+            indent(level, out);
+            print_expr(e, out);
+            out.push_str(";\n");
+        }
+    }
+}
+
+fn print_expr(expr: &Expr, out: &mut String) {
+    match &expr.kind {
+        ExprKind::IntLit(v) => {
+            let _ = write!(out, "{v}");
+        }
+        ExprKind::FloatLit(v) => {
+            // Keep floats round-trippable.
+            let _ = write!(out, "{v:?}");
+        }
+        ExprKind::BoolLit(v) => {
+            let _ = write!(out, "{v}");
+        }
+        ExprKind::Var(name) => out.push_str(name),
+        ExprKind::Unary(op, e) => {
+            let _ = write!(out, "{op}");
+            out.push('(');
+            print_expr(e, out);
+            out.push(')');
+        }
+        ExprKind::Binary(op, l, r) => {
+            out.push('(');
+            print_expr(l, out);
+            let _ = write!(out, " {op} ");
+            print_expr(r, out);
+            out.push(')');
+        }
+        ExprKind::Call { callee, args } => {
+            out.push_str(callee);
+            out.push('(');
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                print_expr(a, out);
+            }
+            out.push(')');
+        }
+        ExprKind::MethodCall {
+            receiver,
+            method,
+            args,
+        } => {
+            let _ = write!(out, "{receiver}.{method}(");
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                print_expr(a, out);
+            }
+            out.push(')');
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{parse, parse_expr, parse_stmt};
+
+    /// Parse → pretty → parse must yield a structurally equal AST modulo
+    /// spans and statement ids.
+    fn strip(tu: &TranslationUnit) -> Vec<String> {
+        tu.all_stmts()
+            .iter()
+            .map(|(m, s)| format!("{m}:{}", pretty_stmt(s)))
+            .collect()
+    }
+
+    #[test]
+    fn round_trip_simple_function() {
+        let src = "void TS::processing() { double t = ip_in * 1000; if (t > 30) op_out = t; }";
+        let tu1 = parse(src).unwrap();
+        let printed = pretty(&tu1);
+        let tu2 = parse(&printed).unwrap();
+        assert_eq!(strip(&tu1), strip(&tu2));
+    }
+
+    #[test]
+    fn round_trip_control_flow() {
+        let src = "void f() {\n\
+            for (int i = 0; i < 4; i++) { acc += i; }\n\
+            while (acc > 0) { acc -= 1; if (acc == 2) break; else continue; }\n\
+            return;\n\
+        }";
+        let tu1 = parse(src).unwrap();
+        let tu2 = parse(&pretty(&tu1)).unwrap();
+        assert_eq!(strip(&tu1), strip(&tu2));
+    }
+
+    #[test]
+    fn pretty_expr_parenthesises_binary() {
+        let e = parse_expr("a + b * c").unwrap();
+        assert_eq!(pretty_expr(&e), "(a + (b * c))");
+    }
+
+    #[test]
+    fn pretty_stmt_write() {
+        let s = parse_stmt("op_intr.write(x && y);").unwrap();
+        assert_eq!(pretty_stmt(&s), "op_intr.write((x && y));");
+    }
+
+    #[test]
+    fn float_literals_round_trip() {
+        let e = parse_expr("0.25e-12").unwrap();
+        let printed = pretty_expr(&e);
+        let e2 = parse_expr(&printed).unwrap();
+        assert_eq!(e.kind, e2.kind);
+    }
+
+    #[test]
+    fn method_call_prints() {
+        let e = parse_expr("ip_in.read()").unwrap();
+        assert_eq!(pretty_expr(&e), "ip_in.read()");
+    }
+}

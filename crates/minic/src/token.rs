@@ -1,0 +1,343 @@
+//! Lexical tokens and source locations.
+//!
+//! Every token carries a [`Span`] so that later stages (static analysis,
+//! coverage reporting) can refer back to the *exact line* of a definition or
+//! use, mirroring how the paper reports associations such as
+//! `(tmpr, 4, TS, 9, TS)` by source line.
+
+use std::fmt;
+
+/// A location in the source text (1-based line and column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SourceLoc {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number.
+    pub col: u32,
+}
+
+impl SourceLoc {
+    /// Creates a new location.
+    ///
+    /// ```
+    /// use minic::SourceLoc;
+    /// let loc = SourceLoc::new(4, 9);
+    /// assert_eq!(loc.line, 4);
+    /// ```
+    pub fn new(line: u32, col: u32) -> Self {
+        SourceLoc { line, col }
+    }
+
+    /// The start of a file.
+    pub fn start() -> Self {
+        SourceLoc { line: 1, col: 1 }
+    }
+}
+
+impl Default for SourceLoc {
+    fn default() -> Self {
+        SourceLoc::start()
+    }
+}
+
+impl fmt::Display for SourceLoc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// A half-open region of source text, from `start` to `end`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Span {
+    /// Location of the first character.
+    pub start: SourceLoc,
+    /// Location one past the last character.
+    pub end: SourceLoc,
+}
+
+impl Span {
+    /// Creates a span covering `start..end`.
+    pub fn new(start: SourceLoc, end: SourceLoc) -> Self {
+        Span { start, end }
+    }
+
+    /// A zero-width span at `loc`.
+    pub fn point(loc: SourceLoc) -> Self {
+        Span {
+            start: loc,
+            end: loc,
+        }
+    }
+
+    /// The line on which the span starts — the "statement line" used in
+    /// def-use association tuples.
+    pub fn line(&self) -> u32 {
+        self.start.line
+    }
+
+    /// Returns the smallest span covering both `self` and `other`.
+    pub fn merge(&self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.start)
+    }
+}
+
+/// The different kinds of tokens produced by the [`Lexer`](crate::Lexer).
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Identifier, e.g. `tmpr`, `op_signal_out`.
+    Ident(String),
+    /// Integer literal, e.g. `42`.
+    IntLit(i64),
+    /// Floating point literal, e.g. `153e-12`, `0.25`.
+    FloatLit(f64),
+    /// `true` or `false`.
+    BoolLit(bool),
+
+    // Keywords.
+    /// `void`
+    KwVoid,
+    /// `double`
+    KwDouble,
+    /// `int`
+    KwInt,
+    /// `bool`
+    KwBool,
+    /// `if`
+    KwIf,
+    /// `else`
+    KwElse,
+    /// `while`
+    KwWhile,
+    /// `for`
+    KwFor,
+    /// `return`
+    KwReturn,
+    /// `break`
+    KwBreak,
+    /// `continue`
+    KwContinue,
+
+    // Punctuation.
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `::`
+    ColonColon,
+
+    // Operators.
+    /// `=`
+    Assign,
+    /// `+=`
+    PlusAssign,
+    /// `-=`
+    MinusAssign,
+    /// `*=`
+    StarAssign,
+    /// `/=`
+    SlashAssign,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `!`
+    Not,
+    /// `++`
+    PlusPlus,
+    /// `--`
+    MinusMinus,
+
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// Returns the keyword token for `ident`, if it is one.
+    pub fn keyword(ident: &str) -> Option<TokenKind> {
+        Some(match ident {
+            "void" => TokenKind::KwVoid,
+            "double" => TokenKind::KwDouble,
+            "int" => TokenKind::KwInt,
+            "bool" => TokenKind::KwBool,
+            "if" => TokenKind::KwIf,
+            "else" => TokenKind::KwElse,
+            "while" => TokenKind::KwWhile,
+            "for" => TokenKind::KwFor,
+            "return" => TokenKind::KwReturn,
+            "break" => TokenKind::KwBreak,
+            "continue" => TokenKind::KwContinue,
+            "true" => TokenKind::BoolLit(true),
+            "false" => TokenKind::BoolLit(false),
+            _ => return None,
+        })
+    }
+
+    /// A short human-readable description, used in parse errors.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Ident(s) => format!("identifier `{s}`"),
+            TokenKind::IntLit(v) => format!("integer literal `{v}`"),
+            TokenKind::FloatLit(v) => format!("float literal `{v}`"),
+            TokenKind::BoolLit(v) => format!("bool literal `{v}`"),
+            TokenKind::KwVoid => "`void`".into(),
+            TokenKind::KwDouble => "`double`".into(),
+            TokenKind::KwInt => "`int`".into(),
+            TokenKind::KwBool => "`bool`".into(),
+            TokenKind::KwIf => "`if`".into(),
+            TokenKind::KwElse => "`else`".into(),
+            TokenKind::KwWhile => "`while`".into(),
+            TokenKind::KwFor => "`for`".into(),
+            TokenKind::KwReturn => "`return`".into(),
+            TokenKind::KwBreak => "`break`".into(),
+            TokenKind::KwContinue => "`continue`".into(),
+            TokenKind::LParen => "`(`".into(),
+            TokenKind::RParen => "`)`".into(),
+            TokenKind::LBrace => "`{`".into(),
+            TokenKind::RBrace => "`}`".into(),
+            TokenKind::Semi => "`;`".into(),
+            TokenKind::Comma => "`,`".into(),
+            TokenKind::Dot => "`.`".into(),
+            TokenKind::ColonColon => "`::`".into(),
+            TokenKind::Assign => "`=`".into(),
+            TokenKind::PlusAssign => "`+=`".into(),
+            TokenKind::MinusAssign => "`-=`".into(),
+            TokenKind::StarAssign => "`*=`".into(),
+            TokenKind::SlashAssign => "`/=`".into(),
+            TokenKind::Plus => "`+`".into(),
+            TokenKind::Minus => "`-`".into(),
+            TokenKind::Star => "`*`".into(),
+            TokenKind::Slash => "`/`".into(),
+            TokenKind::Percent => "`%`".into(),
+            TokenKind::EqEq => "`==`".into(),
+            TokenKind::NotEq => "`!=`".into(),
+            TokenKind::Lt => "`<`".into(),
+            TokenKind::Le => "`<=`".into(),
+            TokenKind::Gt => "`>`".into(),
+            TokenKind::Ge => "`>=`".into(),
+            TokenKind::AndAnd => "`&&`".into(),
+            TokenKind::OrOr => "`||`".into(),
+            TokenKind::Not => "`!`".into(),
+            TokenKind::PlusPlus => "`++`".into(),
+            TokenKind::MinusMinus => "`--`".into(),
+            TokenKind::Eof => "end of input".into(),
+        }
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.describe())
+    }
+}
+
+/// A token together with its source span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokenKind,
+    /// Where it occurs in the source.
+    pub span: Span,
+}
+
+impl Token {
+    /// Creates a token.
+    pub fn new(kind: TokenKind, span: Span) -> Self {
+        Token { kind, span }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn source_loc_ordering_is_line_major() {
+        assert!(SourceLoc::new(2, 1) > SourceLoc::new(1, 80));
+        assert!(SourceLoc::new(2, 3) > SourceLoc::new(2, 2));
+    }
+
+    #[test]
+    fn span_merge_covers_both() {
+        let a = Span::new(SourceLoc::new(1, 5), SourceLoc::new(1, 9));
+        let b = Span::new(SourceLoc::new(3, 1), SourceLoc::new(3, 4));
+        let m = a.merge(b);
+        assert_eq!(m.start, SourceLoc::new(1, 5));
+        assert_eq!(m.end, SourceLoc::new(3, 4));
+        // merge is commutative
+        assert_eq!(b.merge(a), m);
+    }
+
+    #[test]
+    fn span_line_is_start_line() {
+        let s = Span::new(SourceLoc::new(4, 3), SourceLoc::new(6, 1));
+        assert_eq!(s.line(), 4);
+    }
+
+    #[test]
+    fn keywords_resolve() {
+        assert_eq!(TokenKind::keyword("if"), Some(TokenKind::KwIf));
+        assert_eq!(TokenKind::keyword("true"), Some(TokenKind::BoolLit(true)));
+        assert_eq!(TokenKind::keyword("tmpr"), None);
+    }
+
+    #[test]
+    fn describe_is_nonempty_for_all_punctuation() {
+        let toks = [
+            TokenKind::LParen,
+            TokenKind::RBrace,
+            TokenKind::ColonColon,
+            TokenKind::PlusAssign,
+            TokenKind::Eof,
+        ];
+        for t in toks {
+            assert!(!t.describe().is_empty());
+        }
+    }
+
+    #[test]
+    fn display_matches_describe() {
+        assert_eq!(TokenKind::AndAnd.to_string(), "`&&`");
+        assert_eq!(SourceLoc::new(7, 2).to_string(), "7:2");
+    }
+}

@@ -1,0 +1,672 @@
+//! Semantic checking of `processing()` bodies.
+//!
+//! minic is interpreted with C-like coercions, but the C++ sources the
+//! paper analyses would be rejected by the compiler for scope and arity
+//! errors. This pass restores those guarantees *before* analysis:
+//!
+//! * duplicate declaration in the same scope;
+//! * use (or assignment) of a name that is neither lexically declared nor
+//!   an external (port/member) — with C++ scoping, i.e. a declaration is
+//!   visible from its point to the end of its enclosing block;
+//! * unknown builtin functions and wrong arities;
+//! * writes to input ports.
+//!
+//! It also infers expression types and emits *warnings* for suspicious but
+//! legal constructs: locals shadowing externals, ordering comparisons on
+//! booleans, and `%` on floating-point operands.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::ast::{BinOp, Block, Expr, ExprKind, Function, Stmt, StmtKind, Type, UnOp};
+use crate::token::Span;
+
+/// How an externally-declared name may be accessed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Access {
+    /// Input port: readable only.
+    ReadOnly,
+    /// Output port: writable (reads echo the last written value).
+    WriteOnly,
+    /// Member: readable and writable.
+    ReadWrite,
+}
+
+/// The elaboration-time names visible inside a model body (ports and
+/// members), with their types and access rules.
+#[derive(Debug, Clone, Default)]
+pub struct ExternalDecls {
+    entries: HashMap<String, (Type, Access)>,
+}
+
+impl ExternalDecls {
+    /// An empty set of externals.
+    pub fn new() -> Self {
+        ExternalDecls::default()
+    }
+
+    /// Declares an input port (builder style).
+    pub fn input(mut self, name: &str, ty: Type) -> Self {
+        self.entries.insert(name.to_owned(), (ty, Access::ReadOnly));
+        self
+    }
+
+    /// Declares an output port (builder style).
+    pub fn output(mut self, name: &str, ty: Type) -> Self {
+        self.entries
+            .insert(name.to_owned(), (ty, Access::WriteOnly));
+        self
+    }
+
+    /// Declares a member (builder style).
+    pub fn member(mut self, name: &str, ty: Type) -> Self {
+        self.entries
+            .insert(name.to_owned(), (ty, Access::ReadWrite));
+        self
+    }
+
+    /// Looks up an external.
+    pub fn get(&self, name: &str) -> Option<(Type, Access)> {
+        self.entries.get(name).copied()
+    }
+}
+
+/// A semantic error found by [`type_check`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TypeError {
+    /// Two declarations of the same local in one scope.
+    DuplicateLocal {
+        /// Variable name.
+        name: String,
+        /// Line of the second declaration.
+        line: u32,
+        /// Line of the first declaration.
+        previous: u32,
+    },
+    /// A name used without a visible declaration.
+    Undeclared {
+        /// The unknown name.
+        name: String,
+        /// Line of the use.
+        line: u32,
+    },
+    /// An assignment target that is not writable (input port).
+    NotWritable {
+        /// Port name.
+        name: String,
+        /// Line of the write.
+        line: u32,
+    },
+    /// Call of an unknown function.
+    UnknownFunction {
+        /// Callee name.
+        name: String,
+        /// Line of the call.
+        line: u32,
+    },
+    /// Wrong number of call arguments.
+    WrongArity {
+        /// Callee name.
+        name: String,
+        /// Expected argument count.
+        expected: usize,
+        /// Provided argument count.
+        got: usize,
+        /// Line of the call.
+        line: u32,
+    },
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypeError::DuplicateLocal {
+                name,
+                line,
+                previous,
+            } => write!(
+                f,
+                "line {line}: duplicate declaration of `{name}` (first declared on line {previous})"
+            ),
+            TypeError::Undeclared { name, line } => {
+                write!(f, "line {line}: use of undeclared name `{name}`")
+            }
+            TypeError::NotWritable { name, line } => {
+                write!(f, "line {line}: input port `{name}` is not writable")
+            }
+            TypeError::UnknownFunction { name, line } => {
+                write!(f, "line {line}: call of unknown function `{name}`")
+            }
+            TypeError::WrongArity {
+                name,
+                expected,
+                got,
+                line,
+            } => write!(
+                f,
+                "line {line}: `{name}` expects {expected} argument(s), got {got}"
+            ),
+        }
+    }
+}
+
+/// A suspicious-but-legal construct.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TypeWarning {
+    /// A local declaration shadows a port or member.
+    ShadowsExternal {
+        /// The shadowing name.
+        name: String,
+        /// Line of the local declaration.
+        line: u32,
+    },
+    /// An ordering comparison (`<`, `>`, …) with a boolean operand.
+    OrderedBool {
+        /// Line of the comparison.
+        line: u32,
+    },
+    /// `%` applied to floating-point operands (uses `fmod` semantics).
+    FloatRemainder {
+        /// Line of the operation.
+        line: u32,
+    },
+}
+
+/// The outcome of checking one function.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TypeCheckResult {
+    /// Hard errors; a C++ compiler would reject these.
+    pub errors: Vec<TypeError>,
+    /// Lint-grade findings.
+    pub warnings: Vec<TypeWarning>,
+}
+
+impl TypeCheckResult {
+    /// Whether the function is semantically valid.
+    pub fn is_ok(&self) -> bool {
+        self.errors.is_empty()
+    }
+}
+
+const BUILTIN_ARITY: &[(&str, usize)] = &[
+    ("abs", 1),
+    ("min", 2),
+    ("max", 2),
+    ("sqrt", 1),
+    ("floor", 1),
+    ("ceil", 1),
+    ("pow", 2),
+];
+
+/// Checks `f` against the externally-declared `externals`.
+///
+/// ```
+/// use minic::{type_check, ExternalDecls, Type};
+/// let tu = minic::parse("void M::processing() { double t = ip_x * 2; op_y = t; }")?;
+/// let ext = ExternalDecls::new()
+///     .input("ip_x", Type::Double)
+///     .output("op_y", Type::Double);
+/// let result = type_check(&tu.functions[0], &ext);
+/// assert!(result.is_ok());
+/// # Ok::<(), minic::MinicError>(())
+/// ```
+pub fn type_check(f: &Function, externals: &ExternalDecls) -> TypeCheckResult {
+    let mut ck = Checker {
+        externals,
+        scopes: vec![HashMap::new()],
+        result: TypeCheckResult::default(),
+    };
+    ck.block_inner(&f.body);
+    ck.result
+}
+
+struct Checker<'a> {
+    externals: &'a ExternalDecls,
+    /// Innermost scope last; name -> (type, decl line).
+    scopes: Vec<HashMap<String, (Type, u32)>>,
+    result: TypeCheckResult,
+}
+
+impl Checker<'_> {
+    fn lookup(&self, name: &str) -> Option<Type> {
+        for scope in self.scopes.iter().rev() {
+            if let Some((ty, _)) = scope.get(name) {
+                return Some(*ty);
+            }
+        }
+        self.externals.get(name).map(|(ty, _)| ty)
+    }
+
+    fn block(&mut self, b: &Block) {
+        self.scopes.push(HashMap::new());
+        self.block_inner(b);
+        self.scopes.pop();
+    }
+
+    fn block_inner(&mut self, b: &Block) {
+        for s in &b.stmts {
+            self.stmt(s);
+        }
+    }
+
+    fn declare(&mut self, name: &str, ty: Type, line: u32) {
+        if let Some((_, previous)) = self
+            .scopes
+            .last()
+            .expect("at least one scope")
+            .get(name)
+            .copied()
+        {
+            self.result.errors.push(TypeError::DuplicateLocal {
+                name: name.to_owned(),
+                line,
+                previous,
+            });
+            return;
+        }
+        if self.externals.get(name).is_some() {
+            self.result.warnings.push(TypeWarning::ShadowsExternal {
+                name: name.to_owned(),
+                line,
+            });
+        }
+        self.scopes
+            .last_mut()
+            .expect("at least one scope")
+            .insert(name.to_owned(), (ty, line));
+    }
+
+    fn check_write(&mut self, name: &str, line: u32) {
+        // A lexically-visible local wins over externals.
+        for scope in self.scopes.iter().rev() {
+            if scope.contains_key(name) {
+                return;
+            }
+        }
+        match self.externals.get(name) {
+            Some((_, Access::ReadOnly)) => {
+                self.result.errors.push(TypeError::NotWritable {
+                    name: name.to_owned(),
+                    line,
+                });
+            }
+            Some(_) => {}
+            None => {
+                self.result.errors.push(TypeError::Undeclared {
+                    name: name.to_owned(),
+                    line,
+                });
+            }
+        }
+    }
+
+    fn stmt(&mut self, s: &Stmt) {
+        let line = s.span.line();
+        match &s.kind {
+            StmtKind::Decl { ty, name, init } => {
+                if let Some(e) = init {
+                    // The initializer is evaluated before the name is in
+                    // scope (`int x = x;` is an undeclared use unless an
+                    // outer x exists).
+                    self.expr(e);
+                }
+                self.declare(name, *ty, line);
+            }
+            StmtKind::Assign { target, op, value } => {
+                if op.reads_target() && self.lookup(target).is_none() {
+                    self.result.errors.push(TypeError::Undeclared {
+                        name: target.clone(),
+                        line,
+                    });
+                }
+                self.expr(value);
+                self.check_write(target, line);
+            }
+            StmtKind::Write { port, value } => {
+                self.expr(value);
+                self.check_write(port, line);
+            }
+            StmtKind::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                self.expr(cond);
+                self.block(then_branch);
+                if let Some(e) = else_branch {
+                    self.block(e);
+                }
+            }
+            StmtKind::While { cond, body } => {
+                self.expr(cond);
+                self.block(body);
+            }
+            StmtKind::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                // The for header opens its own scope (C++).
+                self.scopes.push(HashMap::new());
+                if let Some(i) = init {
+                    self.stmt(i);
+                }
+                if let Some(c) = cond {
+                    self.expr(c);
+                }
+                if let Some(st) = step {
+                    self.stmt(st);
+                }
+                self.block_inner(body);
+                self.scopes.pop();
+            }
+            StmtKind::Block(b) => self.block(b),
+            StmtKind::Expr(e) => {
+                self.expr(e);
+            }
+            StmtKind::Return | StmtKind::Break | StmtKind::Continue => {}
+        }
+    }
+
+    /// Infers the type of `e`, recording errors/warnings along the way.
+    fn expr(&mut self, e: &Expr) -> Type {
+        let line = line_of(e.span);
+        match &e.kind {
+            ExprKind::IntLit(_) => Type::Int,
+            ExprKind::FloatLit(_) => Type::Double,
+            ExprKind::BoolLit(_) => Type::Bool,
+            ExprKind::Var(name) => match self.lookup(name) {
+                Some(ty) => ty,
+                None => {
+                    self.result.errors.push(TypeError::Undeclared {
+                        name: name.clone(),
+                        line,
+                    });
+                    Type::Double
+                }
+            },
+            ExprKind::MethodCall { receiver, args, .. } => {
+                for a in args {
+                    self.expr(a);
+                }
+                match self.lookup(receiver) {
+                    Some(ty) => ty,
+                    None => {
+                        self.result.errors.push(TypeError::Undeclared {
+                            name: receiver.clone(),
+                            line,
+                        });
+                        Type::Double
+                    }
+                }
+            }
+            ExprKind::Unary(op, inner) => {
+                let t = self.expr(inner);
+                match op {
+                    UnOp::Not => Type::Bool,
+                    UnOp::Neg => {
+                        if t == Type::Int {
+                            Type::Int
+                        } else {
+                            Type::Double
+                        }
+                    }
+                }
+            }
+            ExprKind::Binary(op, l, r) => {
+                let lt = self.expr(l);
+                let rt = self.expr(r);
+                match op {
+                    BinOp::And | BinOp::Or => Type::Bool,
+                    BinOp::Eq | BinOp::Ne => Type::Bool,
+                    BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+                        if lt == Type::Bool || rt == Type::Bool {
+                            self.result.warnings.push(TypeWarning::OrderedBool { line });
+                        }
+                        Type::Bool
+                    }
+                    BinOp::Rem => {
+                        if lt == Type::Double || rt == Type::Double {
+                            self.result
+                                .warnings
+                                .push(TypeWarning::FloatRemainder { line });
+                        }
+                        arith_type(lt, rt)
+                    }
+                    BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div => arith_type(lt, rt),
+                }
+            }
+            ExprKind::Call { callee, args } => {
+                for a in args {
+                    self.expr(a);
+                }
+                match BUILTIN_ARITY.iter().find(|(n, _)| n == callee) {
+                    Some(&(_, arity)) => {
+                        if args.len() != arity {
+                            self.result.errors.push(TypeError::WrongArity {
+                                name: callee.clone(),
+                                expected: arity,
+                                got: args.len(),
+                                line,
+                            });
+                        }
+                    }
+                    None => {
+                        self.result.errors.push(TypeError::UnknownFunction {
+                            name: callee.clone(),
+                            line,
+                        });
+                    }
+                }
+                Type::Double
+            }
+        }
+    }
+}
+
+fn arith_type(l: Type, r: Type) -> Type {
+    if l == Type::Double || r == Type::Double {
+        Type::Double
+    } else {
+        Type::Int
+    }
+}
+
+fn line_of(span: Span) -> u32 {
+    span.start.line
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    fn ext() -> ExternalDecls {
+        ExternalDecls::new()
+            .input("ip_x", Type::Double)
+            .output("op_y", Type::Double)
+            .member("m_s", Type::Int)
+    }
+
+    fn check(body: &str) -> TypeCheckResult {
+        let src = format!("void M::processing() {{\n{body}\n}}");
+        let tu = parse(&src).unwrap();
+        type_check(&tu.functions[0], &ext())
+    }
+
+    #[test]
+    fn clean_body_passes() {
+        let r = check("double t = ip_x * 2;\nif (t > 1) { op_y = t; }\nm_s = m_s + 1;");
+        assert!(r.is_ok(), "{:?}", r.errors);
+        assert!(r.warnings.is_empty());
+    }
+
+    #[test]
+    fn duplicate_local_in_same_scope() {
+        let r = check("double t = 1;\ndouble t = 2;");
+        assert_eq!(r.errors.len(), 1);
+        assert!(matches!(
+            &r.errors[0],
+            TypeError::DuplicateLocal { name, previous: 2, line: 3 } if name == "t"
+        ));
+    }
+
+    #[test]
+    fn same_name_in_sibling_scopes_is_fine() {
+        let r = check("if (ip_x > 0) { double t = 1; op_y = t; } else { double t = 2; op_y = t; }");
+        assert!(r.is_ok(), "{:?}", r.errors);
+    }
+
+    #[test]
+    fn use_before_declaration_rejected() {
+        // The interpreter's flat resolution accepts this; C++ would not.
+        let r = check("op_y = t;\ndouble t = 1;");
+        assert!(r
+            .errors
+            .iter()
+            .any(|e| matches!(e, TypeError::Undeclared { name, .. } if name == "t")));
+    }
+
+    #[test]
+    fn inner_declaration_invisible_outside() {
+        let r = check("if (ip_x > 0) { double t = 1; op_y = t; }\nop_y = t;");
+        assert!(r
+            .errors
+            .iter()
+            .any(|e| matches!(e, TypeError::Undeclared { name, .. } if name == "t")));
+    }
+
+    #[test]
+    fn initializer_cannot_see_its_own_name() {
+        let r = check("double t = t + 1;");
+        assert!(!r.is_ok());
+    }
+
+    #[test]
+    fn write_to_input_port_rejected() {
+        let r = check("ip_x = 1;");
+        assert!(matches!(
+            &r.errors[0],
+            TypeError::NotWritable { name, .. } if name == "ip_x"
+        ));
+    }
+
+    #[test]
+    fn port_write_method_checked_too() {
+        let r = check("ip_x.write(1);");
+        assert!(matches!(&r.errors[0], TypeError::NotWritable { .. }));
+        let ok = check("op_y.write(ip_x);");
+        assert!(ok.is_ok());
+    }
+
+    #[test]
+    fn unknown_name_and_function() {
+        let r = check("op_y = nosuch;");
+        assert!(matches!(&r.errors[0], TypeError::Undeclared { .. }));
+        let r2 = check("op_y = frobnicate(1);");
+        assert!(matches!(&r2.errors[0], TypeError::UnknownFunction { .. }));
+    }
+
+    #[test]
+    fn builtin_arity_enforced() {
+        let r = check("op_y = min(1);");
+        assert!(matches!(
+            &r.errors[0],
+            TypeError::WrongArity {
+                expected: 2,
+                got: 1,
+                ..
+            }
+        ));
+        let ok = check("op_y = min(1, 2) + abs(ip_x);");
+        assert!(ok.is_ok());
+    }
+
+    #[test]
+    fn shadowing_external_warns() {
+        let r = check("double m_s = 3;\nop_y = m_s;");
+        assert!(r.is_ok());
+        assert!(matches!(
+            &r.warnings[0],
+            TypeWarning::ShadowsExternal { name, .. } if name == "m_s"
+        ));
+    }
+
+    #[test]
+    fn ordered_bool_warns() {
+        let r = check("bool b = true;\nif (b > false) { op_y = 1; }");
+        assert!(r.is_ok());
+        assert!(r
+            .warnings
+            .iter()
+            .any(|w| matches!(w, TypeWarning::OrderedBool { .. })));
+    }
+
+    #[test]
+    fn float_remainder_warns() {
+        let r = check("op_y = ip_x % 3;");
+        assert!(r.is_ok());
+        assert!(r
+            .warnings
+            .iter()
+            .any(|w| matches!(w, TypeWarning::FloatRemainder { .. })));
+        let silent = check("m_s = m_s % 3;");
+        assert!(silent.warnings.is_empty(), "int % int is fine");
+    }
+
+    #[test]
+    fn for_header_scope() {
+        let r = check("for (int i = 0; i < 3; i++) { op_y = i; }\nop_y = i;");
+        assert!(r
+            .errors
+            .iter()
+            .any(|e| matches!(e, TypeError::Undeclared { name, .. } if name == "i")));
+    }
+
+    #[test]
+    fn compound_assign_requires_existing_target() {
+        let r = check("acc += 1;");
+        assert!(!r.is_ok());
+        let ok = check("double acc = 0;\nacc += 1;");
+        assert!(ok.is_ok());
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        let r = check("double t = 1;\ndouble t = 2;");
+        let msg = r.errors[0].to_string();
+        assert!(msg.contains('t') && msg.contains("line 2"), "{msg}");
+    }
+
+    #[test]
+    fn fig2_sources_type_check() {
+        // The paper's own models must pass, given their interfaces.
+        let src = "\
+void TS::processing()
+{
+    double sig_in = ip_signal_in;
+    double tmpr = sig_in*1000;
+    double out_tmpr = 0;
+    bool intr_ = false;
+    if (!ip_hold){
+        if (ip_clear) intr_ = 0;
+        else if ((tmpr > 30) && (tmpr < 1500 )){
+            out_tmpr = tmpr;
+            intr_ = true;
+        }
+        op_intr.write(intr_);
+        op_signal_out = out_tmpr;
+    }
+}";
+        let tu = parse(src).unwrap();
+        let ext = ExternalDecls::new()
+            .input("ip_signal_in", Type::Double)
+            .input("ip_hold", Type::Bool)
+            .input("ip_clear", Type::Bool)
+            .output("op_intr", Type::Bool)
+            .output("op_signal_out", Type::Double);
+        let r = type_check(&tu.functions[0], &ext);
+        assert!(r.is_ok(), "{:?}", r.errors);
+    }
+}

@@ -1,0 +1,164 @@
+//! AST visitor infrastructure.
+//!
+//! [`Visitor`] provides pre-order traversal with overridable hooks; the
+//! `walk_*` free functions perform the default recursion so an implementation
+//! can override only what it needs (the Clang `RecursiveASTVisitor` pattern
+//! the paper's tool is built on).
+
+use crate::ast::*;
+
+/// A pre-order AST visitor. All hooks default to pure recursion.
+pub trait Visitor {
+    /// Called for every function definition.
+    fn visit_function(&mut self, f: &Function) {
+        walk_function(self, f);
+    }
+
+    /// Called for every block.
+    fn visit_block(&mut self, b: &Block) {
+        walk_block(self, b);
+    }
+
+    /// Called for every statement before descending into it.
+    fn visit_stmt(&mut self, s: &Stmt) {
+        walk_stmt(self, s);
+    }
+
+    /// Called for every expression before descending into it.
+    fn visit_expr(&mut self, e: &Expr) {
+        walk_expr(self, e);
+    }
+}
+
+/// Default recursion into a translation unit.
+pub fn walk_unit<V: Visitor + ?Sized>(v: &mut V, tu: &TranslationUnit) {
+    for f in &tu.functions {
+        v.visit_function(f);
+    }
+}
+
+/// Default recursion into a function.
+pub fn walk_function<V: Visitor + ?Sized>(v: &mut V, f: &Function) {
+    v.visit_block(&f.body);
+}
+
+/// Default recursion into a block.
+pub fn walk_block<V: Visitor + ?Sized>(v: &mut V, b: &Block) {
+    for s in &b.stmts {
+        v.visit_stmt(s);
+    }
+}
+
+/// Default recursion into a statement.
+pub fn walk_stmt<V: Visitor + ?Sized>(v: &mut V, s: &Stmt) {
+    match &s.kind {
+        StmtKind::Decl { init, .. } => {
+            if let Some(e) = init {
+                v.visit_expr(e);
+            }
+        }
+        StmtKind::Assign { value, .. } => v.visit_expr(value),
+        StmtKind::Write { value, .. } => v.visit_expr(value),
+        StmtKind::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
+            v.visit_expr(cond);
+            v.visit_block(then_branch);
+            if let Some(e) = else_branch {
+                v.visit_block(e);
+            }
+        }
+        StmtKind::While { cond, body } => {
+            v.visit_expr(cond);
+            v.visit_block(body);
+        }
+        StmtKind::For {
+            init,
+            cond,
+            step,
+            body,
+        } => {
+            if let Some(i) = init {
+                v.visit_stmt(i);
+            }
+            if let Some(c) = cond {
+                v.visit_expr(c);
+            }
+            if let Some(st) = step {
+                v.visit_stmt(st);
+            }
+            v.visit_block(body);
+        }
+        StmtKind::Block(b) => v.visit_block(b),
+        StmtKind::Expr(e) => v.visit_expr(e),
+        StmtKind::Return | StmtKind::Break | StmtKind::Continue => {}
+    }
+}
+
+/// Default recursion into an expression.
+pub fn walk_expr<V: Visitor + ?Sized>(v: &mut V, e: &Expr) {
+    match &e.kind {
+        ExprKind::Unary(_, inner) => v.visit_expr(inner),
+        ExprKind::Binary(_, l, r) => {
+            v.visit_expr(l);
+            v.visit_expr(r);
+        }
+        ExprKind::Call { args, .. } | ExprKind::MethodCall { args, .. } => {
+            for a in args {
+                v.visit_expr(a);
+            }
+        }
+        ExprKind::IntLit(_) | ExprKind::FloatLit(_) | ExprKind::BoolLit(_) | ExprKind::Var(_) => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    #[derive(Default)]
+    struct Counter {
+        stmts: usize,
+        exprs: usize,
+        vars: Vec<String>,
+    }
+
+    impl Visitor for Counter {
+        fn visit_stmt(&mut self, s: &Stmt) {
+            self.stmts += 1;
+            walk_stmt(self, s);
+        }
+        fn visit_expr(&mut self, e: &Expr) {
+            self.exprs += 1;
+            if let ExprKind::Var(n) = &e.kind {
+                self.vars.push(n.clone());
+            }
+            walk_expr(self, e);
+        }
+    }
+
+    #[test]
+    fn visitor_counts_everything() {
+        let tu = parse("void f() { x = a + b; if (c) { y = 1; } }").unwrap();
+        let mut c = Counter::default();
+        walk_unit(&mut c, &tu);
+        assert_eq!(c.stmts, 3); // assign, if, inner assign
+        assert_eq!(c.vars, vec!["a", "b", "c"]);
+        // exprs: a+b, a, b, c, 1 = 5
+        assert_eq!(c.exprs, 5);
+    }
+
+    #[test]
+    fn visitor_descends_for_headers() {
+        let tu = parse("void f() { for (int i = 0; i < n; i++) { s += i; } }").unwrap();
+        let mut c = Counter::default();
+        walk_unit(&mut c, &tu);
+        // for, init-decl, step-assign, body-assign
+        assert_eq!(c.stmts, 4);
+        assert!(c.vars.contains(&"n".to_string()));
+        assert!(c.vars.contains(&"i".to_string()));
+    }
+}

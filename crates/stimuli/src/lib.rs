@@ -1,0 +1,30 @@
+//! # stimuli — test input signals and testsuites for TDF verification
+//!
+//! The paper's testcases are *test input signals* ("TC1: a constant time
+//! continuous signal of 0.1 V, mimicking a temperature of 10 °C; TC2: a
+//! time continuous signal from 0 V to 0.65 V and back; …"). This crate
+//! provides those shapes as composable, deterministic [`Signal`]s, the
+//! [`Testcase`] bundling signals onto named stimulus channels, and the
+//! [`Testsuite`] with the iteration structure of Table II (each refinement
+//! iteration adds testcases).
+//!
+//! ```
+//! use stimuli::{Signal, Testcase};
+//! use tdf_sim::SimTime;
+//!
+//! // The paper's TC2: 0 V -> 0.65 V -> 0 V sweep on the temperature input.
+//! let tc2 = Testcase::new("TC2", SimTime::from_ms(1)).with(
+//!     "ts_in",
+//!     Signal::sweep(0.0, 0.65, SimTime::ZERO, SimTime::from_ms(1)),
+//! );
+//! let peak = tc2.signal("ts_in").value_at(SimTime::from_us(500));
+//! assert!((peak - 0.65).abs() < 1e-9);
+//! ```
+
+#![warn(missing_docs)]
+
+mod signal;
+mod testcase;
+
+pub use signal::Signal;
+pub use testcase::{Testcase, Testsuite};

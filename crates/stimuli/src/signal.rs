@@ -1,0 +1,366 @@
+//! Test input signals: the time-continuous stimulus shapes the paper's
+//! testcases are built from (constant levels, ramps, steps, sines, PWM,
+//! piecewise-linear profiles, seeded noise, and compositions thereof).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tdf_sim::{FnSource, SimTime, Value};
+
+/// A deterministic stimulus shape: a function of simulation time.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Signal {
+    /// A constant level, e.g. the paper's TC1 (0.1 V ≙ 10 °C).
+    Constant(f64),
+    /// A step from `before` to `after` at time `at`.
+    Step {
+        /// Level before the step.
+        before: f64,
+        /// Level after the step.
+        after: f64,
+        /// Step time.
+        at: SimTime,
+    },
+    /// Linear ramp from `from` (at `start`) to `to` (at `end`), holding the
+    /// endpoint levels outside the window.
+    Ramp {
+        /// Start level.
+        from: f64,
+        /// End level.
+        to: f64,
+        /// Ramp start time.
+        start: SimTime,
+        /// Ramp end time.
+        end: SimTime,
+    },
+    /// A triangle sweep `from → to → from` over `[start, end]` — the
+    /// paper's TC2 shape (0 V → 0.65 V → 0 V).
+    Triangle {
+        /// Base level.
+        from: f64,
+        /// Peak level (reached at the window midpoint).
+        to: f64,
+        /// Sweep start.
+        start: SimTime,
+        /// Sweep end.
+        end: SimTime,
+    },
+    /// `offset + amplitude · sin(2π · freq_hz · t)`.
+    Sine {
+        /// DC offset.
+        offset: f64,
+        /// Amplitude.
+        amplitude: f64,
+        /// Frequency in hertz.
+        freq_hz: f64,
+    },
+    /// Pulse-width modulation between `low` and `high`.
+    Pwm {
+        /// Low level.
+        low: f64,
+        /// High level.
+        high: f64,
+        /// Period of one PWM cycle.
+        period: SimTime,
+        /// Duty cycle in `[0, 1]`.
+        duty: f64,
+    },
+    /// Piecewise-linear interpolation through `(time, value)` points
+    /// (sorted by time; levels hold outside the range).
+    Piecewise(Vec<(SimTime, f64)>),
+    /// Uniform noise in `[lo, hi]`, deterministic per seed and timestep.
+    Noise {
+        /// Lower bound.
+        lo: f64,
+        /// Upper bound.
+        hi: f64,
+        /// RNG seed (same seed ⇒ same trace).
+        seed: u64,
+        /// Sample hold interval for the noise process.
+        hold: SimTime,
+    },
+    /// Sum of two signals.
+    Sum(Box<Signal>, Box<Signal>),
+    /// A signal scaled by a constant.
+    Scaled(Box<Signal>, f64),
+}
+
+impl Signal {
+    /// A triangle sweep helper matching the paper's TC2 parameters.
+    pub fn sweep(from: f64, to: f64, start: SimTime, end: SimTime) -> Signal {
+        Signal::Triangle {
+            from,
+            to,
+            start,
+            end,
+        }
+    }
+
+    /// The signal value at time `t`.
+    pub fn value_at(&self, t: SimTime) -> f64 {
+        match self {
+            Signal::Constant(v) => *v,
+            Signal::Step { before, after, at } => {
+                if t < *at {
+                    *before
+                } else {
+                    *after
+                }
+            }
+            Signal::Ramp {
+                from,
+                to,
+                start,
+                end,
+            } => {
+                if t <= *start {
+                    *from
+                } else if t >= *end {
+                    *to
+                } else {
+                    let span = (end.as_fs() - start.as_fs()) as f64;
+                    let pos = (t.as_fs() - start.as_fs()) as f64;
+                    from + (to - from) * pos / span
+                }
+            }
+            Signal::Triangle {
+                from,
+                to,
+                start,
+                end,
+            } => {
+                if t <= *start || t >= *end {
+                    *from
+                } else {
+                    let span = (end.as_fs() - start.as_fs()) as f64;
+                    let pos = (t.as_fs() - start.as_fs()) as f64;
+                    let phase = pos / span; // 0..1
+                    let tri = if phase < 0.5 {
+                        phase * 2.0
+                    } else {
+                        2.0 - phase * 2.0
+                    };
+                    from + (to - from) * tri
+                }
+            }
+            Signal::Sine {
+                offset,
+                amplitude,
+                freq_hz,
+            } => {
+                offset + amplitude * (2.0 * std::f64::consts::PI * freq_hz * t.as_secs_f64()).sin()
+            }
+            Signal::Pwm {
+                low,
+                high,
+                period,
+                duty,
+            } => {
+                let pos = t.as_fs() % period.as_fs().max(1);
+                let threshold = (period.as_fs() as f64 * duty.clamp(0.0, 1.0)) as u64;
+                if pos < threshold {
+                    *high
+                } else {
+                    *low
+                }
+            }
+            Signal::Piecewise(points) => {
+                if points.is_empty() {
+                    return 0.0;
+                }
+                if t <= points[0].0 {
+                    return points[0].1;
+                }
+                for w in points.windows(2) {
+                    let (t0, v0) = w[0];
+                    let (t1, v1) = w[1];
+                    if t >= t0 && t < t1 {
+                        let span = (t1.as_fs() - t0.as_fs()).max(1) as f64;
+                        let pos = (t.as_fs() - t0.as_fs()) as f64;
+                        return v0 + (v1 - v0) * pos / span;
+                    }
+                }
+                points.last().expect("non-empty").1
+            }
+            Signal::Noise { lo, hi, seed, hold } => {
+                // Deterministic: the value depends only on the hold-slot
+                // index and the seed, never on call order.
+                let slot = t.as_fs() / hold.as_fs().max(1);
+                let mut rng = StdRng::seed_from_u64(seed.wrapping_add(slot));
+                rng.gen_range(*lo..=*hi)
+            }
+            Signal::Sum(a, b) => a.value_at(t) + b.value_at(t),
+            Signal::Scaled(inner, k) => inner.value_at(t) * k,
+        }
+    }
+
+    /// Wraps the signal into a TDF stimulus source module.
+    pub fn into_source(
+        self,
+        name: impl Into<String>,
+        timestep: SimTime,
+    ) -> FnSource<impl FnMut(SimTime) -> Value> {
+        FnSource::new(name, timestep, move |t| Value::Double(self.value_at(t)))
+    }
+
+    /// Samples the signal at `timestep` over `duration`.
+    pub fn sample_vec(&self, timestep: SimTime, duration: SimTime) -> Vec<f64> {
+        let n = duration.div_floor(timestep);
+        (0..n).map(|k| self.value_at(timestep * k)).collect()
+    }
+
+    /// `self + other`.
+    pub fn plus(self, other: Signal) -> Signal {
+        Signal::Sum(Box::new(self), Box::new(other))
+    }
+
+    /// `self · k`.
+    pub fn times(self, k: f64) -> Signal {
+        Signal::Scaled(Box::new(self), k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const US: fn(u64) -> SimTime = SimTime::from_us;
+
+    #[test]
+    fn constant_holds() {
+        let s = Signal::Constant(0.1);
+        assert_eq!(s.value_at(SimTime::ZERO), 0.1);
+        assert_eq!(s.value_at(US(1000)), 0.1);
+    }
+
+    #[test]
+    fn step_switches_at_time() {
+        let s = Signal::Step {
+            before: 0.0,
+            after: 1.0,
+            at: US(10),
+        };
+        assert_eq!(s.value_at(US(9)), 0.0);
+        assert_eq!(s.value_at(US(10)), 1.0);
+    }
+
+    #[test]
+    fn ramp_interpolates_and_clamps() {
+        let s = Signal::Ramp {
+            from: 0.0,
+            to: 1.0,
+            start: US(10),
+            end: US(20),
+        };
+        assert_eq!(s.value_at(US(0)), 0.0);
+        assert!((s.value_at(US(15)) - 0.5).abs() < 1e-12);
+        assert_eq!(s.value_at(US(25)), 1.0);
+    }
+
+    #[test]
+    fn triangle_peaks_at_midpoint() {
+        // The TC2 shape: 0 V -> 0.65 V -> 0 V.
+        let s = Signal::sweep(0.0, 0.65, US(0), US(100));
+        assert_eq!(s.value_at(US(0)), 0.0);
+        assert!((s.value_at(US(50)) - 0.65).abs() < 1e-9);
+        assert!((s.value_at(US(25)) - 0.325).abs() < 1e-9);
+        assert_eq!(s.value_at(US(100)), 0.0);
+    }
+
+    #[test]
+    fn sine_oscillates() {
+        let s = Signal::Sine {
+            offset: 1.0,
+            amplitude: 0.5,
+            freq_hz: 1000.0,
+        };
+        // Quarter period of 1 kHz = 250 us -> peak.
+        assert!((s.value_at(US(250)) - 1.5).abs() < 1e-9);
+        assert!((s.value_at(SimTime::ZERO) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pwm_duty_cycle() {
+        let s = Signal::Pwm {
+            low: 0.0,
+            high: 5.0,
+            period: US(10),
+            duty: 0.3,
+        };
+        assert_eq!(s.value_at(US(0)), 5.0);
+        assert_eq!(s.value_at(US(2)), 5.0);
+        assert_eq!(s.value_at(US(3)), 0.0);
+        assert_eq!(s.value_at(US(9)), 0.0);
+        assert_eq!(s.value_at(US(10)), 5.0, "wraps around");
+    }
+
+    #[test]
+    fn piecewise_interpolates() {
+        let s = Signal::Piecewise(vec![(US(0), 0.0), (US(10), 1.0), (US(20), 0.5)]);
+        assert_eq!(s.value_at(US(0)), 0.0);
+        assert!((s.value_at(US(5)) - 0.5).abs() < 1e-12);
+        assert!((s.value_at(US(15)) - 0.75).abs() < 1e-12);
+        assert_eq!(s.value_at(US(30)), 0.5, "holds last value");
+        assert_eq!(Signal::Piecewise(vec![]).value_at(US(1)), 0.0);
+    }
+
+    #[test]
+    fn noise_is_deterministic_and_bounded() {
+        let s = Signal::Noise {
+            lo: -0.1,
+            hi: 0.1,
+            seed: 42,
+            hold: US(1),
+        };
+        let a: Vec<f64> = (0..50).map(|k| s.value_at(US(k))).collect();
+        let b: Vec<f64> = (0..50).map(|k| s.value_at(US(k))).collect();
+        assert_eq!(a, b, "same seed, same trace");
+        assert!(a.iter().all(|v| (-0.1..=0.1).contains(v)));
+        let s2 = Signal::Noise {
+            lo: -0.1,
+            hi: 0.1,
+            seed: 43,
+            hold: US(1),
+        };
+        let c: Vec<f64> = (0..50).map(|k| s2.value_at(US(k))).collect();
+        assert_ne!(a, c, "different seed, different trace");
+    }
+
+    #[test]
+    fn composition() {
+        let s = Signal::Constant(1.0).plus(Signal::Constant(2.0)).times(2.0);
+        assert_eq!(s.value_at(US(5)), 6.0);
+    }
+
+    #[test]
+    fn sample_vec_length_and_values() {
+        let s = Signal::Ramp {
+            from: 0.0,
+            to: 3.0,
+            start: US(0),
+            end: US(3),
+        };
+        let v = s.sample_vec(US(1), US(4));
+        assert_eq!(v.len(), 4);
+        assert!((v[2] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn into_source_integrates_with_kernel() {
+        use tdf_sim::{Cluster, NullSink, Probe, Simulator};
+        let s = Signal::Step {
+            before: 0.0,
+            after: 2.0,
+            at: US(2),
+        };
+        let mut c = Cluster::new("top");
+        let src = c
+            .add_module(Box::new(s.into_source("stim", US(1))))
+            .unwrap();
+        let (probe, buf) = Probe::new("probe");
+        let p = c.add_module(Box::new(probe)).unwrap();
+        c.connect(src, "op_out", p, "tdf_i").unwrap();
+        let mut sim = Simulator::new(c).unwrap();
+        sim.run(US(4), &mut NullSink).unwrap();
+        assert_eq!(buf.values_f64(), vec![0.0, 0.0, 2.0, 2.0]);
+    }
+}

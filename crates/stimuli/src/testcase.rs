@@ -1,0 +1,152 @@
+//! Testcases and testsuites: named bundles of stimulus channels, plus the
+//! iteration structure of the paper's Table II (a testsuite growing over
+//! refinement iterations).
+
+use tdf_sim::SimTime;
+
+use crate::signal::Signal;
+
+/// One testcase: a set of named stimulus channels applied for `duration`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Testcase {
+    /// Testcase name, e.g. `TC1`.
+    pub name: String,
+    /// Simulated duration.
+    pub duration: SimTime,
+    /// `(channel, signal)` pairs; channels are design-defined stimulus
+    /// inputs (e.g. `"ts_in"` for the temperature-sensor input).
+    pub channels: Vec<(String, Signal)>,
+}
+
+impl Testcase {
+    /// Creates an empty testcase.
+    pub fn new(name: impl Into<String>, duration: SimTime) -> Self {
+        Testcase {
+            name: name.into(),
+            duration,
+            channels: Vec::new(),
+        }
+    }
+
+    /// Adds a stimulus channel (builder style).
+    pub fn with(mut self, channel: impl Into<String>, signal: Signal) -> Self {
+        self.channels.push((channel.into(), signal));
+        self
+    }
+
+    /// The signal driving `channel`, or a constant 0 if unspecified.
+    pub fn signal(&self, channel: &str) -> Signal {
+        self.channels
+            .iter()
+            .find(|(c, _)| c == channel)
+            .map(|(_, s)| s.clone())
+            .unwrap_or(Signal::Constant(0.0))
+    }
+
+    /// Whether the testcase drives `channel` explicitly.
+    pub fn drives(&self, channel: &str) -> bool {
+        self.channels.iter().any(|(c, _)| c == channel)
+    }
+}
+
+/// A growing testsuite with iteration boundaries, mirroring Table II where
+/// each refinement iteration adds testcases to the previous set.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Testsuite {
+    /// Suite name (the AMS system under test).
+    pub name: String,
+    cases: Vec<Testcase>,
+    /// Cumulative case counts at each iteration boundary; `boundaries[i]`
+    /// is the suite size at iteration `i`.
+    boundaries: Vec<usize>,
+}
+
+impl Testsuite {
+    /// Creates an empty suite.
+    pub fn new(name: impl Into<String>) -> Self {
+        Testsuite {
+            name: name.into(),
+            cases: Vec::new(),
+            boundaries: Vec::new(),
+        }
+    }
+
+    /// Appends `cases` as the next iteration.
+    pub fn add_iteration(&mut self, cases: Vec<Testcase>) {
+        self.cases.extend(cases);
+        self.boundaries.push(self.cases.len());
+    }
+
+    /// Number of iterations.
+    pub fn iterations(&self) -> usize {
+        self.boundaries.len()
+    }
+
+    /// All cases of iterations `0..=iteration` (the cumulative suite the
+    /// paper evaluates at each row of Table II).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `iteration >= self.iterations()`.
+    pub fn up_to(&self, iteration: usize) -> &[Testcase] {
+        &self.cases[..self.boundaries[iteration]]
+    }
+
+    /// All cases.
+    pub fn all(&self) -> &[Testcase] {
+        &self.cases
+    }
+
+    /// Suite size at `iteration`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `iteration >= self.iterations()`.
+    pub fn size_at(&self, iteration: usize) -> usize {
+        self.boundaries[iteration]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tc(name: &str) -> Testcase {
+        Testcase::new(name, SimTime::from_us(100))
+    }
+
+    #[test]
+    fn testcase_channels() {
+        let t = tc("TC1")
+            .with("ts_in", Signal::Constant(0.1))
+            .with("hs_in", Signal::Constant(0.0));
+        assert!(t.drives("ts_in"));
+        assert!(!t.drives("other"));
+        assert_eq!(t.signal("ts_in"), Signal::Constant(0.1));
+        assert_eq!(t.signal("missing"), Signal::Constant(0.0));
+    }
+
+    #[test]
+    fn suite_iterations_accumulate() {
+        let mut s = Testsuite::new("window lifter");
+        s.add_iteration(vec![tc("a"), tc("b")]);
+        s.add_iteration(vec![tc("c")]);
+        s.add_iteration(vec![tc("d"), tc("e")]);
+        assert_eq!(s.iterations(), 3);
+        assert_eq!(s.size_at(0), 2);
+        assert_eq!(s.size_at(1), 3);
+        assert_eq!(s.size_at(2), 5);
+        assert_eq!(s.up_to(0).len(), 2);
+        assert_eq!(s.up_to(2).len(), 5);
+        assert_eq!(s.all().len(), 5);
+        // Cumulative: iteration 1 contains iteration 0's cases.
+        assert_eq!(s.up_to(1)[0].name, "a");
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_iteration_panics() {
+        let s = Testsuite::new("x");
+        s.up_to(0);
+    }
+}

@@ -1,0 +1,554 @@
+//! TDF clusters: a set of modules plus the signal bindings between their
+//! ports, and the extractable netlist (binding information) the static
+//! analysis consumes.
+
+use crate::error::{Result, TdfError};
+use crate::module::{ModuleClass, ModuleSpec, TdfModule};
+
+/// Handle to a module within a [`Cluster`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ModuleId(pub(crate) usize);
+
+impl ModuleId {
+    /// The raw index (stable for the cluster's lifetime).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// One point-to-point binding: an output port feeding an input port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Connection {
+    /// `(module, out-port index)` of the driver.
+    pub from: (ModuleId, usize),
+    /// `(module, in-port index)` of the reader.
+    pub to: (ModuleId, usize),
+}
+
+pub(crate) struct Entry {
+    pub(crate) module: Box<dyn TdfModule>,
+    pub(crate) spec: ModuleSpec,
+    pub(crate) class: ModuleClass,
+}
+
+/// A TDF cluster under construction (the paper's "multiple TDF models
+/// connect together to make a TDF cluster, i.e., a SoC").
+pub struct Cluster {
+    name: String,
+    pub(crate) entries: Vec<Entry>,
+    pub(crate) connections: Vec<Connection>,
+    allow_open_inputs: bool,
+}
+
+impl std::fmt::Debug for Cluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cluster")
+            .field("name", &self.name)
+            .field("modules", &self.entries.len())
+            .field("connections", &self.connections.len())
+            .finish()
+    }
+}
+
+impl Cluster {
+    /// Creates an empty cluster called `name` (the architecture/netlist
+    /// model name, e.g. `sense_top`).
+    pub fn new(name: impl Into<String>) -> Self {
+        Cluster {
+            name: name.into(),
+            entries: Vec::new(),
+            connections: Vec::new(),
+            allow_open_inputs: false,
+        }
+    }
+
+    /// The cluster (netlist model) name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Permits input ports without a driver; they read undefined samples.
+    /// Used to reproduce the "port used without definition" bug class.
+    pub fn allow_open_inputs(&mut self, allow: bool) {
+        self.allow_open_inputs = allow;
+    }
+
+    /// Whether open inputs are permitted.
+    pub fn open_inputs_allowed(&self) -> bool {
+        self.allow_open_inputs
+    }
+
+    /// Adds a module instance.
+    ///
+    /// # Errors
+    ///
+    /// Fails on duplicate instance names or zero-rate ports.
+    pub fn add_module(&mut self, module: Box<dyn TdfModule>) -> Result<ModuleId> {
+        let name = module.name().to_owned();
+        if self.entries.iter().any(|e| e.module.name() == name) {
+            return Err(TdfError::DuplicateModule { name });
+        }
+        let spec = module.spec();
+        for p in spec.in_ports.iter().chain(&spec.out_ports) {
+            if p.rate == 0 {
+                return Err(TdfError::ZeroRate {
+                    module: name.clone(),
+                    port: p.name.clone(),
+                });
+            }
+        }
+        let class = module.class();
+        let id = ModuleId(self.entries.len());
+        self.entries.push(Entry {
+            module,
+            spec,
+            class,
+        });
+        Ok(id)
+    }
+
+    /// Binds `from.from_port` (an output) to `to.to_port` (an input).
+    ///
+    /// An output may fan out to several inputs; an input accepts exactly one
+    /// driver.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown modules/ports or when the input is already bound.
+    pub fn connect(
+        &mut self,
+        from: ModuleId,
+        from_port: &str,
+        to: ModuleId,
+        to_port: &str,
+    ) -> Result<()> {
+        let from_idx = self.out_port_index(from, from_port)?;
+        let to_idx = self.in_port_index(to, to_port)?;
+        if self.connections.iter().any(|c| c.to == (to, to_idx)) {
+            return Err(TdfError::InputAlreadyBound {
+                module: self.entries[to.0].module.name().to_owned(),
+                port: to_port.to_owned(),
+            });
+        }
+        self.connections.push(Connection {
+            from: (from, from_idx),
+            to: (to, to_idx),
+        });
+        Ok(())
+    }
+
+    fn out_port_index(&self, m: ModuleId, port: &str) -> Result<usize> {
+        let e = self
+            .entries
+            .get(m.0)
+            .ok_or_else(|| TdfError::UnknownModule {
+                name: format!("#{}", m.0),
+            })?;
+        e.spec.out_index(port).ok_or_else(|| TdfError::UnknownPort {
+            module: e.module.name().to_owned(),
+            port: port.to_owned(),
+        })
+    }
+
+    fn in_port_index(&self, m: ModuleId, port: &str) -> Result<usize> {
+        let e = self
+            .entries
+            .get(m.0)
+            .ok_or_else(|| TdfError::UnknownModule {
+                name: format!("#{}", m.0),
+            })?;
+        e.spec.in_index(port).ok_or_else(|| TdfError::UnknownPort {
+            module: e.module.name().to_owned(),
+            port: port.to_owned(),
+        })
+    }
+
+    /// Looks a module up by instance name.
+    pub fn find(&self, name: &str) -> Option<ModuleId> {
+        self.entries
+            .iter()
+            .position(|e| e.module.name() == name)
+            .map(ModuleId)
+    }
+
+    /// Number of modules.
+    pub fn module_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// The instance name of `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is stale.
+    pub fn module_name(&self, id: ModuleId) -> &str {
+        self.entries[id.0].module.name()
+    }
+
+    /// The spec of `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is stale.
+    pub fn module_spec(&self, id: ModuleId) -> &ModuleSpec {
+        &self.entries[id.0].spec
+    }
+
+    /// The coverage class of `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is stale.
+    pub fn module_class(&self, id: ModuleId) -> &ModuleClass {
+        &self.entries[id.0].class
+    }
+
+    /// All connections.
+    pub fn connections(&self) -> &[Connection] {
+        &self.connections
+    }
+
+    /// Extracts the binding information (netlist) used by the static cluster
+    /// analysis — the analog of parsing `sense_top::architecture()`.
+    pub fn netlist(&self) -> Netlist {
+        let bindings = self
+            .connections
+            .iter()
+            .map(|c| {
+                let fe = &self.entries[c.from.0 .0];
+                let te = &self.entries[c.to.0 .0];
+                NetBinding {
+                    from: PortRef {
+                        model: fe.module.name().to_owned(),
+                        port: fe.spec.out_ports[c.from.1].name.clone(),
+                    },
+                    to: PortRef {
+                        model: te.module.name().to_owned(),
+                        port: te.spec.in_ports[c.to.1].name.clone(),
+                    },
+                }
+            })
+            .collect();
+        let modules = self
+            .entries
+            .iter()
+            .map(|e| ModuleInfo {
+                name: e.module.name().to_owned(),
+                class: e.class.clone(),
+                in_ports: e.spec.in_ports.iter().map(|p| p.name.clone()).collect(),
+                out_ports: e.spec.out_ports.iter().map(|p| p.name.clone()).collect(),
+            })
+            .collect();
+        Netlist {
+            cluster: self.name.clone(),
+            bindings,
+            modules,
+        }
+    }
+
+    /// Input ports with no driver (checked at elaboration).
+    pub(crate) fn open_inputs(&self) -> Vec<(ModuleId, usize)> {
+        let mut open = Vec::new();
+        for (mi, e) in self.entries.iter().enumerate() {
+            for pi in 0..e.spec.in_ports.len() {
+                if !self.connections.iter().any(|c| c.to == (ModuleId(mi), pi)) {
+                    open.push((ModuleId(mi), pi));
+                }
+            }
+        }
+        open
+    }
+}
+
+/// A `(model, port)` reference inside a [`Netlist`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PortRef {
+    /// Module instance name.
+    pub model: String,
+    /// Port name.
+    pub port: String,
+}
+
+impl PortRef {
+    /// Creates a port reference.
+    pub fn new(model: impl Into<String>, port: impl Into<String>) -> Self {
+        PortRef {
+            model: model.into(),
+            port: port.into(),
+        }
+    }
+}
+
+/// One netlist binding from a driver port to a reader port.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetBinding {
+    /// Driving output port.
+    pub from: PortRef,
+    /// Reading input port.
+    pub to: PortRef,
+}
+
+/// Interface summary of one module instance in a [`Netlist`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModuleInfo {
+    /// Instance name.
+    pub name: String,
+    /// Coverage class.
+    pub class: ModuleClass,
+    /// Input port names, index order.
+    pub in_ports: Vec<String>,
+    /// Output port names, index order.
+    pub out_ports: Vec<String>,
+}
+
+/// The extracted binding information of a cluster.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Netlist {
+    /// Cluster (architecture) name.
+    pub cluster: String,
+    /// All port-to-port bindings.
+    pub bindings: Vec<NetBinding>,
+    /// One entry per module instance.
+    pub modules: Vec<ModuleInfo>,
+}
+
+impl Netlist {
+    /// The module info of `model`, if it exists.
+    pub fn module(&self, model: &str) -> Option<&ModuleInfo> {
+        self.modules.iter().find(|m| m.name == model)
+    }
+
+    /// Coverage class of `model`, if it exists.
+    pub fn class_of(&self, model: &str) -> Option<&ModuleClass> {
+        self.module(model).map(|m| &m.class)
+    }
+
+    /// All bindings whose driver is `(model, port)`.
+    pub fn fanout(&self, model: &str, port: &str) -> Vec<&NetBinding> {
+        self.bindings
+            .iter()
+            .filter(|b| b.from.model == model && b.from.port == port)
+            .collect()
+    }
+
+    /// The binding driving input `(model, port)`, if any.
+    pub fn driver(&self, model: &str, port: &str) -> Option<&NetBinding> {
+        self.bindings
+            .iter()
+            .find(|b| b.to.model == model && b.to.port == port)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::module::{PortSpec, ProcessingCtx};
+    use crate::time::SimTime;
+
+    struct Dummy {
+        name: String,
+        spec: ModuleSpec,
+    }
+
+    impl Dummy {
+        fn new(name: &str, ins: &[&str], outs: &[&str]) -> Box<Self> {
+            let mut spec = ModuleSpec::new().with_timestep(SimTime::from_us(1));
+            for i in ins {
+                spec = spec.input(PortSpec::new(*i));
+            }
+            for o in outs {
+                spec = spec.output(PortSpec::new(*o));
+            }
+            Box::new(Dummy {
+                name: name.into(),
+                spec,
+            })
+        }
+    }
+
+    impl TdfModule for Dummy {
+        fn name(&self) -> &str {
+            &self.name
+        }
+        fn spec(&self) -> ModuleSpec {
+            self.spec.clone()
+        }
+        fn processing(&mut self, _ctx: &mut ProcessingCtx<'_>) {}
+    }
+
+    #[test]
+    fn connect_and_extract_netlist() {
+        let mut c = Cluster::new("top");
+        let a = c.add_module(Dummy::new("A", &[], &["op_y"])).unwrap();
+        let b = c.add_module(Dummy::new("B", &["ip_x"], &[])).unwrap();
+        c.connect(a, "op_y", b, "ip_x").unwrap();
+        let nl = c.netlist();
+        assert_eq!(nl.cluster, "top");
+        assert_eq!(nl.bindings.len(), 1);
+        assert_eq!(nl.bindings[0].from, PortRef::new("A", "op_y"));
+        assert_eq!(nl.bindings[0].to, PortRef::new("B", "ip_x"));
+        assert_eq!(nl.fanout("A", "op_y").len(), 1);
+        assert!(nl.driver("B", "ip_x").is_some());
+        assert!(nl.class_of("A").is_some());
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut c = Cluster::new("top");
+        c.add_module(Dummy::new("A", &[], &[])).unwrap();
+        let err = c.add_module(Dummy::new("A", &[], &[])).unwrap_err();
+        assert!(matches!(err, TdfError::DuplicateModule { .. }));
+    }
+
+    #[test]
+    fn double_driving_an_input_rejected() {
+        let mut c = Cluster::new("top");
+        let a = c.add_module(Dummy::new("A", &[], &["op_y"])).unwrap();
+        let b = c.add_module(Dummy::new("B", &[], &["op_y"])).unwrap();
+        let s = c.add_module(Dummy::new("S", &["ip_x"], &[])).unwrap();
+        c.connect(a, "op_y", s, "ip_x").unwrap();
+        let err = c.connect(b, "op_y", s, "ip_x").unwrap_err();
+        assert!(matches!(err, TdfError::InputAlreadyBound { .. }));
+    }
+
+    #[test]
+    fn fanout_to_multiple_readers_allowed() {
+        let mut c = Cluster::new("top");
+        let a = c.add_module(Dummy::new("A", &[], &["op_y"])).unwrap();
+        let b = c.add_module(Dummy::new("B", &["ip_x"], &[])).unwrap();
+        let d = c.add_module(Dummy::new("D", &["ip_x"], &[])).unwrap();
+        c.connect(a, "op_y", b, "ip_x").unwrap();
+        c.connect(a, "op_y", d, "ip_x").unwrap();
+        assert_eq!(c.netlist().fanout("A", "op_y").len(), 2);
+    }
+
+    #[test]
+    fn unknown_port_rejected() {
+        let mut c = Cluster::new("top");
+        let a = c.add_module(Dummy::new("A", &[], &["op_y"])).unwrap();
+        let b = c.add_module(Dummy::new("B", &["ip_x"], &[])).unwrap();
+        let err = c.connect(a, "nope", b, "ip_x").unwrap_err();
+        assert!(matches!(err, TdfError::UnknownPort { .. }));
+        let err2 = c.connect(a, "op_y", b, "nope").unwrap_err();
+        assert!(matches!(err2, TdfError::UnknownPort { .. }));
+    }
+
+    #[test]
+    fn open_inputs_detected() {
+        let mut c = Cluster::new("top");
+        let _a = c.add_module(Dummy::new("A", &["ip_x"], &[])).unwrap();
+        assert_eq!(c.open_inputs().len(), 1);
+    }
+
+    #[test]
+    fn find_by_name() {
+        let mut c = Cluster::new("top");
+        let a = c.add_module(Dummy::new("A", &[], &[])).unwrap();
+        assert_eq!(c.find("A"), Some(a));
+        assert_eq!(c.find("Z"), None);
+        assert_eq!(c.module_name(a), "A");
+    }
+}
+
+impl Netlist {
+    /// Renders the binding graph in Graphviz DOT format: user-code models
+    /// as boxes, redefining components as diamonds (labelled with their
+    /// binding site), transparent elements as plain ellipses, testbench
+    /// blocks greyed out.
+    pub fn to_dot(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "digraph {} {{", sanitize(&self.cluster));
+        let _ = writeln!(out, "  rankdir=LR;");
+        for m in &self.modules {
+            let attrs = match &m.class {
+                ModuleClass::UserCode => "shape=box, style=bold".to_owned(),
+                ModuleClass::Redefining(site) => {
+                    format!("shape=diamond, label=\"{}\\n[{site}]\"", m.name)
+                }
+                ModuleClass::Transparent => "shape=ellipse".to_owned(),
+                ModuleClass::Testbench => "shape=box, style=dashed, color=gray".to_owned(),
+            };
+            let _ = writeln!(out, "  {} [{attrs}];", sanitize(&m.name));
+        }
+        for b in &self.bindings {
+            let _ = writeln!(
+                out,
+                "  {} -> {} [label=\"{} -> {}\"];",
+                sanitize(&b.from.model),
+                sanitize(&b.to.model),
+                b.from.port,
+                b.to.port
+            );
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+#[cfg(test)]
+mod dot_tests {
+    use super::*;
+
+    #[test]
+    fn dot_renders_all_shapes() {
+        let netlist = Netlist {
+            cluster: "sense_top".into(),
+            bindings: vec![NetBinding {
+                from: PortRef::new("TS", "op_y"),
+                to: PortRef::new("z1", "tdf_i"),
+            }],
+            modules: vec![
+                ModuleInfo {
+                    name: "TS".into(),
+                    class: ModuleClass::UserCode,
+                    in_ports: vec![],
+                    out_ports: vec!["op_y".into()],
+                },
+                ModuleInfo {
+                    name: "z1".into(),
+                    class: ModuleClass::Redefining(crate::module::DefSite::new("sense_top", 74)),
+                    in_ports: vec!["tdf_i".into()],
+                    out_ports: vec!["tdf_o".into()],
+                },
+                ModuleInfo {
+                    name: "src".into(),
+                    class: ModuleClass::Testbench,
+                    in_ports: vec![],
+                    out_ports: vec!["op_out".into()],
+                },
+                ModuleInfo {
+                    name: "w".into(),
+                    class: ModuleClass::Transparent,
+                    in_ports: vec!["tdf_i".into()],
+                    out_ports: vec!["tdf_o".into()],
+                },
+            ],
+        };
+        let dot = netlist.to_dot();
+        assert!(dot.starts_with("digraph sense_top {"));
+        assert!(dot.contains("TS [shape=box, style=bold];"));
+        assert!(dot.contains("shape=diamond"));
+        assert!(dot.contains("sense_top:74"));
+        assert!(dot.contains("style=dashed"));
+        assert!(dot.contains("shape=ellipse"));
+        assert!(dot.contains("TS -> z1 [label=\"op_y -> tdf_i\"];"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn dot_sanitizes_names() {
+        let netlist = Netlist {
+            cluster: "a-b c".into(),
+            bindings: vec![],
+            modules: vec![],
+        };
+        assert!(netlist.to_dot().starts_with("digraph a_b_c {"));
+    }
+}

@@ -1,0 +1,182 @@
+//! Elaboration and simulation errors.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::time::SimTime;
+
+/// Errors raised while building, elaborating or running a TDF cluster.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TdfError {
+    /// Two modules in one cluster share an instance name.
+    DuplicateModule {
+        /// The offending name.
+        name: String,
+    },
+    /// A referenced module does not exist.
+    UnknownModule {
+        /// The missing name.
+        name: String,
+    },
+    /// A referenced port does not exist on the module.
+    UnknownPort {
+        /// Module name.
+        module: String,
+        /// Missing port name.
+        port: String,
+    },
+    /// An input port is already connected to another signal.
+    InputAlreadyBound {
+        /// Module name.
+        module: String,
+        /// Port name.
+        port: String,
+    },
+    /// An input port was left unconnected and the cluster does not allow
+    /// open inputs.
+    UnboundInput {
+        /// Module name.
+        module: String,
+        /// Port name.
+        port: String,
+    },
+    /// A port rate of zero is meaningless.
+    ZeroRate {
+        /// Module name.
+        module: String,
+        /// Port name.
+        port: String,
+    },
+    /// The rate balance equations have no consistent integer solution.
+    RateInconsistent {
+        /// Human-readable description of the conflicting edge.
+        detail: String,
+    },
+    /// Two timing anchors disagree about a module's activation period.
+    TimestepConflict {
+        /// Module whose period is over-constrained.
+        module: String,
+        /// First derived period.
+        a: SimTime,
+        /// Second derived period.
+        b: SimTime,
+    },
+    /// A derived timestep would not be an integer number of femtoseconds.
+    TimestepNotRepresentable {
+        /// Module whose period cannot be represented.
+        module: String,
+    },
+    /// No module in a connected component carries a timestep anchor.
+    NoTimestep {
+        /// A module of the unanchored component.
+        module: String,
+    },
+    /// The static schedule cannot make progress (insufficient delays in a
+    /// feedback loop).
+    Deadlock {
+        /// Modules that still had pending firings.
+        stuck: Vec<String>,
+    },
+    /// A module produced more samples than its output port rate.
+    TooManySamples {
+        /// Module name.
+        module: String,
+        /// Port name.
+        port: String,
+        /// Number of samples written.
+        got: usize,
+        /// Port rate.
+        rate: usize,
+    },
+}
+
+impl fmt::Display for TdfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TdfError::DuplicateModule { name } => {
+                write!(f, "duplicate module instance name `{name}`")
+            }
+            TdfError::UnknownModule { name } => write!(f, "unknown module `{name}`"),
+            TdfError::UnknownPort { module, port } => {
+                write!(f, "module `{module}` has no port `{port}`")
+            }
+            TdfError::InputAlreadyBound { module, port } => {
+                write!(f, "input port `{module}.{port}` is already bound")
+            }
+            TdfError::UnboundInput { module, port } => {
+                write!(f, "input port `{module}.{port}` is not bound to any signal")
+            }
+            TdfError::ZeroRate { module, port } => {
+                write!(f, "port `{module}.{port}` has rate 0")
+            }
+            TdfError::RateInconsistent { detail } => {
+                write!(f, "inconsistent TDF rates: {detail}")
+            }
+            TdfError::TimestepConflict { module, a, b } => {
+                write!(f, "conflicting timesteps for module `{module}`: {a} vs {b}")
+            }
+            TdfError::TimestepNotRepresentable { module } => write!(
+                f,
+                "derived timestep for module `{module}` is not a whole number of femtoseconds"
+            ),
+            TdfError::NoTimestep { module } => write!(
+                f,
+                "no timestep anchor in the cluster component containing `{module}`"
+            ),
+            TdfError::Deadlock { stuck } => {
+                write!(
+                    f,
+                    "static schedule deadlock; stuck modules: {}",
+                    stuck.join(", ")
+                )
+            }
+            TdfError::TooManySamples {
+                module,
+                port,
+                got,
+                rate,
+            } => write!(
+                f,
+                "module `{module}` wrote {got} samples to port `{port}` with rate {rate}"
+            ),
+        }
+    }
+}
+
+impl Error for TdfError {}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, TdfError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_specific() {
+        let e = TdfError::UnknownPort {
+            module: "TS".into(),
+            port: "op_x".into(),
+        };
+        assert_eq!(e.to_string(), "module `TS` has no port `op_x`");
+
+        let d = TdfError::Deadlock {
+            stuck: vec!["a".into(), "b".into()],
+        };
+        assert!(d.to_string().contains("a, b"));
+
+        let t = TdfError::TimestepConflict {
+            module: "m".into(),
+            a: SimTime::from_us(1),
+            b: SimTime::from_us(2),
+        };
+        assert!(t.to_string().contains("1 us"));
+        assert!(t.to_string().contains("2 us"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn check<E: Error + Send + Sync + 'static>(_: E) {}
+        check(TdfError::UnknownModule { name: "x".into() });
+    }
+}

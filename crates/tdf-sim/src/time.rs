@@ -1,0 +1,193 @@
+//! Simulation time, in femtoseconds like the SystemC kernel.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul, Sub};
+
+/// A point in (or duration of) simulation time with femtosecond resolution.
+///
+/// ```
+/// use tdf_sim::SimTime;
+/// let ts = SimTime::from_us(20);
+/// assert_eq!(ts * 3, SimTime::from_us(60));
+/// assert_eq!(ts.as_secs_f64(), 20e-6);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// Time zero.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Creates a time from femtoseconds.
+    pub const fn from_fs(fs: u64) -> Self {
+        SimTime(fs)
+    }
+
+    /// Creates a time from picoseconds.
+    pub const fn from_ps(ps: u64) -> Self {
+        SimTime(ps * 1_000)
+    }
+
+    /// Creates a time from nanoseconds.
+    pub const fn from_ns(ns: u64) -> Self {
+        SimTime(ns * 1_000_000)
+    }
+
+    /// Creates a time from microseconds.
+    pub const fn from_us(us: u64) -> Self {
+        SimTime(us * 1_000_000_000)
+    }
+
+    /// Creates a time from milliseconds.
+    pub const fn from_ms(ms: u64) -> Self {
+        SimTime(ms * 1_000_000_000_000)
+    }
+
+    /// Creates a time from seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s * 1_000_000_000_000_000)
+    }
+
+    /// The raw femtosecond count.
+    pub const fn as_fs(self) -> u64 {
+        self.0
+    }
+
+    /// The time as floating-point seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 * 1e-15
+    }
+
+    /// Whether this is time zero.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Checked division by an integer count; exact or `None`.
+    pub fn checked_div_exact(self, n: u64) -> Option<SimTime> {
+        if n == 0 || !self.0.is_multiple_of(n) {
+            None
+        } else {
+            Some(SimTime(self.0 / n))
+        }
+    }
+
+    /// How many whole `step`s fit into `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step` is zero.
+    pub fn div_floor(self, step: SimTime) -> u64 {
+        assert!(!step.is_zero(), "division by zero timestep");
+        self.0 / step.0
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimTime {
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Mul<u64> for SimTime {
+    type Output = SimTime;
+    fn mul(self, rhs: u64) -> SimTime {
+        SimTime(self.0 * rhs)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let fs = self.0;
+        if fs == 0 {
+            write!(f, "0 s")
+        } else if fs.is_multiple_of(1_000_000_000_000_000) {
+            write!(f, "{} s", fs / 1_000_000_000_000_000)
+        } else if fs.is_multiple_of(1_000_000_000_000) {
+            write!(f, "{} ms", fs / 1_000_000_000_000)
+        } else if fs.is_multiple_of(1_000_000_000) {
+            write!(f, "{} us", fs / 1_000_000_000)
+        } else if fs.is_multiple_of(1_000_000) {
+            write!(f, "{} ns", fs / 1_000_000)
+        } else if fs.is_multiple_of(1_000) {
+            write!(f, "{} ps", fs / 1_000)
+        } else {
+            write!(f, "{fs} fs")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_chain() {
+        assert_eq!(SimTime::from_ps(1), SimTime::from_fs(1_000));
+        assert_eq!(SimTime::from_ns(1), SimTime::from_ps(1_000));
+        assert_eq!(SimTime::from_us(1), SimTime::from_ns(1_000));
+        assert_eq!(SimTime::from_ms(1), SimTime::from_us(1_000));
+        assert_eq!(SimTime::from_secs(1), SimTime::from_ms(1_000));
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = SimTime::from_us(10);
+        let b = SimTime::from_us(4);
+        assert_eq!(a + b, SimTime::from_us(14));
+        assert_eq!(a - b, SimTime::from_us(6));
+        assert_eq!(b - a, SimTime::ZERO, "subtraction saturates");
+        assert_eq!(a * 2, SimTime::from_us(20));
+        let mut c = a;
+        c += b;
+        assert_eq!(c, SimTime::from_us(14));
+    }
+
+    #[test]
+    fn exact_division() {
+        assert_eq!(
+            SimTime::from_us(10).checked_div_exact(2),
+            Some(SimTime::from_us(5))
+        );
+        assert_eq!(SimTime::from_fs(10).checked_div_exact(3), None);
+        assert_eq!(SimTime::from_fs(10).checked_div_exact(0), None);
+    }
+
+    #[test]
+    fn div_floor_counts_steps() {
+        assert_eq!(SimTime::from_us(10).div_floor(SimTime::from_us(3)), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn div_floor_zero_panics() {
+        SimTime::from_us(1).div_floor(SimTime::ZERO);
+    }
+
+    #[test]
+    fn display_picks_unit() {
+        assert_eq!(SimTime::ZERO.to_string(), "0 s");
+        assert_eq!(SimTime::from_us(20).to_string(), "20 us");
+        assert_eq!(SimTime::from_fs(1_500).to_string(), "1500 fs");
+        assert_eq!(SimTime::from_secs(2).to_string(), "2 s");
+    }
+
+    #[test]
+    fn secs_f64_roundtrip() {
+        assert!((SimTime::from_ms(1).as_secs_f64() - 1e-3).abs() < 1e-18);
+    }
+}

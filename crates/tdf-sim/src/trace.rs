@@ -1,0 +1,164 @@
+//! Waveform tracing: shared trace buffers filled by probes, and a tabular
+//! renderer for inspecting runs.
+
+use std::cell::RefCell;
+use std::fmt::Write as _;
+use std::rc::Rc;
+
+use crate::time::SimTime;
+use crate::value::Value;
+
+/// A cheaply-clonable handle to a recorded waveform (time/value pairs).
+///
+/// Clones share the same underlying buffer, so a probe inside a cluster and
+/// the testbench outside can both hold one.
+#[derive(Debug, Clone, Default)]
+pub struct TraceBuffer {
+    inner: Rc<RefCell<Vec<(SimTime, Value)>>>,
+}
+
+impl TraceBuffer {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        TraceBuffer::default()
+    }
+
+    /// Appends a sample.
+    pub fn push(&self, time: SimTime, value: Value) {
+        self.inner.borrow_mut().push((time, value));
+    }
+
+    /// Number of recorded samples.
+    pub fn len(&self) -> usize {
+        self.inner.borrow().len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.inner.borrow().is_empty()
+    }
+
+    /// A snapshot of all samples.
+    pub fn samples(&self) -> Vec<(SimTime, Value)> {
+        self.inner.borrow().clone()
+    }
+
+    /// The recorded values as `f64`.
+    pub fn values_f64(&self) -> Vec<f64> {
+        self.inner
+            .borrow()
+            .iter()
+            .map(|(_, v)| v.as_f64())
+            .collect()
+    }
+
+    /// The last recorded value, if any.
+    pub fn last(&self) -> Option<(SimTime, Value)> {
+        self.inner.borrow().last().copied()
+    }
+
+    /// Clears the buffer (e.g. between testcases).
+    pub fn clear(&self) {
+        self.inner.borrow_mut().clear();
+    }
+
+    /// Largest recorded value (as f64); `None` when empty.
+    pub fn max_f64(&self) -> Option<f64> {
+        self.inner
+            .borrow()
+            .iter()
+            .map(|(_, v)| v.as_f64())
+            .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.max(v))))
+    }
+}
+
+/// Renders one or more traces side by side as a text table.
+///
+/// ```
+/// use tdf_sim::{SimTime, TraceBuffer, Value, render_traces};
+/// let t = TraceBuffer::new();
+/// t.push(SimTime::ZERO, Value::Double(0.5));
+/// let table = render_traces(&[("vout", &t)]);
+/// assert!(table.contains("vout"));
+/// assert!(table.contains("0.5"));
+/// ```
+pub fn render_traces(traces: &[(&str, &TraceBuffer)]) -> String {
+    let mut out = String::new();
+    let _ = write!(out, "{:>12}", "time");
+    for (name, _) in traces {
+        let _ = write!(out, " {name:>14}");
+    }
+    out.push('\n');
+    let rows = traces.iter().map(|(_, t)| t.len()).max().unwrap_or(0);
+    let snaps: Vec<Vec<(SimTime, Value)>> = traces.iter().map(|(_, t)| t.samples()).collect();
+    for r in 0..rows {
+        let time = snaps
+            .iter()
+            .find_map(|s| s.get(r).map(|(t, _)| *t))
+            .unwrap_or(SimTime::ZERO);
+        let _ = write!(out, "{:>12}", time.to_string());
+        for s in &snaps {
+            match s.get(r) {
+                Some((_, v)) => {
+                    let _ = write!(out, " {:>14}", v.to_string());
+                }
+                None => {
+                    let _ = write!(out, " {:>14}", "-");
+                }
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_storage() {
+        let a = TraceBuffer::new();
+        let b = a.clone();
+        a.push(SimTime::ZERO, Value::Double(1.0));
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.values_f64(), vec![1.0]);
+    }
+
+    #[test]
+    fn snapshot_and_last() {
+        let t = TraceBuffer::new();
+        assert!(t.is_empty());
+        assert!(t.last().is_none());
+        t.push(SimTime::from_us(1), Value::Int(3));
+        t.push(SimTime::from_us(2), Value::Int(4));
+        assert_eq!(t.last(), Some((SimTime::from_us(2), Value::Int(4))));
+        assert_eq!(t.samples().len(), 2);
+        t.clear();
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn max_over_values() {
+        let t = TraceBuffer::new();
+        assert_eq!(t.max_f64(), None);
+        for v in [1.0, 5.0, 3.0] {
+            t.push(SimTime::ZERO, Value::Double(v));
+        }
+        assert_eq!(t.max_f64(), Some(5.0));
+    }
+
+    #[test]
+    fn render_ragged_traces() {
+        let a = TraceBuffer::new();
+        let b = TraceBuffer::new();
+        a.push(SimTime::from_us(1), Value::Double(1.5));
+        a.push(SimTime::from_us(2), Value::Double(2.5));
+        b.push(SimTime::from_us(1), Value::Bool(true));
+        let table = render_traces(&[("sig_a", &a), ("led", &b)]);
+        let lines: Vec<&str> = table.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("sig_a") && lines[0].contains("led"));
+        assert!(lines[2].contains('-'), "missing sample rendered as dash");
+    }
+}

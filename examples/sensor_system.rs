@@ -1,0 +1,73 @@
+//! The paper's running example end-to-end: regenerates Table I for the
+//! Fig. 2 sensor system and demonstrates how the coverage result exposes
+//! the ADC-saturation interface bug.
+//!
+//! Run with: `cargo run --example sensor_system`
+
+use systemc_ams_dft::dft::{render_summary, render_table1, DftSession};
+use systemc_ams_dft::models::sensor::{
+    build_sensor_cluster, sensor_design, sensor_testcases, BUGGY_ADC_FULL_SCALE,
+    FIXED_ADC_FULL_SCALE,
+};
+use systemc_ams_dft::sim::{NullSink, Simulator};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("Sensor system (Fig. 1/Fig. 2) — data flow testing with TC1..TC3\n");
+
+    let design = sensor_design(BUGGY_ADC_FULL_SCALE)?;
+    let mut session = DftSession::new(design)?;
+    println!(
+        "static analysis: {} associations",
+        session.static_analysis().len()
+    );
+
+    for tc in sensor_testcases() {
+        let (cluster, _probes) = build_sensor_cluster(&tc, BUGGY_ADC_FULL_SCALE)?;
+        let run = session.run_testcase(&tc.name, cluster, tc.duration)?;
+        println!(
+            "  {}: {} associations exercised, {} warnings",
+            tc.name,
+            run.exercised.len(),
+            run.warnings.len()
+        );
+    }
+
+    let cov = session.coverage();
+    println!("\n=== Table I — SystemC-AMS TDF specific data flow associations ===\n");
+    println!("{}", render_table1(&cov));
+    println!("{}", render_summary(&cov));
+
+    // The paper's §IV-B.3 finding: TC2 was expected to switch T_LED on, but
+    // the 9-bit ADC saturates above 511 mV, so the pairs defined on lines
+    // 49-52 of ctrl are never exercised.
+    println!("=== the ADC interface bug ===");
+    let suspicious: Vec<String> = cov
+        .uncovered()
+        .iter()
+        .filter(|c| c.assoc.def_model == "ctrl" && (49..=52).contains(&c.assoc.def_line))
+        .map(|c| c.to_string())
+        .collect();
+    println!(
+        "uncovered associations from the T_LED branch (lines 49-52): {}",
+        suspicious.len()
+    );
+    for s in &suspicious {
+        println!("  {s}");
+    }
+
+    // Root-cause confirmation: rerun TC2 against a fixed ADC.
+    let tc2 = &sensor_testcases()[1];
+    let (buggy, probes_buggy) = build_sensor_cluster(tc2, BUGGY_ADC_FULL_SCALE)?;
+    Simulator::new(buggy)?.run(tc2.duration, &mut NullSink)?;
+    let (fixed, probes_fixed) = build_sensor_cluster(tc2, FIXED_ADC_FULL_SCALE)?;
+    Simulator::new(fixed)?.run(tc2.duration, &mut NullSink)?;
+    println!(
+        "\nTC2 with 9-bit ADC : T_LED max = {} (ADC saturates at 511 mV)",
+        probes_buggy.t_led.max_f64().unwrap_or(0.0)
+    );
+    println!(
+        "TC2 with fixed ADC : T_LED max = {} (over-temperature detected)",
+        probes_fixed.t_led.max_f64().unwrap_or(0.0)
+    );
+    Ok(())
+}

@@ -1,0 +1,44 @@
+//! # systemc-ams-dft — data flow testing for SystemC-AMS TDF models
+//!
+//! A complete Rust reproduction of *"Data Flow Testing for SystemC-AMS
+//! Timed Data Flow Models"* (Hassan, Große, Le, Drechsler — DATE 2019),
+//! bundling all subsystem crates behind one facade:
+//!
+//! | module | crate | role |
+//! |---|---|---|
+//! | [`lang`] | `minic` | C-like frontend for TDF `processing()` bodies (the Clang-AST stand-in) |
+//! | [`flow`] | `dataflow` | CFGs, reaching definitions, du-paths, dominators, liveness |
+//! | [`sim`] | `tdf-sim` | the Timed Data Flow simulation kernel + component library |
+//! | [`interp`] | `tdf-interp` | interpreted models with def/use instrumentation |
+//! | [`dft`] | `dft-core` | the paper's contribution: classification, coverage, criteria, reports |
+//! | [`signals`] | `stimuli` | test input signals, testcases, testsuites |
+//! | [`models`] | `ams-models` | the sensor system (Fig. 2), window lifter, buck-boost VPs |
+//!
+//! ## Quick start
+//!
+//! ```
+//! use systemc_ams_dft::dft::DftSession;
+//! use systemc_ams_dft::models::sensor;
+//!
+//! // Stage 1 (static): associations + Strong/Firm/PFirm/PWeak classes.
+//! let design = sensor::sensor_design(sensor::BUGGY_ADC_FULL_SCALE)?;
+//! let mut session = DftSession::new(design)?;
+//!
+//! // Stages 2+3 (dynamic + evaluation): run the paper's TC1..TC3.
+//! for tc in sensor::sensor_testcases() {
+//!     let (cluster, _probes) =
+//!         sensor::build_sensor_cluster(&tc, sensor::BUGGY_ADC_FULL_SCALE)?;
+//!     session.run_testcase(&tc.name, cluster, tc.duration)?;
+//! }
+//! let coverage = session.coverage();
+//! assert!(coverage.total_percent() > 50.0);
+//! # Ok::<(), systemc_ams_dft::dft::DftError>(())
+//! ```
+
+pub use ams_models as models;
+pub use dataflow as flow;
+pub use dft_core as dft;
+pub use minic as lang;
+pub use stimuli as signals;
+pub use tdf_interp as interp;
+pub use tdf_sim as sim;

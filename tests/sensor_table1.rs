@@ -1,0 +1,210 @@
+//! Integration test for experiment E1: the full Fig. 3 pipeline on the
+//! Fig. 2 sensor system, reproducing Table I through the public API.
+
+use systemc_ams_dft::dft::{render_table1, Association, Classification, Criterion, DftSession};
+use systemc_ams_dft::models::sensor::{
+    build_sensor_cluster, sensor_design, sensor_testcases, BUGGY_ADC_FULL_SCALE, DELAY_SITE_LINE,
+    GAIN_SITE_LINE,
+};
+
+fn run_session() -> DftSession {
+    let design = sensor_design(BUGGY_ADC_FULL_SCALE).expect("design builds");
+    let mut session = DftSession::new(design).expect("static analysis runs");
+    for tc in sensor_testcases() {
+        let (cluster, _) = build_sensor_cluster(&tc, BUGGY_ADC_FULL_SCALE).expect("cluster");
+        session
+            .run_testcase(&tc.name, cluster, tc.duration)
+            .expect("simulation");
+    }
+    session
+}
+
+#[test]
+fn static_association_count_matches_paper_scale() {
+    let session = run_session();
+    let n = session.static_analysis().len();
+    // The paper's Table I lists 74 associations for this example; our
+    // reconstruction (with the adc authored as a model) lands in the same
+    // range.
+    assert!(
+        (60..=90).contains(&n),
+        "sensor system association count {n} out of expected range"
+    );
+}
+
+#[test]
+fn all_four_classes_present_with_expected_cardinalities() {
+    let session = run_session();
+    let sa = session.static_analysis();
+    let strong = sa.of_class(Classification::Strong).len();
+    let firm = sa.of_class(Classification::Firm).len();
+    let pfirm = sa.of_class(Classification::PFirm).len();
+    let pweak = sa.of_class(Classification::PWeak).len();
+    assert!(strong > firm, "Strong dominates ({strong} vs {firm})");
+    assert_eq!(pfirm, 2, "exactly the two op_signal_out branches into AM");
+    assert_eq!(pweak, 1, "exactly the gain-redefined op_mux_out pair");
+}
+
+#[test]
+fn table1_classification_landmarks() {
+    let session = run_session();
+    let class_of = |a: Association| {
+        session
+            .static_analysis()
+            .associations
+            .iter()
+            .find(|c| c.assoc == a)
+            .map(|c| c.class)
+    };
+    // One row per Table I section, checked end-to-end through the facade.
+    assert_eq!(
+        class_of(Association::new("m_mux_s", 65, "ctrl", 66, "ctrl")),
+        Some(Classification::Strong)
+    );
+    assert_eq!(
+        class_of(Association::new("out_tmpr", 5, "TS", 14, "TS")),
+        Some(Classification::Firm)
+    );
+    assert_eq!(
+        class_of(Association::new(
+            "op_signal_out",
+            DELAY_SITE_LINE,
+            "sense_top",
+            36,
+            "AM"
+        )),
+        Some(Classification::PFirm)
+    );
+    assert_eq!(
+        class_of(Association::new(
+            "op_mux_out",
+            GAIN_SITE_LINE,
+            "sense_top",
+            85,
+            "adc"
+        )),
+        Some(Classification::PWeak)
+    );
+}
+
+#[test]
+fn tc_columns_match_expected_marks() {
+    let session = run_session();
+    let cov = session.coverage();
+    let idx_of = |a: Association| {
+        cov.associations()
+            .iter()
+            .position(|c| c.assoc == a)
+            .unwrap_or_else(|| panic!("{a} missing from static set"))
+    };
+
+    // (tmpr, 4, TS, 9, TS): exercised by TC1 and TC2 (paper). TC3 also
+    // evaluates the line-9 condition (TS keeps running at 0 V), which our
+    // execution-faithful instrumentation records as a use.
+    let tmpr = idx_of(Association::new("tmpr", 4, "TS", 9, "TS"));
+    assert!(cov.is_covered_by(tmpr, 0));
+    assert!(cov.is_covered_by(tmpr, 1));
+    // The then-branch pair (tmpr, 4, TS, 10, TS) is TC1/TC2-only: TC3's
+    // 0 V input never enters the 30..1500 mV window.
+    let tmpr_then = idx_of(Association::new("tmpr", 4, "TS", 10, "TS"));
+    assert!(cov.is_covered_by(tmpr_then, 0));
+    assert!(cov.is_covered_by(tmpr_then, 1));
+    assert!(!cov.is_covered_by(tmpr_then, 2));
+
+    // HS-local pairs only by TC3 (paper: "TC1 and TC2 ... were not able to
+    // exercise many associations specific to HS" — HS-*branch* pairs).
+    let hs_intr = idx_of(Association::new("intr_", 27, "HS", 28, "HS"));
+    assert!(!cov.is_covered_by(hs_intr, 0));
+    assert!(!cov.is_covered_by(hs_intr, 1));
+    assert!(cov.is_covered_by(hs_intr, 2));
+
+    // The PWeak pair is exercised by all three testcases (paper Table I).
+    let pweak = idx_of(Association::new(
+        "op_mux_out",
+        GAIN_SITE_LINE,
+        "sense_top",
+        85,
+        "adc",
+    ));
+    for t in 0..3 {
+        assert!(
+            cov.is_covered_by(pweak, t),
+            "PWeak exercised by TC{}",
+            t + 1
+        );
+    }
+}
+
+#[test]
+fn criteria_verdicts_match_paper() {
+    let session = run_session();
+    let cov = session.coverage();
+    // "There is still room for coverage improvement" — the example does
+    // not satisfy all-dataflow, but all-PWeak holds.
+    assert!(cov.satisfies(Criterion::AllPWeak));
+    assert!(!cov.satisfies(Criterion::AllStrong));
+    assert!(!cov.satisfies(Criterion::AllDataflow));
+    assert!(!cov.satisfies(Criterion::AllDefs));
+    let pct = cov.total_percent();
+    assert!((40.0..90.0).contains(&pct), "mid-range coverage: {pct:.1}%");
+}
+
+#[test]
+fn rendered_table_contains_paper_tuples() {
+    let session = run_session();
+    let table = render_table1(&session.coverage());
+    for needle in [
+        "(tmpr, 4, TS, 9, TS)",
+        "(op_intr, 13, TS, 43, ctrl)",
+        "(op_signal_out, 14, TS, 35, AM)",
+        "(op_signal_out, 74, sense_top, 36, AM)",
+        "(m_mux_s, 65, ctrl, 66, ctrl)",
+        "Strong",
+        "PFirm",
+        "PWeak",
+    ] {
+        assert!(table.contains(needle), "table missing {needle}\n{table}");
+    }
+}
+
+#[test]
+fn adc_bug_pairs_stay_uncovered_and_fix_covers_them() {
+    use systemc_ams_dft::models::sensor::FIXED_ADC_FULL_SCALE;
+    // Buggy: lines 50-52 pairs uncovered.
+    let session = run_session();
+    let cov = session.coverage();
+    let buggy_uncovered = cov
+        .uncovered()
+        .iter()
+        .filter(|c| c.assoc.def_model == "ctrl" && (50..=52).contains(&c.assoc.def_line))
+        .count();
+    assert!(buggy_uncovered >= 3);
+
+    // Fixed ADC: the same testsuite exercises the T_LED branch.
+    let design = sensor_design(FIXED_ADC_FULL_SCALE).expect("design");
+    let mut session = DftSession::new(design).expect("session");
+    for tc in sensor_testcases() {
+        let (cluster, _) = build_sensor_cluster(&tc, FIXED_ADC_FULL_SCALE).expect("cluster");
+        session
+            .run_testcase(&tc.name, cluster, tc.duration)
+            .expect("simulation");
+    }
+    let cov_fixed = session.coverage();
+    let fixed_uncovered: Vec<String> = cov_fixed
+        .uncovered()
+        .iter()
+        .filter(|c| c.assoc.def_model == "ctrl" && (50..=52).contains(&c.assoc.def_line))
+        .map(|c| c.to_string())
+        .collect();
+    // With the repaired ADC, TC2 reaches the T_LED branch, covering the
+    // op_clear/op_hold pairs. One residual pair remains: (m_mux_s, 52,
+    // ctrl, 61, ctrl) needs a humidity interrupt immediately after a
+    // T_LED event (the && at line 61 short-circuits otherwise) — the
+    // "room for coverage improvement" the paper acknowledges.
+    assert_eq!(
+        fixed_uncovered,
+        vec!["(m_mux_s, 52, ctrl, 61, ctrl) [Strong]".to_string()],
+        "only the short-circuited member pair stays uncovered"
+    );
+    assert!(cov_fixed.total_percent() > cov.total_percent());
+}

@@ -1,0 +1,60 @@
+//! Every shipped VP model must pass the minic semantic checker against its
+//! declared interface — the Rust-side equivalent of "the SystemC-AMS
+//! sources compile".
+
+use systemc_ams_dft::lang::type_check;
+use systemc_ams_dft::models::{buck_boost, sensor, window_lifter};
+
+fn assert_models_check(src: &str, defs: &[systemc_ams_dft::interp::TdfModelDef]) {
+    let tu = minic::parse(src).expect("source parses");
+    for def in defs {
+        let f = tu
+            .processing(&def.model)
+            .unwrap_or_else(|| panic!("{} has a processing()", def.model));
+        let result = type_check(f, &def.interface.external_decls());
+        assert!(
+            result.is_ok(),
+            "{} fails semantic checking: {:?}",
+            def.model,
+            result.errors
+        );
+    }
+}
+
+#[test]
+fn sensor_system_models_type_check() {
+    assert_models_check(
+        sensor::SENSOR_SRC,
+        &sensor::sensor_model_defs(sensor::BUGGY_ADC_FULL_SCALE),
+    );
+}
+
+#[test]
+fn window_lifter_models_type_check() {
+    assert_models_check(
+        window_lifter::WINDOW_LIFTER_SRC,
+        &window_lifter::lifter_model_defs(),
+    );
+}
+
+#[test]
+fn buck_boost_models_type_check() {
+    assert_models_check(buck_boost::BUCK_BOOST_SRC, &buck_boost::bb_model_defs());
+}
+
+#[test]
+fn checker_catches_seeded_scope_bug() {
+    // Mutate the sensor source: move a declaration below its first use —
+    // the interpreter would still run it (flat resolution), but the
+    // checker rejects it like a C++ compiler would.
+    let broken = sensor::SENSOR_SRC.replace(
+        "    double sig_in = ip_signal_in; // volts\n    double tmpr = sig_in*1000; //millivolts",
+        "    double tmpr = sig_in*1000; //millivolts\n    double sig_in = ip_signal_in; // volts",
+    );
+    assert_ne!(broken, sensor::SENSOR_SRC, "replacement applied");
+    let tu = minic::parse(&broken).expect("still parses");
+    let defs = sensor::sensor_model_defs(sensor::BUGGY_ADC_FULL_SCALE);
+    let ts = tu.processing("TS").unwrap();
+    let result = type_check(ts, &defs[0].interface.external_decls());
+    assert!(!result.is_ok(), "use-before-declaration must be rejected");
+}

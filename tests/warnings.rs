@@ -1,0 +1,192 @@
+//! Integration test for experiment E5: the §VI bug class "ports were not
+//! defined, but still used in a different TDF model — undefined behaviour
+//! according to SystemC-AMS standards. This cannot be detected by line
+//! coverage."
+
+use systemc_ams_dft::dft::{Design, DftSession, DynamicWarning, StaticLint};
+use systemc_ams_dft::interp::{Interface, InterpModule, TdfModelDef};
+use systemc_ams_dft::sim::{Cluster, FnSource, SimTime, Value};
+
+/// `producer` only writes its port when the input exceeds a threshold the
+/// stimulus never reaches; `consumer` uses the port unconditionally.
+const SRC: &str = "\
+void producer::processing()
+{
+    double v = ip_in;
+    if (v > 100) {
+        op_y = v;
+    }
+}
+void consumer::processing()
+{
+    double got = ip_x;
+    op_z = got * 2;
+}";
+
+fn defs() -> Vec<TdfModelDef> {
+    vec![
+        TdfModelDef::new(
+            "producer",
+            Interface::new()
+                .input("ip_in")
+                .output("op_y")
+                .timestep(SimTime::from_us(5)),
+        ),
+        TdfModelDef::new("consumer", Interface::new().input("ip_x").output("op_z")),
+    ]
+}
+
+fn build(level: f64) -> (Cluster, Design) {
+    let tu = minic::parse(SRC).unwrap();
+    let mut cluster = Cluster::new("top");
+    let src = cluster
+        .add_module(Box::new(FnSource::new(
+            "stim",
+            SimTime::from_us(5),
+            move |_| Value::Double(level),
+        )))
+        .unwrap();
+    let p = cluster
+        .add_module(Box::new(
+            InterpModule::new(&tu, "producer", defs()[0].interface.clone()).unwrap(),
+        ))
+        .unwrap();
+    let c = cluster
+        .add_module(Box::new(
+            InterpModule::new(&tu, "consumer", defs()[1].interface.clone()).unwrap(),
+        ))
+        .unwrap();
+    cluster.connect(src, "op_out", p, "ip_in").unwrap();
+    cluster.connect(p, "op_y", c, "ip_x").unwrap();
+    let design = Design::new(minic::parse(SRC).unwrap(), defs(), cluster.netlist()).unwrap();
+    (cluster, design)
+}
+
+#[test]
+fn undefined_port_use_raises_runtime_warning() {
+    let (cluster, design) = build(1.0); // threshold never crossed
+    let mut session = DftSession::new(design).unwrap();
+    let run = session
+        .run_testcase("TC_low", cluster, SimTime::from_us(50))
+        .unwrap();
+    assert!(
+        run.warnings.iter().any(|w| matches!(
+            w,
+            DynamicWarning::UndefinedSampleRead { model, var, .. }
+                if model == "consumer" && var == "ip_x"
+        )),
+        "consumer read an undefined port sample: {:?}",
+        run.warnings
+    );
+    // Line coverage would be perfect here — every line of consumer runs —
+    // yet the data flow report flags the undefined read.
+    assert!(!run.exercised.is_empty());
+}
+
+#[test]
+fn warning_disappears_once_port_is_defined() {
+    let (cluster, design) = build(200.0); // above threshold: port written
+    let mut session = DftSession::new(design).unwrap();
+    let run = session
+        .run_testcase("TC_high", cluster, SimTime::from_us(50))
+        .unwrap();
+    assert!(
+        run.warnings.is_empty(),
+        "defined port produces no warnings: {:?}",
+        run.warnings
+    );
+    // And the cross-model association is exercised instead.
+    assert!(run
+        .exercised
+        .iter()
+        .any(|a| a.var == "op_y" && a.use_model == "consumer"));
+}
+
+#[test]
+fn open_input_is_flagged_statically_and_dynamically() {
+    // An input with no driver at all: allowed only explicitly.
+    let tu = minic::parse(SRC).unwrap();
+    let mut cluster = Cluster::new("top");
+    cluster.allow_open_inputs(true);
+    let src = cluster
+        .add_module(Box::new(FnSource::new("stim", SimTime::from_us(5), |_| {
+            Value::Double(0.0)
+        })))
+        .unwrap();
+    let p = cluster
+        .add_module(Box::new(
+            InterpModule::new(&tu, "producer", defs()[0].interface.clone()).unwrap(),
+        ))
+        .unwrap();
+    // The disconnected consumer needs its own timestep anchor.
+    let consumer_iface = Interface::new()
+        .input("ip_x")
+        .output("op_z")
+        .timestep(SimTime::from_us(5));
+    let c = cluster
+        .add_module(Box::new(
+            InterpModule::new(&tu, "consumer", consumer_iface.clone()).unwrap(),
+        ))
+        .unwrap();
+    cluster.connect(src, "op_out", p, "ip_in").unwrap();
+    // consumer.ip_x left open on purpose; producer.op_y dangles.
+    let _ = (p, c);
+    let design = Design::new(
+        minic::parse(SRC).unwrap(),
+        vec![
+            defs()[0].clone(),
+            TdfModelDef::new("consumer", consumer_iface),
+        ],
+        cluster.netlist(),
+    )
+    .unwrap();
+    let mut session = DftSession::new(design).unwrap();
+    let run = session
+        .run_testcase("TC_open", cluster, SimTime::from_us(50))
+        .unwrap();
+    assert!(run.warnings.iter().any(|w| matches!(
+        w,
+        DynamicWarning::UndefinedSampleRead { var, .. } if var == "ip_x"
+    )));
+}
+
+#[test]
+fn static_lints_flag_dead_defs_and_never_written_ports() {
+    const LINT_SRC: &str = "\
+void sloppy::processing()
+{
+    double unused = ip_in * 2;
+    double used = 1;
+    op_y = used;
+}";
+    let tu = minic::parse(LINT_SRC).unwrap();
+    let mut cluster = Cluster::new("top");
+    cluster.allow_open_inputs(true);
+    let iface = Interface::new()
+        .input("ip_in")
+        .output("op_y")
+        .output("op_never")
+        .timestep(SimTime::from_us(5));
+    let m = cluster
+        .add_module(Box::new(
+            InterpModule::new(&tu, "sloppy", iface.clone()).unwrap(),
+        ))
+        .unwrap();
+    let _ = m;
+    let design = Design::new(
+        minic::parse(LINT_SRC).unwrap(),
+        vec![TdfModelDef::new("sloppy", iface)],
+        cluster.netlist(),
+    )
+    .unwrap();
+    let session = DftSession::new(design).unwrap();
+    let lints = &session.static_analysis().lints;
+    assert!(lints.iter().any(|l| matches!(
+        l,
+        StaticLint::DeadLocalDef { var, .. } if var == "unused"
+    )));
+    assert!(lints.iter().any(|l| matches!(
+        l,
+        StaticLint::NeverWrittenOutput { port, .. } if port == "op_never"
+    )));
+}
