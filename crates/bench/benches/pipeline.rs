@@ -5,7 +5,8 @@
 use ams_models::sensor::{
     build_sensor_cluster, sensor_design, sensor_testcases, BUGGY_ADC_FULL_SCALE,
 };
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dft_core::synth::synthetic_chain;
 use dft_core::DftSession;
 use std::hint::black_box;
 
@@ -63,5 +64,44 @@ fn bench_dynamic_matching(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_full_pipeline, bench_dynamic_matching);
+/// Thread scaling of the per-testcase dynamic log matching: one synthetic
+/// chain simulated once, its event log replayed as a batch of testcases
+/// through `analyse_events_batch` at 1..N workers.
+fn bench_matching_thread_scaling(c: &mut Criterion) {
+    use tdf_sim::{RecordingSink, SimTime, Simulator};
+    let mut group = c.benchmark_group("matching_thread_scaling");
+    group.sample_size(10);
+
+    let spec = synthetic_chain(12, false);
+    let design = spec.build_design().unwrap();
+    let cluster = spec.build_cluster().unwrap();
+    let mut sim = Simulator::new(cluster).unwrap();
+    let mut sink = RecordingSink::new();
+    sim.run(SimTime::from_ms(2), &mut sink).unwrap();
+    let logs: Vec<_> = (0..8).map(|_| sink.events.clone()).collect();
+
+    for &threads in &[1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    black_box(dft_core::analyse_events_batch(
+                        black_box(&design),
+                        &logs,
+                        threads,
+                    ))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_full_pipeline,
+    bench_dynamic_matching,
+    bench_matching_thread_scaling
+);
 criterion_main!(benches);

@@ -164,6 +164,18 @@ pub fn analyse_events(design: &Design, events: &[Event]) -> DynamicResult {
     }
 }
 
+/// Matches many event logs at once, fanning the per-log work of
+/// [`analyse_events`] out across up to `threads` scoped workers. Logs are
+/// independent, so this is a pure speedup: results come back in input
+/// order, identical to mapping [`analyse_events`] sequentially.
+pub fn analyse_events_batch(
+    design: &Design,
+    logs: &[Vec<Event>],
+    threads: usize,
+) -> Vec<DynamicResult> {
+    crate::par::par_map(logs, threads, |events| analyse_events(design, events))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -32,6 +32,7 @@ mod dynamic;
 mod error;
 mod explain;
 mod export;
+mod par;
 mod report;
 mod session;
 mod statics;
@@ -41,10 +42,11 @@ pub use assoc::{Association, Classification, ClassifiedAssoc};
 pub use classical::classical_pairs;
 pub use coverage::{Coverage, Criterion, TestcaseResult, UncoveredReason};
 pub use design::Design;
-pub use dynamic::{analyse_events, DynamicResult, DynamicWarning};
+pub use dynamic::{analyse_events, analyse_events_batch, DynamicResult, DynamicWarning};
 pub use error::{DftError, Result};
 pub use explain::explain_association;
 pub use export::{associations_to_csv, coverage_to_csv, diagnosis_to_csv};
+pub use par::thread_count;
 pub use report::{render_summary, render_table1, render_table2, Table2Row};
-pub use session::DftSession;
-pub use statics::{analyse, StaticAnalysis, StaticLint};
+pub use session::{DftSession, TestcaseSpec};
+pub use statics::{analyse, analyse_with_threads, StaticAnalysis, StaticLint};

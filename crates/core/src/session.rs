@@ -6,9 +6,32 @@ use tdf_sim::{Cluster, RecordingSink, SimTime, Simulator};
 
 use crate::coverage::{Coverage, TestcaseResult};
 use crate::design::Design;
-use crate::dynamic::analyse_events;
+use crate::dynamic::{analyse_events, analyse_events_batch};
 use crate::error::Result;
 use crate::statics::{analyse, StaticAnalysis};
+
+/// One testcase prepared for [`DftSession::run_testcases`]: a freshly built
+/// cluster plus its name and simulated duration.
+#[derive(Debug)]
+pub struct TestcaseSpec {
+    /// Report name of the testcase.
+    pub name: String,
+    /// The elaboratable cluster (testcases differ in stimulus sources).
+    pub cluster: Cluster,
+    /// How long to simulate.
+    pub duration: SimTime,
+}
+
+impl TestcaseSpec {
+    /// Bundles a testcase.
+    pub fn new(name: impl Into<String>, cluster: Cluster, duration: SimTime) -> TestcaseSpec {
+        TestcaseSpec {
+            name: name.into(),
+            cluster,
+            duration,
+        }
+    }
+}
 
 /// A data-flow-testing session over one design.
 ///
@@ -84,6 +107,42 @@ impl DftSession {
             warnings: result.warnings,
         });
         Ok(self.runs.last().expect("just pushed"))
+    }
+
+    /// Runs a batch of testcases: simulation stays sequential (module state
+    /// is not shared across threads), but the per-testcase event-log
+    /// matching — the log-analysis half of stage 2 — fans out across
+    /// [`crate::thread_count`] scoped workers. Results are appended in
+    /// batch order, so reports are byte-identical to running
+    /// [`DftSession::run_testcase`] once per entry.
+    ///
+    /// # Errors
+    ///
+    /// Propagates elaboration/simulation errors; on error, no result of
+    /// this batch is recorded.
+    pub fn run_testcases(&mut self, testcases: Vec<TestcaseSpec>) -> Result<&[TestcaseResult]> {
+        let mut logs = Vec::with_capacity(testcases.len());
+        for tc in testcases {
+            let mut sim = Simulator::new(tc.cluster)?;
+            let mut sink = RecordingSink::new();
+            sim.run(tc.duration, &mut sink)?;
+            logs.push((tc.name, sink.events));
+        }
+        let (names, events): (Vec<String>, Vec<_>) = logs.into_iter().unzip();
+        let results = analyse_events_batch(&self.design, &events, crate::thread_count());
+        let start = self.runs.len();
+        self.runs.extend(
+            names
+                .into_iter()
+                .zip(results)
+                .map(|(name, r)| TestcaseResult {
+                    name,
+                    exercised: r.exercised,
+                    defs_executed: r.defs_executed,
+                    warnings: r.warnings,
+                }),
+        );
+        Ok(&self.runs[start..])
     }
 
     /// All testcase results so far.
@@ -197,6 +256,39 @@ void B::processing()
             .expect("redefinition pair exists");
         assert!(!cov.is_covered(idx), "o = t never executed");
         assert!(!cov.uncovered().is_empty());
+    }
+
+    #[test]
+    fn batch_run_matches_sequential_runs() {
+        let (c1, design) = build_cluster(0.01);
+        let mut seq = DftSession::new(design).unwrap();
+        seq.run_testcase("TC1", c1, SimTime::from_us(3)).unwrap();
+        let (c2, _) = build_cluster(0.1);
+        seq.run_testcase("TC2", c2, SimTime::from_us(3)).unwrap();
+
+        let (b1, design) = build_cluster(0.01);
+        let (b2, _) = build_cluster(0.1);
+        let mut batch = DftSession::new(design).unwrap();
+        let appended = batch
+            .run_testcases(vec![
+                TestcaseSpec::new("TC1", b1, SimTime::from_us(3)),
+                TestcaseSpec::new("TC2", b2, SimTime::from_us(3)),
+            ])
+            .unwrap();
+        assert_eq!(appended.len(), 2);
+
+        assert_eq!(seq.runs().len(), batch.runs().len());
+        for (s, b) in seq.runs().iter().zip(batch.runs()) {
+            assert_eq!(s.name, b.name);
+            assert_eq!(s.exercised, b.exercised);
+            assert_eq!(s.defs_executed, b.defs_executed);
+            assert_eq!(s.warnings, b.warnings);
+        }
+        assert_eq!(
+            crate::render_table1(&seq.coverage()),
+            crate::render_table1(&batch.coverage()),
+            "reports byte-identical"
+        );
     }
 
     #[test]

@@ -17,7 +17,7 @@
 //!   start line (§V: "input ports are assigned the start location of their
 //!   TDF model"), e.g. `(ip_signal_in, 1, TS, 3, TS)`.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 
 use dataflow::{path_facts, Cfg, DefSite as FlowDef, Liveness, NodeId, ReachingDefs};
 use tdf_interp::VarKind;
@@ -58,7 +58,7 @@ pub enum StaticLint {
 }
 
 /// The result of the static stage.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct StaticAnalysis {
     /// All classified associations, deduplicated, in report order.
     pub associations: Vec<ClassifiedAssoc>,
@@ -125,24 +125,53 @@ impl ModelFlow {
     }
 }
 
-/// Runs the full static analysis over `design`.
+/// Runs the full static analysis over `design`, fanning the per-model work
+/// out across [`crate::thread_count`] workers.
 pub fn analyse(design: &Design) -> StaticAnalysis {
+    analyse_with_threads(design, crate::thread_count())
+}
+
+/// Runs the full static analysis on an explicit worker count.
+///
+/// The result is byte-identical for every `threads` value: workers only
+/// compute per-model artefacts, and the merge walks models in
+/// `design.user_models()` order, exactly like the sequential loop.
+pub fn analyse_with_threads(design: &Design, threads: usize) -> StaticAnalysis {
+    let models = design.user_models();
+
+    // Per-model flow construction + intra-model classification fan out;
+    // each worker also warms the model's reachability cache, which the
+    // cluster stage below reuses.
+    let per_model: Vec<(Vec<ClassifiedAssoc>, Vec<StaticLint>, ModelFlow)> =
+        crate::par::par_map(&models, threads, |&model| {
+            let flow = ModelFlow::compute(design, model);
+            let mut assocs = Vec::new();
+            let mut lints = Vec::new();
+            intra_model(design, model, &flow, &mut assocs);
+            member_cross_activation(design, model, &flow, &mut assocs);
+            input_port_pseudo_defs(design, model, &flow, &mut assocs);
+            lint_model(design, model, &flow, &mut lints);
+            (assocs, lints, flow)
+        });
+
     let mut out: Vec<ClassifiedAssoc> = Vec::new();
     let mut lints = Vec::new();
     let mut flows: HashMap<String, ModelFlow> = HashMap::new();
-    for model in design.user_models() {
-        flows.insert(model.to_owned(), ModelFlow::compute(design, model));
+    for (model, (assocs, model_lints, flow)) in models.iter().zip(per_model) {
+        out.extend(assocs);
+        lints.extend(model_lints);
+        flows.insert((*model).to_owned(), flow);
     }
 
-    for model in design.user_models() {
-        let flow = &flows[model];
-        intra_model(design, model, flow, &mut out);
-        member_cross_activation(design, model, flow, &mut out);
-        input_port_pseudo_defs(design, model, flow, &mut out);
-        lint_model(design, model, flow, &mut lints);
-    }
-    for model in design.user_models() {
-        cluster_ports(design, model, &flows, &mut out);
+    // The cluster stage reads all flows at once, so it runs after the
+    // barrier above — again one model per work item, merged in order.
+    let cluster: Vec<Vec<ClassifiedAssoc>> = crate::par::par_map(&models, threads, |&model| {
+        let mut assocs = Vec::new();
+        cluster_ports(design, model, &flows, &mut assocs);
+        assocs
+    });
+    for assocs in cluster {
+        out.extend(assocs);
     }
 
     // Deduplicate on the tuple, keeping the first (intra-activation)
@@ -226,7 +255,7 @@ fn member_cross_activation(
                     .map(|d| {
                         let clean = !redefs
                             .iter()
-                            .any(|&k| k != d.node && icfg.reachable_from(d.node, 1).contains(k));
+                            .any(|&k| k != d.node && icfg.reaches(d.node).contains(k));
                         (d.line, clean)
                     })
                     .collect()
@@ -250,7 +279,7 @@ fn member_cross_activation(
             for d in &escaping {
                 let def_clean = !redef_nodes
                     .iter()
-                    .any(|&k| k != d.node && flow.cfg.reachable_from(d.node, 1).contains(k));
+                    .any(|&k| k != d.node && flow.cfg.reaches(d.node).contains(k));
                 let class = if def_clean && use_clean {
                     Classification::Strong
                 } else {
@@ -303,7 +332,7 @@ fn upward_exposed(cfg: &Cfg, use_node: NodeId, redefs: &[NodeId]) -> bool {
 fn entry_to_use_clean(cfg: &Cfg, use_node: NodeId, redefs: &[NodeId]) -> bool {
     !redefs
         .iter()
-        .any(|&k| k != use_node && cfg.reachable_from(k, 1).contains(use_node))
+        .any(|&k| k != use_node && cfg.reaches(k).contains(use_node))
 }
 
 /// Pseudo-definitions for input ports driven from outside the analysed
@@ -438,8 +467,10 @@ fn cluster_ports(
     for p in &iface.outputs {
         let defs = flow.rd.defs_reaching_exit(&flow.cfg, &p.name);
         let branches = collect_branches(design.netlist(), model, &p.name);
-        // Group branches by destination model (§IV-B.1 rule d).
-        let mut by_dest: HashMap<&str, Vec<&Branch>> = HashMap::new();
+        // Group branches by destination model (§IV-B.1 rule d). A BTreeMap
+        // keeps the pre-dedup emission order independent of hasher state —
+        // dedup keeps the *first* duplicate, so iteration order matters.
+        let mut by_dest: BTreeMap<&str, Vec<&Branch>> = BTreeMap::new();
         for b in &branches {
             by_dest.entry(b.dest.model.as_str()).or_default().push(b);
         }
@@ -879,6 +910,16 @@ void N::processing() { op_z = ip_x; }";
         let sa = analyse(&d);
         assert!(find(&sa, "op_y", 3, "M", 6, "N").is_none(), "killed def");
         assert!(find(&sa, "op_y", 4, "M", 6, "N").is_some());
+    }
+
+    #[test]
+    fn thread_count_does_not_change_the_result() {
+        let d = pfirm_design();
+        let baseline = analyse_with_threads(&d, 1);
+        for threads in [2, 3, 8] {
+            assert_eq!(analyse_with_threads(&d, threads), baseline);
+        }
+        assert_eq!(analyse(&d), baseline, "default path agrees too");
     }
 
     #[test]

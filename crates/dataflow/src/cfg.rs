@@ -5,6 +5,7 @@
 //! nodes). Two synthetic nodes, entry and exit, bracket the graph.
 
 use std::fmt;
+use std::sync::OnceLock;
 
 use minic::{Function, Stmt, StmtId, StmtKind};
 
@@ -43,7 +44,7 @@ pub struct Node {
 }
 
 /// A control-flow graph of one `processing()` function.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Cfg {
     /// The TDF model (class) name the function belongs to.
     pub model: String,
@@ -52,6 +53,25 @@ pub struct Cfg {
     preds: Vec<Vec<NodeId>>,
     entry: NodeId,
     exit: NodeId,
+    /// Transitive closure (≥ 1 edge), one row per node; built lazily by
+    /// [`Cfg::reaches`] and shared across threads.
+    closure: OnceLock<Vec<BitSet>>,
+}
+
+impl Clone for Cfg {
+    /// The closure cache is dropped on clone: `looped()` clones and then
+    /// adds an edge, and a carried-over cache would go stale.
+    fn clone(&self) -> Cfg {
+        Cfg {
+            model: self.model.clone(),
+            nodes: self.nodes.clone(),
+            succs: self.succs.clone(),
+            preds: self.preds.clone(),
+            entry: self.entry,
+            exit: self.exit,
+            closure: OnceLock::new(),
+        }
+    }
 }
 
 impl Cfg {
@@ -81,6 +101,7 @@ impl Cfg {
             preds: b.preds,
             entry,
             exit,
+            closure: OnceLock::new(),
         }
     }
 
@@ -159,6 +180,51 @@ impl Cfg {
             }
         }
         seen
+    }
+
+    /// The cached transitive-closure row of `from`: every node reachable by
+    /// following ≥ 1 edge (`from` itself included only when it lies on a
+    /// cycle). Equivalent to `reachable_from(from, 1)` but computed once for
+    /// the whole graph and then answered by lookup, which turns the
+    /// O(pairs × defs × E) repeated BFS of du-path classification into
+    /// O(pairs × defs) bit tests.
+    pub fn reaches(&self, from: NodeId) -> &BitSet {
+        &self.closure()[from]
+    }
+
+    fn closure(&self) -> &[BitSet] {
+        self.closure.get_or_init(|| {
+            let n = self.len();
+            let mut rows: Vec<BitSet> = (0..n).map(|_| BitSet::new(n)).collect();
+            // Iterate row[v] = ∪_{s ∈ succ(v)} ({s} ∪ row[s]) to fixpoint.
+            // Postorder (successors before predecessors) settles acyclic
+            // regions in one sweep; back edges need the extra rounds.
+            let mut order = self.reverse_postorder();
+            order.reverse();
+            if order.len() < n {
+                // reverse_postorder only walks nodes reachable from entry;
+                // dead code (e.g. after an unconditional return) still gets
+                // a row.
+                let mut covered = BitSet::new(n);
+                covered.extend(order.iter().copied());
+                order.extend((0..n).filter(|&v| !covered.contains(v)));
+            }
+            loop {
+                let mut changed = false;
+                for &v in &order {
+                    let mut acc = BitSet::new(n);
+                    for &s in &self.succs[v] {
+                        acc.insert(s);
+                        acc.union_with(&rows[s]);
+                    }
+                    changed |= rows[v].union_with(&acc);
+                }
+                if !changed {
+                    break;
+                }
+            }
+            rows
+        })
     }
 
     /// Reverse postorder over the graph starting at entry (a good iteration
@@ -608,6 +674,41 @@ mod tests {
             cfg2.reachable_from(x2, 1).contains(x2),
             "loop node reaches itself"
         );
+    }
+
+    #[test]
+    fn reaches_agrees_with_bfs_on_every_node() {
+        let bodies = [
+            "x = 1; y = 2;",
+            "if (a) { x = 1; } y = 2;",
+            "while (i < 3) { i = i + 1; } done = 1;",
+            "for (int i = 0; i < 3; i++) { s += i; } t = s;",
+            "while (a) { if (b) break; else continue; } z = 1;",
+            "return; x = 1;", // dead code: rows beyond reverse postorder
+        ];
+        for body in bodies {
+            let plain = cfg_of(body);
+            let looped = plain.looped();
+            for cfg in [&plain, &looped] {
+                for v in 0..cfg.len() {
+                    assert_eq!(
+                        cfg.reaches(v),
+                        &cfg.reachable_from(v, 1),
+                        "closure row of n{v} in {body:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn clone_rebuilds_closure_after_edge_insertion() {
+        // looped() clones (dropping the cache) before adding exit->entry;
+        // a stale cache would claim exit reaches nothing.
+        let cfg = cfg_of("x = 1;");
+        assert!(cfg.reaches(cfg.exit()).is_empty());
+        let looped = cfg.looped();
+        assert!(looped.reaches(looped.exit()).contains(looped.entry()));
     }
 
     #[test]

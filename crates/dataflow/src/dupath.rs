@@ -37,6 +37,32 @@ impl PathFacts {
 /// intervenes when the node sits on a cycle).
 pub fn path_facts(cfg: &Cfg, rd: &ReachingDefs, pair: &DuPair) -> PathFacts {
     let def_site = rd.def(pair.def);
+    let from_def = cfg.reaches(def_site.node);
+    let mut has_non_du = false;
+    for other in rd.defs_of(&pair.var) {
+        if other.id == pair.def {
+            continue;
+        }
+        if !from_def.contains(other.node) {
+            continue;
+        }
+        if cfg.reaches(other.node).contains(pair.use_node) {
+            has_non_du = true;
+            break;
+        }
+    }
+    PathFacts {
+        has_du_path: true,
+        has_non_du_path: has_non_du,
+    }
+}
+
+/// Reference implementation of [`path_facts`] that re-runs a BFS per query
+/// instead of consulting the cached transitive closure. Kept for the
+/// cached-vs-uncached benchmarks and the property tests asserting the two
+/// agree; production callers should use [`path_facts`].
+pub fn path_facts_uncached(cfg: &Cfg, rd: &ReachingDefs, pair: &DuPair) -> PathFacts {
+    let def_site = rd.def(pair.def);
     let from_def = cfg.reachable_from(def_site.node, 1);
     let mut has_non_du = false;
     for other in rd.defs_of(&pair.var) {
@@ -46,8 +72,7 @@ pub fn path_facts(cfg: &Cfg, rd: &ReachingDefs, pair: &DuPair) -> PathFacts {
         if !from_def.contains(other.node) {
             continue;
         }
-        let from_other = cfg.reachable_from(other.node, 1);
-        if from_other.contains(pair.use_node) {
+        if cfg.reachable_from(other.node, 1).contains(pair.use_node) {
             has_non_du = true;
             break;
         }
@@ -124,7 +149,11 @@ fn dfs(
         if out.len() >= limit {
             return;
         }
-        if s == target && !path.is_empty() {
+        // The target check must come before the `on_path` check: when the
+        // pair's def and use share a node on a cycle, the target is on the
+        // path from the start, and checking `on_path` first would silently
+        // drop every such loop-carried pair.
+        if s == target {
             let mut nodes = path.clone();
             nodes.push(s);
             // Interior nodes are those strictly between def and use.
@@ -138,6 +167,12 @@ fn dfs(
             continue;
         }
         if on_path[s] {
+            continue;
+        }
+        // Prune subtrees that cannot reach the use at all (the cached
+        // closure makes this a bit test); they contribute no paths, so the
+        // enumeration order of the paths that *are* found is unchanged.
+        if !cfg.reaches(s).contains(target) {
             continue;
         }
         on_path[s] = true;
@@ -271,6 +306,75 @@ mod tests {
         let p = pair_of(&rd, "x", 0);
         let paths = enumerate_du_paths(&cfg, &rd, p, 5);
         assert_eq!(paths.len(), 5);
+    }
+
+    #[test]
+    fn self_pair_on_cycle_is_enumerated() {
+        // Regression: the loop-carried pair s=s+1 -> s=s+1 starts its DFS
+        // with the def/use node already on the path; enumeration must still
+        // emit the cycle path (def -> cond -> def) rather than dropping it.
+        let (cfg, rd) = analyse("s = 0; while (c) { s = s + 1; } t = s;");
+        let loop_def = rd.defs_of("s")[1].id;
+        let self_pair = rd
+            .pairs()
+            .iter()
+            .find(|p| p.def == loop_def && p.use_node == rd.def(loop_def).node)
+            .expect("loop-carried pair exists");
+        let paths = enumerate_du_paths(&cfg, &rd, self_pair, 16);
+        assert!(!paths.is_empty(), "cycle self-pair must be enumerated");
+        for sp in &paths {
+            assert_eq!(sp.nodes.first(), sp.nodes.last(), "path is a cycle");
+            assert!(sp.nodes.len() >= 2, "at least one edge");
+            assert!(sp.is_du_path, "no other def of s on the loop");
+        }
+        // And the closed-form facts agree with the enumeration.
+        let facts = path_facts(&cfg, &rd, self_pair);
+        assert!(facts.has_du_path);
+        assert!(!facts.has_non_du_path);
+    }
+
+    #[test]
+    fn self_pair_around_activation_loop_is_enumerated() {
+        // The same shape on a looped CFG: a member-style def at the end of
+        // the body feeding its own use in the next activation.
+        let src = "void M::processing() { y = m; m = x; }";
+        let tu = parse(src).unwrap();
+        let cfg = Cfg::from_function(&tu.functions[0]).looped();
+        let rd = ReachingDefs::compute(&cfg);
+        let pair = rd
+            .pairs()
+            .iter()
+            .find(|p| p.var == "m")
+            .expect("wrapped flow of m exists on the looped graph");
+        let paths = enumerate_du_paths(&cfg, &rd, pair, 16);
+        assert!(!paths.is_empty());
+        let facts = path_facts(&cfg, &rd, pair);
+        assert_eq!(facts.has_non_du_path, paths.iter().any(|p| !p.is_du_path));
+    }
+
+    #[test]
+    fn cached_and_uncached_facts_agree() {
+        let bodies = [
+            "x = 1; y = x;",
+            "x = 1; if (c) { x = 2; } y = x;",
+            "s = 0; while (c) { s = s + 1; } t = s;",
+            "for (int i = 0; i < 3; i++) { s = s + i; } t = s;",
+            "x = 1; while (a) { if (b) { x = 2; } y = x; } z = x;",
+        ];
+        for body in bodies {
+            let (plain, _) = analyse(body);
+            let looped = plain.looped();
+            for cfg in [&plain, &looped] {
+                let rd = ReachingDefs::compute(cfg);
+                for pair in rd.pairs() {
+                    assert_eq!(
+                        path_facts(cfg, &rd, pair),
+                        path_facts_uncached(cfg, &rd, pair),
+                        "{body}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

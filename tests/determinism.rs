@@ -1,0 +1,59 @@
+//! The parallel pipeline must be a pure speedup: whatever the worker
+//! count, the static analysis, the per-testcase dynamic matching and the
+//! rendered coverage reports have to come out byte-identical.
+
+use systemc_ams_dft::dft::synth::synthetic_chain;
+use systemc_ams_dft::dft::{
+    analyse_with_threads, render_summary, render_table1, DftSession, TestcaseSpec,
+};
+use systemc_ams_dft::models::sensor::{
+    build_sensor_cluster, sensor_design, sensor_testcases, BUGGY_ADC_FULL_SCALE,
+};
+
+#[test]
+fn static_analysis_is_thread_count_invariant() {
+    for design in [
+        sensor_design(BUGGY_ADC_FULL_SCALE).unwrap(),
+        synthetic_chain(12, true).build_design().unwrap(),
+        synthetic_chain(5, false).build_design().unwrap(),
+    ] {
+        let baseline = analyse_with_threads(&design, 1);
+        for threads in [2, 4, 16] {
+            let parallel = analyse_with_threads(&design, threads);
+            assert_eq!(
+                parallel, baseline,
+                "static analysis differs at {threads} threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn full_pipeline_reports_are_byte_identical() {
+    // Sequential run_testcase loop…
+    let mut seq = DftSession::new(sensor_design(BUGGY_ADC_FULL_SCALE).unwrap()).unwrap();
+    for tc in sensor_testcases() {
+        let (cluster, _) = build_sensor_cluster(&tc, BUGGY_ADC_FULL_SCALE).unwrap();
+        seq.run_testcase(&tc.name, cluster, tc.duration).unwrap();
+    }
+
+    // …versus the batch API with parallel log matching.
+    let mut batch = DftSession::new(sensor_design(BUGGY_ADC_FULL_SCALE).unwrap()).unwrap();
+    let specs = sensor_testcases()
+        .into_iter()
+        .map(|tc| {
+            let (cluster, _) = build_sensor_cluster(&tc, BUGGY_ADC_FULL_SCALE).unwrap();
+            TestcaseSpec::new(&tc.name, cluster, tc.duration)
+        })
+        .collect();
+    batch.run_testcases(specs).unwrap();
+
+    let (cov_seq, cov_batch) = (seq.coverage(), batch.coverage());
+    assert_eq!(render_table1(&cov_seq), render_table1(&cov_batch));
+    assert_eq!(render_summary(&cov_seq), render_summary(&cov_batch));
+    assert_eq!(seq.runs().len(), batch.runs().len());
+    for (s, b) in seq.runs().iter().zip(batch.runs()) {
+        assert_eq!(s.exercised, b.exercised);
+        assert_eq!(s.warnings, b.warnings);
+    }
+}

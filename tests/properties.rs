@@ -85,6 +85,68 @@ proptest! {
     }
 }
 
+// ------------------------------------------------------- reachability cache
+
+/// Like [`arb_body`] but with `while` loops in the mix, so the generated
+/// CFGs contain cycles (the interesting case for the closure cache).
+fn arb_loopy_body(depth: u32) -> BoxedStrategy<String> {
+    let vars = prop_oneof![Just("a"), Just("b"), Just("c"), Just("d")];
+    let assign =
+        (vars.clone(), vars.clone(), 0i64..100).prop_map(|(t, x, k)| format!("{t} = {x} + {k};"));
+    if depth == 0 {
+        return prop::collection::vec(assign, 1..4)
+            .prop_map(|v| v.join("\n"))
+            .boxed();
+    }
+    let nested = arb_loopy_body(depth - 1);
+    let iff = (vars.clone(), nested.clone(), nested.clone())
+        .prop_map(|(c, t, e)| format!("if ({c} > 10) {{\n{t}\n}} else {{\n{e}\n}}"));
+    let wh =
+        (vars.clone(), nested.clone()).prop_map(|(c, b)| format!("while ({c} < 50) {{\n{b}\n}}"));
+    let stmt = prop_oneof![3 => assign, 1 => iff, 2 => wh];
+    prop::collection::vec(stmt, 1..5)
+        .prop_map(|v| v.join("\n"))
+        .boxed()
+}
+
+fn arb_loopy_program() -> impl Strategy<Value = String> {
+    arb_loopy_body(2).prop_map(|body| {
+        format!("void M::processing()\n{{\na = 1;\nb = 2;\nc = 3;\nd = 4;\n{body}\n}}")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The cached transitive closure answers exactly what a fresh BFS
+    /// answers, for every node of random cyclic CFGs (plain and with the
+    /// activation loop), and the cached path facts match the uncached
+    /// reference implementation on every reaching pair.
+    #[test]
+    fn closure_cache_agrees_with_fresh_bfs(src in arb_loopy_program()) {
+        use systemc_ams_dft::flow::path_facts_uncached;
+        let tu = minic::parse(&src).expect("generated programs parse");
+        let plain = Cfg::from_function(&tu.functions[0]);
+        let looped = plain.looped();
+        for cfg in [&plain, &looped] {
+            for v in 0..cfg.len() {
+                prop_assert_eq!(
+                    cfg.reaches(v),
+                    &cfg.reachable_from(v, 1),
+                    "closure row of n{} in\n{}", v, src
+                );
+            }
+            let rd = ReachingDefs::compute(cfg);
+            for pair in rd.pairs() {
+                prop_assert_eq!(
+                    path_facts(cfg, &rd, pair),
+                    path_facts_uncached(cfg, &rd, pair)
+                );
+            }
+        }
+    }
+}
+
 // ---------------------------------------------------------------- bitset
 
 proptest! {

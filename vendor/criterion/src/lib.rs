@@ -1,0 +1,297 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the subset of the criterion API the workspace benches use
+//! (`criterion_group!` / `criterion_main!`, `Criterion::benchmark_group`,
+//! `bench_function`, `bench_with_input`, `sample_size`, `throughput`,
+//! `BenchmarkId`, `black_box`) on top of a plain wall-clock harness:
+//! warm up, pick an iteration count targeting a fixed sample duration,
+//! take N samples, report min/median/max per iteration.
+//!
+//! It is intentionally simpler than criterion (no statistics beyond the
+//! order statistics, no HTML reports, no baselines) but produces stable
+//! comparable numbers for the cached-vs-uncached and 1-vs-N-thread
+//! experiments in this repo.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target duration of one measurement sample.
+const TARGET_SAMPLE: Duration = Duration::from_millis(20);
+/// Warm-up budget per benchmark.
+const WARMUP: Duration = Duration::from_millis(50);
+/// Hard cap on total measurement time per benchmark.
+const MEASURE_CAP: Duration = Duration::from_secs(3);
+
+/// Top-level benchmark driver, handed to every `criterion_group!` target.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("\n== {name}");
+        BenchmarkGroup {
+            group: name,
+            sample_size: self.sample_size,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmarks `f` outside any group.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&name.into(), self.sample_size, None, f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing sample-size and throughput
+/// settings.
+pub struct BenchmarkGroup<'a> {
+    group: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of measurement samples for subsequent benchmarks.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Declares the amount of work per iteration for subsequent
+    /// benchmarks; reported as a rate.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benchmarks `f` under `group/name`.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.group, name.into());
+        run_one(&label, self.sample_size, self.throughput, f);
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input under an id-labelled name.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.group, id.label);
+        run_one(&label, self.sample_size, self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; drop does the work).
+    pub fn finish(self) {}
+}
+
+/// Identifies one parameterised benchmark within a group.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered as `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id that is just the parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Work performed per iteration, for rate reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Iterations process this many abstract elements.
+    Elements(u64),
+    /// Iterations process this many bytes.
+    Bytes(u64),
+}
+
+/// Passed to the benchmark closure; runs and times the routine.
+pub struct Bencher {
+    sample_size: usize,
+    /// Measured nanoseconds per iteration, one entry per sample.
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times `routine`, storing per-iteration samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run until the budget is spent, estimating cost.
+        let mut iters_done: u64 = 0;
+        let warm_start = Instant::now();
+        loop {
+            black_box(routine());
+            iters_done += 1;
+            if warm_start.elapsed() >= WARMUP {
+                break;
+            }
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / iters_done as f64;
+        let iters_per_sample = ((TARGET_SAMPLE.as_secs_f64() / per_iter).ceil() as u64).max(1);
+
+        let measure_start = Instant::now();
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            let ns = t.elapsed().as_nanos() as f64 / iters_per_sample as f64;
+            self.samples.push(ns);
+            if measure_start.elapsed() >= MEASURE_CAP && self.samples.len() >= 2 {
+                break;
+            }
+        }
+    }
+
+    /// Like [`Bencher::iter`] for routines that consume a fresh input per
+    /// iteration (the setup is included in the timing, as with
+    /// `iter_batched` under `PerIteration` — good enough here).
+    pub fn iter_with_large_drop<O, R: FnMut() -> O>(&mut self, routine: R) {
+        self.iter(routine);
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    label: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let mut b = Bencher {
+        sample_size,
+        samples: Vec::new(),
+    };
+    f(&mut b);
+    if b.samples.is_empty() {
+        eprintln!("{label:<52} (no samples)");
+        return;
+    }
+    b.samples.sort_by(|a, c| a.partial_cmp(c).expect("finite"));
+    let min = b.samples[0];
+    let med = b.samples[b.samples.len() / 2];
+    let max = b.samples[b.samples.len() - 1];
+    let rate = throughput.map(|t| match t {
+        Throughput::Elements(n) => format!("  thrpt: {}/s", human_rate(n as f64 / (med * 1e-9))),
+        Throughput::Bytes(n) => format!("  thrpt: {}B/s", human_rate(n as f64 / (med * 1e-9))),
+    });
+    eprintln!(
+        "{label:<52} time: [{} {} {}]{}",
+        human_ns(min),
+        human_ns(med),
+        human_ns(max),
+        rate.unwrap_or_default()
+    );
+}
+
+fn human_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn human_rate(per_sec: f64) -> String {
+    if per_sec >= 1e9 {
+        format!("{:.2} G", per_sec / 1e9)
+    } else if per_sec >= 1e6 {
+        format!("{:.2} M", per_sec / 1e6)
+    } else if per_sec >= 1e3 {
+        format!("{:.2} K", per_sec / 1e3)
+    } else {
+        format!("{per_sec:.1} ")
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $config;
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("self_test");
+        g.sample_size(3);
+        let mut ran = false;
+        g.bench_function("noop", |b| {
+            b.iter(|| black_box(1 + 1));
+            ran = true;
+        });
+        g.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn id_formats() {
+        assert_eq!(BenchmarkId::new("chain", 16).label, "chain/16");
+        assert_eq!(BenchmarkId::from_parameter(7).label, "7");
+    }
+}

@@ -1,0 +1,364 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The workspace builds in air-gapped environments where crates.io is
+//! unreachable, so the strategy combinators and macros its property tests
+//! actually use are reimplemented here: `proptest!`, `prop_assert!`,
+//! `prop_assert_eq!`, `prop_oneof!`, `Just`, ranges, tuples,
+//! `prop::collection::vec`, `prop::bool::ANY`, `any::<T>()`, `prop_map`,
+//! `boxed` and a small regex-subset string strategy.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * **No shrinking.** A failing case panics with the case index and the
+//!   derived seed; cases are deterministic per (test name, case index), so
+//!   a failure reproduces by rerunning the test.
+//! * **Deterministic seeding.** Runs are reproducible across machines —
+//!   convenient for CI, weaker at exploration than proptest's persisted
+//!   random seeds.
+//! * Strategies are plain samplers (no value trees).
+
+#![warn(missing_docs)]
+
+pub mod strategy;
+pub mod test_runner;
+
+/// String generation from a tiny regex subset; used via the
+/// `impl Strategy for &str`.
+mod string_regex;
+
+/// Boolean strategies (`prop::bool::ANY`).
+pub mod bool {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy yielding uniformly random booleans.
+    #[derive(Debug, Clone, Copy)]
+    pub struct BoolAny;
+
+    /// The canonical boolean strategy.
+    pub const ANY: BoolAny = BoolAny;
+
+    impl Strategy for BoolAny {
+        type Value = bool;
+        fn sample(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Inclusive length bounds for generated collections.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with lengths drawn from the size range.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates vectors of values drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let n = rng.below_inclusive(self.size.lo, self.size.hi);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Configuration accepted by `#![proptest_config(...)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Why a generated case failed.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// An assertion failed with this message.
+    Fail(String),
+    /// The case asked to be discarded (unused here, kept for parity).
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "{m}"),
+            TestCaseError::Reject(m) => write!(f, "rejected: {m}"),
+        }
+    }
+}
+
+/// Everything a property-test module typically imports.
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, ProptestConfig,
+        TestCaseError,
+    };
+
+    /// Namespaced strategy modules, mirroring `proptest::prelude::prop`.
+    pub mod prop {
+        pub use crate::bool;
+        pub use crate::collection;
+    }
+}
+
+/// Declares property tests.
+///
+/// ```
+/// use proptest::prelude::*;
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(32))]
+///     // (in real tests, prefix each fn with #[test])
+///     fn addition_commutes(a in 0i64..1000, b in 0i64..1000) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// # fn main() { addition_commutes(); }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_each! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_each! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Internal: expands one test fn at a time.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_each {
+    (($cfg:expr); ) => {};
+    (($cfg:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __pt_config: $crate::ProptestConfig = $cfg;
+            let __pt_seed = $crate::test_runner::name_seed(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            for __pt_case in 0..__pt_config.cases {
+                let mut __pt_rng =
+                    $crate::test_runner::TestRng::for_case(__pt_seed, __pt_case);
+                $(let $arg =
+                    $crate::strategy::Strategy::sample(&($strat), &mut __pt_rng);)+
+                let __pt_result = (move ||
+                    -> ::std::result::Result<(), $crate::TestCaseError> {
+                    $body
+                    #[allow(unreachable_code)]
+                    ::std::result::Result::Ok(())
+                })();
+                if let ::std::result::Result::Err(e) = __pt_result {
+                    panic!(
+                        "proptest {} failed at case {}/{} (seed {:#x}): {}",
+                        stringify!($name),
+                        __pt_case,
+                        __pt_config.cases,
+                        __pt_seed,
+                        e,
+                    );
+                }
+            }
+        }
+        $crate::__proptest_each! { ($cfg); $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__pt_l, __pt_r) = (&$a, &$b);
+        if !(*__pt_l == *__pt_r) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: `{:?}` != `{:?}` ({} == {})",
+                __pt_l, __pt_r, stringify!($a), stringify!($b),
+            )));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (__pt_l, __pt_r) = (&$a, &$b);
+        if !(*__pt_l == *__pt_r) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "{}: `{:?}` != `{:?}`",
+                format!($($fmt)+),
+                __pt_l,
+                __pt_r,
+            )));
+        }
+    }};
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__pt_l, __pt_r) = (&$a, &$b);
+        if *__pt_l == *__pt_r {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: `{:?}` == `{:?}` ({} != {})",
+                __pt_l,
+                __pt_r,
+                stringify!($a),
+                stringify!($b),
+            )));
+        }
+    }};
+}
+
+/// Chooses among several strategies of the same value type, optionally
+/// weighted (`prop_oneof![3 => a, 1 => b]`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_in_bounds(a in 5i64..10, b in 0.0f64..1.0, n in 1usize..4) {
+            prop_assert!((5..10).contains(&a));
+            prop_assert!((0.0..1.0).contains(&b));
+            prop_assert!((1..4).contains(&n));
+        }
+
+        #[test]
+        fn vec_respects_sizes(v in prop::collection::vec(any::<bool>(), 7)) {
+            prop_assert_eq!(v.len(), 7);
+        }
+
+        #[test]
+        fn oneof_and_map(s in prop_oneof![2 => Just("x"), 1 => Just("y")]
+            .prop_map(|c| c.to_string()))
+        {
+            prop_assert!(s == "x" || s == "y");
+        }
+
+        #[test]
+        fn regex_charclass(s in "[a-c]{2,5}") {
+            prop_assert!((2..=5).contains(&s.len()));
+            prop_assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn runs_generated_tests() {
+        ranges_in_bounds();
+        vec_respects_sizes();
+        oneof_and_map();
+        regex_charclass();
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        use crate::strategy::Strategy;
+        let seed = crate::test_runner::name_seed("x");
+        let s = crate::collection::vec(crate::strategy::any::<u64>(), 0..10);
+        let a: Vec<Vec<u64>> = (0..20)
+            .map(|c| s.sample(&mut crate::test_runner::TestRng::for_case(seed, c)))
+            .collect();
+        let b: Vec<Vec<u64>> = (0..20)
+            .map(|c| s.sample(&mut crate::test_runner::TestRng::for_case(seed, c)))
+            .collect();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,194 @@
+//! String generation from a small regex subset.
+//!
+//! Supported syntax: literal characters, escapes (`\n`, `\t`, `\r`, `\\`
+//! and escaped metacharacters), character classes `[a-z0-9_]` (ranges and
+//! escapes, no negation), and the quantifiers `{m,n}`, `{n}`, `*`, `+`,
+//! `?` (unbounded repetitions are capped at 8). Anything unparsable falls
+//! back to generating the pattern text literally.
+
+use crate::test_runner::TestRng;
+
+enum Item {
+    Literal(char),
+    Class(Vec<(char, char)>),
+}
+
+struct Piece {
+    item: Item,
+    min: usize,
+    max: usize,
+}
+
+/// Draws one string matching `pattern`.
+pub fn sample(pattern: &str, rng: &mut TestRng) -> String {
+    match parse(pattern) {
+        Some(pieces) => {
+            let mut out = String::new();
+            for p in &pieces {
+                let n = rng.below_inclusive(p.min, p.max);
+                for _ in 0..n {
+                    out.push(match &p.item {
+                        Item::Literal(c) => *c,
+                        Item::Class(ranges) => {
+                            let total: usize = ranges
+                                .iter()
+                                .map(|(lo, hi)| (*hi as usize) - (*lo as usize) + 1)
+                                .sum();
+                            let mut pick = rng.below_inclusive(0, total - 1);
+                            let mut chosen = ' ';
+                            for (lo, hi) in ranges {
+                                let span = (*hi as usize) - (*lo as usize) + 1;
+                                if pick < span {
+                                    chosen =
+                                        char::from_u32(*lo as u32 + pick as u32).unwrap_or(*lo);
+                                    break;
+                                }
+                                pick -= span;
+                            }
+                            chosen
+                        }
+                    });
+                }
+            }
+            out
+        }
+        None => pattern.to_owned(),
+    }
+}
+
+fn parse(pattern: &str) -> Option<Vec<Piece>> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0;
+    let mut pieces = Vec::new();
+    while i < chars.len() {
+        let item = match chars[i] {
+            '[' => {
+                let (ranges, next) = parse_class(&chars, i + 1)?;
+                i = next;
+                Item::Class(ranges)
+            }
+            '\\' => {
+                i += 1;
+                let c = escape(*chars.get(i)?);
+                i += 1;
+                Item::Literal(c)
+            }
+            '(' | ')' | '|' | '.' | '^' | '$' => return None, // unsupported
+            c => {
+                i += 1;
+                Item::Literal(c)
+            }
+        };
+        let (min, max) = match chars.get(i) {
+            Some('{') => {
+                let close = chars[i..].iter().position(|&c| c == '}')? + i;
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((lo, hi)) => (lo.trim().parse().ok()?, hi.trim().parse().ok()?),
+                    None => {
+                        let n = body.trim().parse().ok()?;
+                        (n, n)
+                    }
+                }
+            }
+            Some('*') => {
+                i += 1;
+                (0, 8)
+            }
+            Some('+') => {
+                i += 1;
+                (1, 8)
+            }
+            Some('?') => {
+                i += 1;
+                (0, 1)
+            }
+            _ => (1, 1),
+        };
+        if min > max {
+            return None;
+        }
+        pieces.push(Piece { item, min, max });
+    }
+    Some(pieces)
+}
+
+fn parse_class(chars: &[char], mut i: usize) -> Option<(Vec<(char, char)>, usize)> {
+    let mut ranges = Vec::new();
+    loop {
+        let c = *chars.get(i)?;
+        if c == ']' {
+            if ranges.is_empty() {
+                return None;
+            }
+            return Some((ranges, i + 1));
+        }
+        let lo = if c == '\\' {
+            i += 1;
+            escape(*chars.get(i)?)
+        } else {
+            c
+        };
+        i += 1;
+        if chars.get(i) == Some(&'-') && chars.get(i + 1).is_some_and(|&n| n != ']') {
+            i += 1;
+            let hc = *chars.get(i)?;
+            let hi = if hc == '\\' {
+                i += 1;
+                escape(*chars.get(i)?)
+            } else {
+                hc
+            };
+            i += 1;
+            if lo > hi {
+                return None;
+            }
+            ranges.push((lo, hi));
+        } else {
+            ranges.push((lo, lo));
+        }
+    }
+}
+
+fn escape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ascii_class_with_newline() {
+        let mut rng = TestRng::new(3);
+        for _ in 0..200 {
+            let s = sample("[ -~\n]{0,200}", &mut rng);
+            assert!(s.len() <= 200);
+            assert!(s.chars().all(|c| c == '\n' || (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn quantifiers() {
+        let mut rng = TestRng::new(9);
+        for _ in 0..50 {
+            assert_eq!(sample("ab{3}", &mut rng), "abbb");
+            let s = sample("a+", &mut rng);
+            assert!(!s.is_empty() && s.chars().all(|c| c == 'a'));
+            let o = sample("x?", &mut rng);
+            assert!(o.is_empty() || o == "x");
+        }
+    }
+
+    #[test]
+    fn unsupported_falls_back_to_literal() {
+        let mut rng = TestRng::new(1);
+        assert_eq!(sample("(a|b)", &mut rng), "(a|b)");
+    }
+}

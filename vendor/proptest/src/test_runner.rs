@@ -1,0 +1,50 @@
+//! The deterministic PRNG driving strategy sampling.
+
+/// A SplitMix64 generator; every (test, case) pair gets its own instance,
+/// so failures reproduce exactly on rerun.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// A generator seeded directly.
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// The generator for one case of one property.
+    pub fn for_case(name_seed: u64, case: u32) -> Self {
+        TestRng::new(name_seed ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+
+    /// The next raw word.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform f64 in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform usize in `lo..=hi`.
+    pub fn below_inclusive(&mut self, lo: usize, hi: usize) -> usize {
+        debug_assert!(lo <= hi);
+        lo + (self.next_u64() as usize) % (hi - lo + 1)
+    }
+}
+
+/// FNV-1a over a test's full path — the per-test base seed.
+pub fn name_seed(name: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
