@@ -5,7 +5,7 @@
 use ams_models::sensor::{
     build_sensor_cluster, sensor_design, sensor_testcases, BUGGY_ADC_FULL_SCALE,
 };
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, BenchmarkId, Criterion};
 use dft_core::synth::synthetic_chain;
 use dft_core::DftSession;
 use std::hint::black_box;
@@ -104,4 +104,21 @@ criterion_group!(
     bench_dynamic_matching,
     bench_matching_thread_scaling
 );
-criterion_main!(benches);
+
+fn main() {
+    benches();
+    // Record the reachability-cache hit rate accumulated over the run
+    // (needs DFT_METRICS=1; a fresh Cfg misses once, then every further
+    // reaches() query hits the shared transitive closure).
+    let report = dft_core::MetricsReport::capture();
+    let (hits, misses) = (
+        report.counter("cfg.reach_cache.hit"),
+        report.counter("cfg.reach_cache.miss"),
+    );
+    if hits + misses > 0 {
+        println!(
+            "reach-cache: {hits} hits / {misses} misses ({:.1}% hit rate)",
+            100.0 * hits as f64 / (hits + misses) as f64
+        );
+    }
+}

@@ -7,7 +7,7 @@
 use ams_models::sensor::{
     build_sensor_cluster, sensor_design, sensor_testcases, BUGGY_ADC_FULL_SCALE,
 };
-use dft_core::{render_summary, render_table1, Classification, DftSession};
+use dft_core::{render_summary, render_table1, Classification, DftSession, MetricsReport};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let design = sensor_design(BUGGY_ADC_FULL_SCALE)?;
@@ -28,6 +28,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for class in Classification::ALL {
         let (c, t) = cov.class_ratio(class);
         println!("{class}: {c}/{t} exercised");
+    }
+
+    let report = MetricsReport::capture();
+    if !report.is_empty() {
+        println!(
+            "\npipeline stage timings (DFT_METRICS):\n\n{}",
+            report.to_text()
+        );
     }
     Ok(())
 }

@@ -5,7 +5,7 @@
 //! Run with: `cargo run --release -p dft-bench --bin table2`
 
 use dft_bench::{buck_boost_rows, window_lifter_rows};
-use dft_core::render_table2;
+use dft_core::{render_table2, MetricsReport};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("TABLE II");
@@ -15,5 +15,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     rows.extend(buck_boost_rows()?);
     println!("{}", render_table2(&rows));
     println!("T: Total   S: Strong   F: Firm   PF: PFirm   PW: PWeak");
+
+    let report = MetricsReport::capture();
+    if !report.is_empty() {
+        println!(
+            "\npipeline stage timings (DFT_METRICS):\n\n{}",
+            report.to_text()
+        );
+    }
     Ok(())
 }

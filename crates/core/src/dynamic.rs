@@ -67,6 +67,9 @@ pub struct DynamicResult {
 ///   variable in the same model (members are seeded with a start-line
 ///   pseudo-definition because elaboration initialises them).
 pub fn analyse_events(design: &Design, events: &[Event]) -> DynamicResult {
+    let _span = obs::span("stage.match");
+    static EVENTS_MATCHED: obs::Counter = obs::Counter::new("match.events");
+    EVENTS_MATCHED.add(events.len() as u64);
     let mut exercised: HashSet<Association> = HashSet::new();
     let mut defs_executed: HashSet<(String, String, u32)> = HashSet::new();
     let mut warnings: Vec<DynamicWarning> = Vec::new();
@@ -157,6 +160,8 @@ pub fn analyse_events(design: &Design, events: &[Event]) -> DynamicResult {
         }
     }
 
+    static ASSOC_EXERCISED: obs::Counter = obs::Counter::new("match.associations_exercised");
+    ASSOC_EXERCISED.add(exercised.len() as u64);
     DynamicResult {
         exercised,
         defs_executed,

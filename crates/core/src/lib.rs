@@ -46,6 +46,7 @@ pub use dynamic::{analyse_events, analyse_events_batch, DynamicResult, DynamicWa
 pub use error::{DftError, Result};
 pub use explain::explain_association;
 pub use export::{associations_to_csv, coverage_to_csv, diagnosis_to_csv};
+pub use obs::{self, MetricsReport, TimerStat};
 pub use par::thread_count;
 pub use report::{render_summary, render_table1, render_table2, Table2Row};
 pub use session::{DftSession, TestcaseSpec};

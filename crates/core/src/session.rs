@@ -2,7 +2,10 @@
 //! dynamic analysis per testcase, then coverage evaluation — with the
 //! uncovered-association work list driving the "tests addition" loop.
 
-use tdf_sim::{Cluster, RecordingSink, SimTime, Simulator};
+use std::time::Instant;
+
+use obs::MetricsReport;
+use tdf_sim::{Cluster, Event, RecordingSink, SimTime, Simulator};
 
 use crate::coverage::{Coverage, TestcaseResult};
 use crate::design::Design;
@@ -96,10 +99,8 @@ impl DftSession {
         cluster: Cluster,
         duration: SimTime,
     ) -> Result<&TestcaseResult> {
-        let mut sim = Simulator::new(cluster)?;
-        let mut sink = RecordingSink::new();
-        sim.run(duration, &mut sink)?;
-        let result = analyse_events(&self.design, &sink.events);
+        let events = simulate_testcase(name, cluster, duration)?;
+        let result = analyse_events(&self.design, &events);
         self.runs.push(TestcaseResult {
             name: name.to_owned(),
             exercised: result.exercised,
@@ -123,10 +124,8 @@ impl DftSession {
     pub fn run_testcases(&mut self, testcases: Vec<TestcaseSpec>) -> Result<&[TestcaseResult]> {
         let mut logs = Vec::with_capacity(testcases.len());
         for tc in testcases {
-            let mut sim = Simulator::new(tc.cluster)?;
-            let mut sink = RecordingSink::new();
-            sim.run(tc.duration, &mut sink)?;
-            logs.push((tc.name, sink.events));
+            let events = simulate_testcase(&tc.name, tc.cluster, tc.duration)?;
+            logs.push((tc.name, events));
         }
         let (names, events): (Vec<String>, Vec<_>) = logs.into_iter().unzip();
         let results = analyse_events_batch(&self.design, &events, crate::thread_count());
@@ -159,6 +158,37 @@ impl DftSession {
     pub fn clear_runs(&mut self) {
         self.runs.clear();
     }
+
+    /// Snapshot of the observability registry: per-stage wall times
+    /// (`stage.schedule` / `stage.simulate` / `stage.static` /
+    /// `stage.match`), reachability-cache hit/miss counts
+    /// (`cfg.reach_cache.*`), kernel counters (`sim.*`) and per-testcase
+    /// series (`testcase.<name>.events` / `testcase.<name>.wall`).
+    ///
+    /// Empty unless the process runs with `DFT_METRICS=1` (or
+    /// `DFT_TRACE=1`); render with [`MetricsReport::to_text`] or
+    /// [`MetricsReport::to_json`]. The registry is process-global, so
+    /// concurrent sessions aggregate into the same report.
+    pub fn metrics(&self) -> MetricsReport {
+        MetricsReport::capture()
+    }
+}
+
+/// Elaborates and simulates one testcase with instrumentation enabled,
+/// recording its event count and wall time under `testcase.<name>.*`.
+fn simulate_testcase(name: &str, cluster: Cluster, duration: SimTime) -> Result<Vec<Event>> {
+    let started = obs::metrics_enabled().then(Instant::now);
+    let mut sim = Simulator::new(cluster)?;
+    let mut sink = RecordingSink::new();
+    {
+        let _span = obs::span("stage.simulate");
+        sim.run(duration, &mut sink)?;
+    }
+    if let Some(t0) = started {
+        obs::counter_add(&format!("testcase.{name}.events"), sink.events.len() as u64);
+        obs::observe_duration(&format!("testcase.{name}.wall"), t0.elapsed());
+    }
+    Ok(sink.events)
 }
 
 #[cfg(test)]
@@ -289,6 +319,50 @@ void B::processing()
             crate::render_table1(&batch.coverage()),
             "reports byte-identical"
         );
+    }
+
+    #[test]
+    fn metrics_report_covers_all_pipeline_stages() {
+        let was_on = obs::metrics_enabled();
+        obs::set_metrics_enabled(true);
+
+        let (cluster, design) = build_cluster(0.1);
+        let mut session = DftSession::new(design).unwrap();
+        session
+            .run_testcase("TC_metrics_probe", cluster, SimTime::from_us(3))
+            .unwrap();
+        let report = session.metrics();
+        obs::set_metrics_enabled(was_on);
+
+        assert!(!report.is_empty());
+        for stage in [
+            "stage.schedule",
+            "stage.simulate",
+            "stage.static",
+            "stage.match",
+        ] {
+            let t = report
+                .timer(stage)
+                .unwrap_or_else(|| panic!("{stage} missing"));
+            assert!(t.count >= 1, "{stage} recorded no spans");
+        }
+        assert!(
+            report.counter("testcase.TC_metrics_probe.events") > 0,
+            "per-testcase event count missing"
+        );
+        assert!(
+            report.timer("testcase.TC_metrics_probe.wall").is_some(),
+            "per-testcase wall timer missing"
+        );
+        // Static analysis queries reachability repeatedly per Cfg: at least
+        // one closure build (miss) and at least one reuse (hit).
+        assert!(report.counter("cfg.reach_cache.miss") >= 1);
+        assert!(report.counter("cfg.reach_cache.hit") >= 1);
+        assert!(report.counter("match.events") > 0);
+        // Both renderings include every stage row.
+        let (text, json) = (report.to_text(), report.to_json());
+        assert!(text.contains("stage.simulate"), "{text}");
+        assert!(json.contains("\"stage.simulate\""), "{json}");
     }
 
     #[test]

@@ -137,13 +137,17 @@ pub fn analyse(design: &Design) -> StaticAnalysis {
 /// compute per-model artefacts, and the merge walks models in
 /// `design.user_models()` order, exactly like the sequential loop.
 pub fn analyse_with_threads(design: &Design, threads: usize) -> StaticAnalysis {
+    let _stage = obs::span("stage.static");
+    static MODELS_ANALYSED: obs::Counter = obs::Counter::new("static.models_analysed");
     let models = design.user_models();
+    MODELS_ANALYSED.add(models.len() as u64);
 
     // Per-model flow construction + intra-model classification fan out;
     // each worker also warms the model's reachability cache, which the
     // cluster stage below reuses.
     let per_model: Vec<(Vec<ClassifiedAssoc>, Vec<StaticLint>, ModelFlow)> =
         crate::par::par_map(&models, threads, |&model| {
+            let _span = obs::span("static.model_classify");
             let flow = ModelFlow::compute(design, model);
             let mut assocs = Vec::new();
             let mut lints = Vec::new();
@@ -166,6 +170,7 @@ pub fn analyse_with_threads(design: &Design, threads: usize) -> StaticAnalysis {
     // The cluster stage reads all flows at once, so it runs after the
     // barrier above — again one model per work item, merged in order.
     let cluster: Vec<Vec<ClassifiedAssoc>> = crate::par::par_map(&models, threads, |&model| {
+        let _span = obs::span("static.cluster_ports");
         let mut assocs = Vec::new();
         cluster_ports(design, model, &flows, &mut assocs);
         assocs

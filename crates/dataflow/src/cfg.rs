@@ -189,6 +189,15 @@ impl Cfg {
     /// O(pairs × defs × E) repeated BFS of du-path classification into
     /// O(pairs × defs) bit tests.
     pub fn reaches(&self, from: NodeId) -> &BitSet {
+        if obs::metrics_enabled() {
+            static HITS: obs::Counter = obs::Counter::new("cfg.reach_cache.hit");
+            static MISSES: obs::Counter = obs::Counter::new("cfg.reach_cache.miss");
+            if self.closure.get().is_some() {
+                HITS.add(1);
+            } else {
+                MISSES.add(1);
+            }
+        }
         &self.closure()[from]
     }
 

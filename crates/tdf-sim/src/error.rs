@@ -52,6 +52,27 @@ pub enum TdfError {
         /// Human-readable description of the conflicting edge.
         detail: String,
     },
+    /// The repetition vector (or a derived period) does not fit in `u64` —
+    /// adversarially large co-prime port rates overflow the lcm/scaling
+    /// arithmetic. Reported instead of a silently wrapped schedule.
+    RateOverflow {
+        /// A module of the component whose repetition/period overflowed.
+        module: String,
+    },
+    /// The periodic schedule would need more firings per cluster period
+    /// than the kernel's cap allows (pathological rate ratios).
+    ScheduleTooLarge {
+        /// Repetition-vector sum (saturated at `u64::MAX` if even the sum
+        /// overflowed).
+        total: u64,
+        /// The firing cap.
+        cap: u64,
+    },
+    /// A module anchors the cluster timing with a zero timestep.
+    ZeroTimestep {
+        /// Module carrying the zero anchor.
+        module: String,
+    },
     /// Two timing anchors disagree about a module's activation period.
     TimestepConflict {
         /// Module whose period is over-constrained.
@@ -111,6 +132,17 @@ impl fmt::Display for TdfError {
             }
             TdfError::RateInconsistent { detail } => {
                 write!(f, "inconsistent TDF rates: {detail}")
+            }
+            TdfError::RateOverflow { module } => write!(
+                f,
+                "TDF rates around module `{module}` overflow the repetition-vector arithmetic"
+            ),
+            TdfError::ScheduleTooLarge { total, cap } => write!(
+                f,
+                "schedule needs {total} firings per period, above the cap of {cap}"
+            ),
+            TdfError::ZeroTimestep { module } => {
+                write!(f, "module `{module}` anchors a zero timestep")
             }
             TdfError::TimestepConflict { module, a, b } => {
                 write!(f, "conflicting timesteps for module `{module}`: {a} vs {b}")

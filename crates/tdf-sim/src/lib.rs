@@ -68,7 +68,7 @@ pub use module::{
     DefSite, Event, EventSink, ModuleClass, ModuleSpec, NullSink, PortSpec, ProcessingCtx,
     RecordingSink, TdfModule,
 };
-pub use schedule::{compute_schedule, Schedule};
+pub use schedule::{compute_schedule, Schedule, MAX_TOTAL_FIRINGS};
 pub use sim::{SimStats, Simulator};
 pub use time::SimTime;
 pub use trace::{render_traces, TraceBuffer};

@@ -13,10 +13,24 @@
 //! 4. compute a **periodic admissible sequential schedule** by simulated
 //!    token firing, honouring port delays — a feedback loop without enough
 //!    delay tokens is reported as a deadlock.
+//!
+//! All repetition-vector and period arithmetic is overflow-checked:
+//! adversarial co-prime rates yield [`TdfError::RateOverflow`] instead of a
+//! silently wrapped (release) or panicking (debug) schedule, and a period
+//! needing more than [`MAX_TOTAL_FIRINGS`] firings (2²⁴) is rejected with
+//! [`TdfError::ScheduleTooLarge`] before the firing list is allocated.
+//! Rate-0 ports and zero timestep anchors are rejected up front.
 
-use crate::cluster::{Cluster, Connection};
+use crate::cluster::{Cluster, Connection, ModuleId};
 use crate::error::{Result, TdfError};
 use crate::time::SimTime;
+
+/// Upper bound on the repetition-vector sum (firings per cluster period):
+/// above this the schedule is rejected as [`TdfError::ScheduleTooLarge`]
+/// rather than attempting a multi-GB firing-list allocation.
+pub const MAX_TOTAL_FIRINGS: u64 = 1 << 24;
+
+static SCHEDULE_FIRINGS: obs::Counter = obs::Counter::new("schedule.firings");
 
 /// The computed static schedule of a cluster.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -39,10 +53,13 @@ fn gcd(a: u64, b: u64) -> u64 {
     }
 }
 
-fn lcm(a: u64, b: u64) -> u64 {
-    a / gcd(a, b) * b
+/// Least common multiple, or `None` when it does not fit in `u64`.
+fn checked_lcm(a: u64, b: u64) -> Option<u64> {
+    (a / gcd(a, b)).checked_mul(b)
 }
 
+/// A positive rational in lowest terms. Invariant: `num ≥ 1 && den ≥ 1`
+/// (rate-0 ports are rejected before any `Ratio` is built).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 struct Ratio {
     num: u64,
@@ -51,15 +68,22 @@ struct Ratio {
 
 impl Ratio {
     fn new(num: u64, den: u64) -> Self {
-        let g = gcd(num, den).max(1);
+        debug_assert!(num > 0 && den > 0, "Ratio must be positive");
+        let g = gcd(num, den);
         Ratio {
             num: num / g,
             den: den / g,
         }
     }
 
-    fn mul(self, num: u64, den: u64) -> Self {
-        Ratio::new(self.num * num, self.den * den)
+    /// `self · num/den`, reduced cross-wise before multiplying so only
+    /// genuinely unrepresentable results overflow; `None` on overflow.
+    fn checked_mul(self, num: u64, den: u64) -> Option<Self> {
+        let g1 = gcd(self.num, den);
+        let g2 = gcd(num, self.den);
+        let n = (self.num / g1).checked_mul(num / g2)?;
+        let d = (self.den / g2).checked_mul(den / g1)?;
+        Some(Ratio::new(n, d))
     }
 }
 
@@ -67,10 +91,12 @@ impl Ratio {
 ///
 /// # Errors
 ///
-/// Returns [`TdfError`] on rate inconsistencies, missing or conflicting
-/// timestep anchors, unrepresentable derived timesteps, or schedule
-/// deadlock.
+/// Returns [`TdfError`] on rate-0 ports, zero timestep anchors, rate
+/// inconsistencies, repetition-vector overflow, missing or conflicting
+/// timestep anchors, unrepresentable derived timesteps, oversized
+/// schedules, or schedule deadlock.
 pub fn compute_schedule(cluster: &Cluster) -> Result<Schedule> {
+    let _stage = obs::span("stage.schedule");
     let n = cluster.module_count();
     if n == 0 {
         return Ok(Schedule {
@@ -81,6 +107,32 @@ pub fn compute_schedule(cluster: &Cluster) -> Result<Schedule> {
         });
     }
     let conns = cluster.connections();
+    let overflow = |m: usize| TdfError::RateOverflow {
+        module: cluster.module_name(ModuleId(m)).to_owned(),
+    };
+
+    // Malformed specs are rejected before any ratio is built: a 0-rate port
+    // would otherwise turn into a nonsense `Ratio` (the old code masked the
+    // zero denominator), and a 0 timestep anchor into a zero period.
+    for m in 0..n {
+        let spec = cluster.module_spec(ModuleId(m));
+        if let Some(p) = spec
+            .in_ports
+            .iter()
+            .chain(spec.out_ports.iter())
+            .find(|p| p.rate == 0)
+        {
+            return Err(TdfError::ZeroRate {
+                module: cluster.module_name(ModuleId(m)).to_owned(),
+                port: p.name.clone(),
+            });
+        }
+        if spec.timestep.is_some_and(|t| t.as_fs() == 0) {
+            return Err(TdfError::ZeroTimestep {
+                module: cluster.module_name(ModuleId(m)).to_owned(),
+            });
+        }
+    }
 
     // Adjacency with rate ratios between modules.
     // Edge A->B with out-rate ra, in-rate rb implies q_B = q_A * ra / rb
@@ -89,14 +141,15 @@ pub fn compute_schedule(cluster: &Cluster) -> Result<Schedule> {
     for c in conns {
         let (fm, fp) = (c.from.0.index(), c.from.1);
         let (tm, tp) = (c.to.0.index(), c.to.1);
-        let ra = cluster.module_spec(crate::cluster::ModuleId(fm)).out_ports[fp].rate as u64;
-        let rb = cluster.module_spec(crate::cluster::ModuleId(tm)).in_ports[tp].rate as u64;
+        let ra = cluster.module_spec(ModuleId(fm)).out_ports[fp].rate as u64;
+        let rb = cluster.module_spec(ModuleId(tm)).in_ports[tp].rate as u64;
         adj[fm].push((tm, ra, rb));
         // Reverse edge: q_A = q_B * rb / ra.
         adj[tm].push((fm, rb, ra));
     }
 
     // 1. Repetition vector per connected component (rational BFS).
+    let balance_span = obs::span("schedule.rate_balance");
     let mut q: Vec<Option<Ratio>> = vec![None; n];
     let mut component: Vec<usize> = vec![usize::MAX; n];
     let mut ncomp = 0;
@@ -112,7 +165,7 @@ pub fn compute_schedule(cluster: &Cluster) -> Result<Schedule> {
         while let Some(m) = work.pop() {
             let qm = q[m].expect("set before push");
             for &(o, ra, rb) in &adj[m] {
-                let qo = qm.mul(ra, rb);
+                let qo = qm.checked_mul(ra, rb).ok_or_else(|| overflow(o))?;
                 match q[o] {
                     None => {
                         q[o] = Some(qo);
@@ -124,7 +177,7 @@ pub fn compute_schedule(cluster: &Cluster) -> Result<Schedule> {
                             return Err(TdfError::RateInconsistent {
                                 detail: format!(
                                     "module `{}` requires repetition {}/{} and {}/{}",
-                                    cluster.module_name(crate::cluster::ModuleId(o)),
+                                    cluster.module_name(ModuleId(o)),
                                     existing.num,
                                     existing.den,
                                     qo.num,
@@ -138,30 +191,38 @@ pub fn compute_schedule(cluster: &Cluster) -> Result<Schedule> {
         }
     }
 
-    // Scale each component's rationals to the smallest integers.
+    // Scale each component's rationals to the smallest integers. All the
+    // lcm/scaling products are checked: co-prime rates make `den_lcm` (and
+    // the scaled numerators) grow multiplicatively, and a wrapped product
+    // here used to produce a *wrong* schedule rather than an error.
     let mut repetitions = vec![0u64; n];
     for comp in 0..ncomp {
         let members: Vec<usize> = (0..n).filter(|&m| component[m] == comp).collect();
-        let den_lcm = members
-            .iter()
-            .map(|&m| q[m].expect("all set").den)
-            .fold(1, lcm);
-        let nums: Vec<u64> = members
-            .iter()
-            .map(|&m| {
-                let r = q[m].expect("all set");
-                r.num * (den_lcm / r.den)
-            })
-            .collect();
+        let mut den_lcm = 1u64;
+        for &m in &members {
+            den_lcm =
+                checked_lcm(den_lcm, q[m].expect("all set").den).ok_or_else(|| overflow(m))?;
+        }
+        let mut nums = Vec::with_capacity(members.len());
+        for &m in &members {
+            let r = q[m].expect("all set");
+            nums.push(
+                r.num
+                    .checked_mul(den_lcm / r.den)
+                    .ok_or_else(|| overflow(m))?,
+            );
+        }
         let g = nums.iter().copied().fold(0, gcd).max(1);
         for (&m, &v) in members.iter().zip(&nums) {
             repetitions[m] = v / g;
         }
     }
+    drop(balance_span);
 
     // 2. Timestep propagation from anchors.
+    let timestep_span = obs::span("schedule.timesteps");
     let mut timestep: Vec<Option<SimTime>> = (0..n)
-        .map(|m| cluster.module_spec(crate::cluster::ModuleId(m)).timestep)
+        .map(|m| cluster.module_spec(ModuleId(m)).timestep)
         .collect();
     // Propagate until fixed point (components are small; O(V·E) is fine).
     let mut changed = true;
@@ -214,7 +275,10 @@ pub fn compute_schedule(cluster: &Cluster) -> Result<Schedule> {
     let mut comp_period = vec![0u64; ncomp];
     #[allow(clippy::needless_range_loop)]
     for m in 0..n {
-        let p = timesteps[m].as_fs() * repetitions[m];
+        let p = timesteps[m]
+            .as_fs()
+            .checked_mul(repetitions[m])
+            .ok_or_else(|| overflow(m))?;
         let c = component[m];
         if comp_period[c] == 0 {
             comp_period[c] = p;
@@ -225,14 +289,26 @@ pub fn compute_schedule(cluster: &Cluster) -> Result<Schedule> {
             );
         }
     }
-    let global = comp_period.iter().copied().fold(1, lcm);
+    let mut global = 1u64;
+    for (c, &p) in comp_period.iter().enumerate() {
+        global = checked_lcm(global, p).ok_or_else(|| {
+            let m = (0..n).find(|&m| component[m] == c).expect("nonempty comp");
+            overflow(m)
+        })?;
+    }
     for m in 0..n {
-        repetitions[m] *= global / comp_period[component[m]];
+        repetitions[m] = repetitions[m]
+            .checked_mul(global / comp_period[component[m]])
+            .ok_or_else(|| overflow(m))?;
     }
     let period = SimTime::from_fs(global);
+    drop(timestep_span);
 
     // 4. Token-driven admissible schedule.
+    let firing_span = obs::span("schedule.token_firing");
     let firings = token_schedule(cluster, conns, &repetitions)?;
+    drop(firing_span);
+    SCHEDULE_FIRINGS.add(firings.len() as u64);
 
     Ok(Schedule {
         repetitions,
@@ -254,11 +330,22 @@ fn token_schedule(
         .map(|c| {
             let od = cluster.module_spec(c.from.0).out_ports[c.from.1].delay;
             let id = cluster.module_spec(c.to.0).in_ports[c.to.1].delay;
-            od + id
+            od.saturating_add(id)
         })
         .collect();
     let mut remaining = repetitions.to_vec();
-    let total: u64 = remaining.iter().sum();
+    // Cap the firing-list length before allocating: an adversarial rate
+    // pair (1 vs. u32::MAX) would otherwise request a multi-GB Vec here.
+    let total: u64 = remaining
+        .iter()
+        .try_fold(0u64, |acc, &r| acc.checked_add(r))
+        .unwrap_or(u64::MAX);
+    if total > MAX_TOTAL_FIRINGS {
+        return Err(TdfError::ScheduleTooLarge {
+            total,
+            cap: MAX_TOTAL_FIRINGS,
+        });
+    }
     let mut firings = Vec::with_capacity(total as usize);
 
     let in_conns: Vec<Vec<usize>> = {
@@ -294,7 +381,7 @@ fn token_schedule(
                 for &ci in &out_conns[m] {
                     let rate =
                         cluster.module_spec(conns[ci].from.0).out_ports[conns[ci].from.1].rate;
-                    tokens[ci] += rate;
+                    tokens[ci] = tokens[ci].saturating_add(rate);
                 }
                 remaining[m] -= 1;
                 firings.push(m);
@@ -562,5 +649,101 @@ mod tests {
         let c = Cluster::new("top");
         let s = compute_schedule(&c).unwrap();
         assert!(s.firings.is_empty());
+    }
+
+    #[test]
+    fn coprime_huge_rates_report_overflow_not_panic() {
+        // Chained co-prime primes just above/below 2^32: q_d = P1 · P2
+        // exceeds u64, which the unchecked arithmetic used to wrap in
+        // release builds (yielding a wrong schedule) or panic in debug.
+        const P1: usize = 4_294_967_311; // smallest prime > 2^32
+        const P2: usize = 4_294_967_291; // largest prime < 2^32
+        let mut c = Cluster::new("top");
+        let a = c
+            .add_module(stub(
+                "a",
+                ModuleSpec::new()
+                    .output(PortSpec::new("o").with_rate(P1))
+                    .with_timestep(SimTime::from_us(1)),
+            ))
+            .unwrap();
+        let b = c
+            .add_module(stub(
+                "b",
+                ModuleSpec::new()
+                    .input(PortSpec::new("i"))
+                    .output(PortSpec::new("o").with_rate(P2)),
+            ))
+            .unwrap();
+        let d = c
+            .add_module(stub("d", ModuleSpec::new().input(PortSpec::new("i"))))
+            .unwrap();
+        c.connect(a, "o", b, "i").unwrap();
+        c.connect(b, "o", d, "i").unwrap();
+        let err = compute_schedule(&c).unwrap_err();
+        assert!(matches!(err, TdfError::RateOverflow { .. }), "{err}");
+        assert!(err.to_string().contains('`'), "names a module: {err}");
+    }
+
+    #[test]
+    fn firing_cap_rejects_oversized_schedules() {
+        // q = (1, 2^25): more firings per period than MAX_TOTAL_FIRINGS.
+        // The arithmetic all fits in u64, so this must be caught by the
+        // explicit cap — before the firing list is allocated.
+        const R: usize = 1 << 25;
+        let mut c = Cluster::new("top");
+        let a = c
+            .add_module(stub(
+                "a",
+                ModuleSpec::new()
+                    .output(PortSpec::new("o").with_rate(R))
+                    .with_timestep(SimTime::from_fs(R as u64)),
+            ))
+            .unwrap();
+        let b = c
+            .add_module(stub("b", ModuleSpec::new().input(PortSpec::new("i"))))
+            .unwrap();
+        c.connect(a, "o", b, "i").unwrap();
+        let err = compute_schedule(&c).unwrap_err();
+        match err {
+            TdfError::ScheduleTooLarge { total, cap } => {
+                assert_eq!(total, 1 + R as u64);
+                assert_eq!(cap, MAX_TOTAL_FIRINGS);
+            }
+            other => panic!("expected ScheduleTooLarge, got {other}"),
+        }
+    }
+
+    #[test]
+    fn zero_rate_port_rejected_up_front() {
+        // Rejected at elaboration (`add_module`) — the earliest boundary —
+        // and `compute_schedule` carries the same guard for clusters built
+        // through other paths.
+        let mut c = Cluster::new("top");
+        let err = c
+            .add_module(stub(
+                "a",
+                ModuleSpec::new()
+                    .output(PortSpec::new("o").with_rate(0))
+                    .with_timestep(SimTime::from_us(1)),
+            ))
+            .unwrap_err();
+        assert!(matches!(err, TdfError::ZeroRate { .. }), "{err}");
+        let msg = err.to_string();
+        assert!(msg.contains("`a.o`"), "names module and port: {msg}");
+    }
+
+    #[test]
+    fn zero_timestep_anchor_rejected_up_front() {
+        let mut c = Cluster::new("top");
+        c.add_module(stub(
+            "a",
+            ModuleSpec::new()
+                .output(PortSpec::new("o"))
+                .with_timestep(SimTime::ZERO),
+        ))
+        .unwrap();
+        let err = compute_schedule(&c).unwrap_err();
+        assert!(matches!(err, TdfError::ZeroTimestep { .. }), "{err}");
     }
 }

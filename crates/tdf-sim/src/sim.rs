@@ -11,6 +11,11 @@ use crate::schedule::{compute_schedule, Schedule};
 use crate::time::SimTime;
 use crate::value::Sample;
 
+static SIM_ACTIVATIONS: obs::Counter = obs::Counter::new("sim.activations");
+static SIM_PERIODS: obs::Counter = obs::Counter::new("sim.periods");
+static SIM_SAMPLES: obs::Counter = obs::Counter::new("sim.samples_transferred");
+static SIM_RESCHEDULES: obs::Counter = obs::Counter::new("sim.reschedules");
+
 /// Counters reported after a run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SimStats {
@@ -174,11 +179,17 @@ impl Simulator {
     ///
     /// Propagates module output-rate violations and reschedule failures.
     pub fn run(&mut self, duration: SimTime, sink: &mut dyn EventSink) -> Result<SimStats> {
+        let _span = obs::span("sim.run");
+        let before = self.stats;
         let target = self.now + duration;
-        while self.now < target {
-            self.run_period(sink)?;
-        }
-        Ok(self.stats)
+        let result = (|| {
+            while self.now < target {
+                self.run_period(sink)?;
+            }
+            Ok(self.stats)
+        })();
+        self.record_stat_deltas(before);
+        result
     }
 
     /// Runs exactly `n` cluster periods.
@@ -187,10 +198,30 @@ impl Simulator {
     ///
     /// Propagates module output-rate violations and reschedule failures.
     pub fn run_periods(&mut self, n: u64, sink: &mut dyn EventSink) -> Result<SimStats> {
-        for _ in 0..n {
-            self.run_period(sink)?;
+        let _span = obs::span("sim.run");
+        let before = self.stats;
+        let result = (|| {
+            for _ in 0..n {
+                self.run_period(sink)?;
+            }
+            Ok(self.stats)
+        })();
+        self.record_stat_deltas(before);
+        result
+    }
+
+    /// Publishes the step loop's counter deltas since `before` to the
+    /// observability registry (one bulk add per run, so the per-firing hot
+    /// path stays untouched).
+    fn record_stat_deltas(&self, before: SimStats) {
+        if !obs::metrics_enabled() {
+            return;
         }
-        Ok(self.stats)
+        let s = self.stats;
+        SIM_ACTIVATIONS.add(s.activations - before.activations);
+        SIM_PERIODS.add(s.periods - before.periods);
+        SIM_SAMPLES.add(s.samples_transferred - before.samples_transferred);
+        SIM_RESCHEDULES.add(s.reschedules - before.reschedules);
     }
 
     fn run_period(&mut self, sink: &mut dyn EventSink) -> Result<()> {

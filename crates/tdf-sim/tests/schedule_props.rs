@@ -1,0 +1,119 @@
+//! Property test: `compute_schedule` is **total**. Arbitrary small clusters
+//! with adversarial rates (co-prime primes straddling 2^32), huge delays and
+//! degenerate timesteps must yield `Ok` or a structured [`TdfError`] — never
+//! a panic (debug or release) and never a schedule above the firing cap.
+
+use proptest::prelude::*;
+use tdf_sim::{
+    compute_schedule, Cluster, ModuleSpec, PortSpec, ProcessingCtx, SimTime, TdfModule,
+    MAX_TOTAL_FIRINGS,
+};
+
+struct Stub(String, ModuleSpec);
+
+impl TdfModule for Stub {
+    fn name(&self) -> &str {
+        &self.0
+    }
+    fn spec(&self) -> ModuleSpec {
+        self.1.clone()
+    }
+    fn processing(&mut self, _ctx: &mut ProcessingCtx<'_>) {}
+}
+
+/// Port rates: mostly small, with the adversarial tail that used to wrap
+/// the repetition-vector arithmetic (`add_module` rejects 0 itself).
+fn arb_rate() -> impl Strategy<Value = usize> {
+    prop_oneof![
+        6 => 1usize..8,
+        1 => Just(1usize << 25),
+        1 => Just(4_294_967_311usize), // smallest prime > 2^32
+        1 => Just(4_294_967_291usize), // largest prime < 2^32
+        1 => Just(u32::MAX as usize),
+    ]
+}
+
+fn arb_delay() -> impl Strategy<Value = usize> {
+    prop_oneof![
+        8 => 0usize..3,
+        1 => Just(usize::MAX / 2),
+    ]
+}
+
+/// Timestep anchors in femtoseconds, including the zero and near-overflow
+/// extremes (`None` = unanchored module).
+fn arb_timestep() -> impl Strategy<Value = Option<u64>> {
+    prop_oneof![
+        3 => Just(None),
+        3 => (1u64..1_000_000).prop_map(Some),
+        1 => Just(Some(0)),
+        1 => Just(Some(u64::MAX / 2)),
+    ]
+}
+
+/// One directed edge of the random cluster: endpoints are taken modulo the
+/// module count, so every generated tuple is usable.
+type Edge = (usize, usize, usize, usize, usize); // (from, to, out_rate, in_rate, delay)
+
+fn arb_edges() -> impl Strategy<Value = Vec<Edge>> {
+    prop::collection::vec(
+        (0usize..4, 0usize..4, arb_rate(), arb_rate(), arb_delay()),
+        0..6,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn compute_schedule_never_panics(
+        nmod in 1usize..5,
+        anchors in prop::collection::vec(arb_timestep(), 4),
+        edges in arb_edges(),
+    ) {
+        // Collect the port list per module first: each edge contributes a
+        // fresh out-port on `from` and in-port on `to`.
+        let mut specs: Vec<ModuleSpec> = (0..nmod)
+            .map(|m| match anchors[m] {
+                Some(fs) => ModuleSpec::new().with_timestep(SimTime::from_fs(fs)),
+                None => ModuleSpec::new(),
+            })
+            .collect();
+        let mut wires = Vec::new();
+        for (e, &(from, to, out_rate, in_rate, delay)) in edges.iter().enumerate() {
+            let (from, to) = (from % nmod, to % nmod);
+            if from == to {
+                continue; // self-loops are rejected at connect(); not the target here
+            }
+            let (op, ip) = (format!("o{e}"), format!("i{e}"));
+            specs[from] = specs[from]
+                .clone()
+                .output(PortSpec::new(&op).with_rate(out_rate));
+            specs[to] = specs[to]
+                .clone()
+                .input(PortSpec::new(&ip).with_rate(in_rate).with_delay(delay));
+            wires.push((from, op, to, ip));
+        }
+
+        let mut c = Cluster::new("top");
+        let ids: Vec<_> = specs
+            .into_iter()
+            .enumerate()
+            .map(|(m, spec)| c.add_module(Box::new(Stub(format!("m{m}"), spec))).unwrap())
+            .collect();
+        for (from, op, to, ip) in wires {
+            c.connect(ids[from], &op, ids[to], &ip).unwrap();
+        }
+
+        // The property: total — returns instead of panicking (a structured
+        // Err is exactly what we accept), and any Ok schedule respects the
+        // firing cap and the balance structure.
+        if let Ok(s) = compute_schedule(&c) {
+            prop_assert!((s.firings.len() as u64) <= MAX_TOTAL_FIRINGS);
+            prop_assert_eq!(s.repetitions.len(), nmod);
+            prop_assert_eq!(s.timesteps.len(), nmod);
+            prop_assert!(s.repetitions.iter().all(|&q| q >= 1));
+            prop_assert!(s.period > SimTime::ZERO);
+        }
+    }
+}

@@ -6,6 +6,11 @@
 //! tracking, and dump a waveform for debugging.
 //!
 //! Run with: `cargo run --example triage`
+//!
+//! With `DFT_METRICS=1` the run ends with a pipeline stage-timing table
+//! (schedule / simulate / static / match, reachability-cache hit rate,
+//! per-testcase event counts); `DFT_TRACE=1` additionally streams span
+//! timings to stderr as they finish.
 
 use std::fs;
 
@@ -71,5 +76,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         vcd_path.display(),
         vcd.lines().filter(|l| l.starts_with('#')).count()
     );
+
+    let report = session.metrics();
+    if report.is_empty() {
+        println!("\n(set DFT_METRICS=1 for a pipeline stage-timing table)");
+    } else {
+        println!("\n=== pipeline stage timings ===\n\n{}", report.to_text());
+    }
     Ok(())
 }
