@@ -43,6 +43,53 @@ impl std::fmt::Display for Criterion {
     }
 }
 
+/// How one testcase's simulation ended. Anything but [`RunOutcome::Ok`]
+/// means the event log is partial: whatever was recorded before the
+/// failure still contributes to coverage, and reports annotate the
+/// degradation ([`crate::render_table1`] appends a footer naming the
+/// degraded testcases).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// Simulation covered the full requested duration.
+    #[default]
+    Ok,
+    /// Elaboration or simulation returned an error.
+    Failed {
+        /// The rendered error.
+        error: String,
+    },
+    /// A [`tdf_sim::RunLimits`] budget tripped (activations, events or
+    /// wall clock) before the duration was covered.
+    TimedOut {
+        /// Which budget tripped, rendered.
+        reason: String,
+    },
+    /// A module panicked mid-simulation; the panic was caught and
+    /// isolated to this testcase.
+    Panicked {
+        /// The panic payload (message), when it was a string.
+        payload: String,
+    },
+}
+
+impl RunOutcome {
+    /// True for every outcome except [`RunOutcome::Ok`].
+    pub fn is_degraded(&self) -> bool {
+        !matches!(self, RunOutcome::Ok)
+    }
+}
+
+impl std::fmt::Display for RunOutcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunOutcome::Ok => write!(f, "ok"),
+            RunOutcome::Failed { error } => write!(f, "failed: {error}"),
+            RunOutcome::TimedOut { reason } => write!(f, "timed out: {reason}"),
+            RunOutcome::Panicked { payload } => write!(f, "panicked: {payload}"),
+        }
+    }
+}
+
 /// One executed testcase: its name and what it exercised.
 #[derive(Debug, Clone, Default)]
 pub struct TestcaseResult {
@@ -54,6 +101,9 @@ pub struct TestcaseResult {
     pub defs_executed: HashSet<(String, String, u32)>,
     /// Runtime warnings raised during the run.
     pub warnings: Vec<DynamicWarning>,
+    /// How the simulation ended; a degraded outcome means `exercised` was
+    /// computed from a partial event log.
+    pub outcome: RunOutcome,
 }
 
 /// Why an uncovered association was missed (see
@@ -86,6 +136,9 @@ pub struct Coverage {
     /// `covered[i][t]`: association `i` exercised by testcase `t`.
     covered: Vec<Vec<bool>>,
     tc_names: Vec<String>,
+    /// Per-testcase run outcomes, column order (same indexing as
+    /// `tc_names`).
+    outcomes: Vec<RunOutcome>,
 }
 
 impl Coverage {
@@ -108,6 +161,7 @@ impl Coverage {
             associations,
             covered,
             tc_names: runs.iter().map(|r| r.name.clone()).collect(),
+            outcomes: runs.iter().map(|r| r.outcome.clone()).collect(),
         }
     }
 
@@ -119,6 +173,23 @@ impl Coverage {
     /// Testcase names, column order.
     pub fn testcase_names(&self) -> &[String] {
         &self.tc_names
+    }
+
+    /// Per-testcase run outcomes, column order (parallel to
+    /// [`Coverage::testcase_names`]).
+    pub fn outcomes(&self) -> &[RunOutcome] {
+        &self.outcomes
+    }
+
+    /// `(name, outcome)` of every testcase that did not finish cleanly —
+    /// their coverage columns were computed from partial event logs.
+    pub fn degraded(&self) -> Vec<(&str, &RunOutcome)> {
+        self.tc_names
+            .iter()
+            .zip(&self.outcomes)
+            .filter(|(_, o)| o.is_degraded())
+            .map(|(n, o)| (n.as_str(), o))
+            .collect()
     }
 
     /// Whether association `i` was exercised by any testcase.

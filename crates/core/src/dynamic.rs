@@ -7,11 +7,32 @@
 
 use std::collections::{HashMap, HashSet};
 
+use dataflow::Cfg;
 use tdf_interp::VarKind;
 use tdf_sim::{Event, SimTime};
 
 use crate::assoc::Association;
 use crate::design::Design;
+
+/// How strictly [`analyse_events_with_mode`] treats malformed event logs.
+///
+/// Strict mode trusts the log completely — the behaviour instrumented
+/// simulations have always had. Lenient mode validates every event against
+/// the design (known model, known variable, per-model monotone time) and
+/// *quarantines* offenders instead of matching them: the event is dropped
+/// from association matching, a structured [`DynamicWarning`] is recorded
+/// once per offending site, and [`DynamicResult::quarantined`] counts the
+/// total. On a healthy event log the two modes produce identical results;
+/// on a corrupted log lenient mode never exercises *more* associations
+/// than strict mode would.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum MatchMode {
+    /// Trust the event log (historical behaviour).
+    #[default]
+    Strict,
+    /// Validate events against the design and quarantine offenders.
+    Lenient,
+}
 
 /// A runtime finding of the dynamic analysis.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -41,6 +62,39 @@ pub enum DynamicWarning {
         /// First occurrence time.
         time: SimTime,
     },
+    /// (Lenient mode) An event carried a timestamp earlier than an
+    /// already-observed event of the same model. Per-model local times are
+    /// monotone non-decreasing in any well-formed log (global interleaving
+    /// across models is *not* monotone, so the check is per model). The
+    /// event was quarantined.
+    NonMonotoneTimestamp {
+        /// Model whose local time went backwards.
+        model: String,
+        /// The offending (earlier) timestamp.
+        time: SimTime,
+        /// The latest timestamp previously seen for this model.
+        last: SimTime,
+    },
+    /// (Lenient mode) An event referenced a model that is neither a
+    /// declared model, a netlist module, nor the cluster itself. The event
+    /// was quarantined.
+    UnknownModel {
+        /// The unrecognised model name.
+        model: String,
+        /// First occurrence time.
+        time: SimTime,
+    },
+    /// (Lenient mode) An event referenced a variable that appears neither
+    /// in the model's interface nor anywhere in its `processing()` source.
+    /// The event was quarantined.
+    UnknownVariable {
+        /// Model name.
+        model: String,
+        /// The unrecognised variable name.
+        var: String,
+        /// First occurrence time.
+        time: SimTime,
+    },
 }
 
 /// Result of analysing one testcase's event log.
@@ -54,6 +108,9 @@ pub struct DynamicResult {
     pub defs_executed: HashSet<(String, String, u32)>,
     /// Deduplicated runtime warnings, in first-occurrence order.
     pub warnings: Vec<DynamicWarning>,
+    /// Number of events quarantined by lenient validation (always 0 in
+    /// strict mode).
+    pub quarantined: u64,
 }
 
 /// Matches an event log into exercised associations.
@@ -67,8 +124,70 @@ pub struct DynamicResult {
 ///   variable in the same model (members are seeded with a start-line
 ///   pseudo-definition because elaboration initialises them).
 pub fn analyse_events(design: &Design, events: &[Event]) -> DynamicResult {
+    analyse_events_with_mode(design, events, MatchMode::Strict)
+}
+
+/// True when `model` exists somewhere in the design: a declared model
+/// interface, a netlist module instance (library components included), or
+/// the cluster architecture itself (provenance stamped by redefining
+/// components and `parallel_print` carries the architecture name).
+fn model_is_known(design: &Design, model: &str) -> bool {
+    design.interface(model).is_some()
+        || design.netlist().module(model).is_some()
+        || model == design.netlist().cluster
+}
+
+/// Per-model vocabulary for lenient validation: interface names (ports and
+/// members) plus every variable read or written anywhere in the model's
+/// `processing()` source. Only models with a declared interface get an
+/// entry — events of library/architecture models are not vocabulary-checked
+/// because their "variables" are netlist port names, not source symbols.
+fn known_variables(design: &Design) -> HashMap<String, HashSet<String>> {
+    let mut vocab: HashMap<String, HashSet<String>> = HashMap::new();
+    for def in design.models() {
+        let mut names: HashSet<String> = HashSet::new();
+        for p in &def.interface.inputs {
+            names.insert(p.name.clone());
+        }
+        for p in &def.interface.outputs {
+            names.insert(p.name.clone());
+        }
+        for (m, _) in &def.interface.members {
+            names.insert(m.clone());
+        }
+        if let Some(f) = design.tu().processing(&def.model) {
+            let cfg = Cfg::from_function(f);
+            for node in cfg.nodes() {
+                for d in &node.def_use.defs {
+                    names.insert(d.name.clone());
+                }
+                for u in &node.def_use.uses {
+                    names.insert(u.name.clone());
+                }
+            }
+        }
+        vocab.insert(def.model.clone(), names);
+    }
+    vocab
+}
+
+/// [`analyse_events`] with an explicit [`MatchMode`].
+///
+/// In [`MatchMode::Lenient`] each event is validated before matching:
+/// unknown models, unknown variables and per-model backwards timestamps are
+/// quarantined (skipped, warned once, counted). A quarantined *definition*
+/// additionally poisons the pending `last_def` entry for its `(model, var)`
+/// so that later uses report [`DynamicWarning::UseWithoutDef`] instead of
+/// silently pairing with a stale older definition — this is what guarantees
+/// lenient mode never exercises associations strict mode would not.
+pub fn analyse_events_with_mode(
+    design: &Design,
+    events: &[Event],
+    mode: MatchMode,
+) -> DynamicResult {
     let _span = obs::span("stage.match");
     static EVENTS_MATCHED: obs::Counter = obs::Counter::new("match.events");
+    static QUARANTINED: obs::Counter = obs::Counter::new("match.quarantined_events");
     EVENTS_MATCHED.add(events.len() as u64);
     let mut exercised: HashSet<Association> = HashSet::new();
     let mut defs_executed: HashSet<(String, String, u32)> = HashSet::new();
@@ -76,6 +195,17 @@ pub fn analyse_events(design: &Design, events: &[Event]) -> DynamicResult {
     let mut warned: HashSet<(String, String, u32)> = HashSet::new();
     // Last definition line per (model, var).
     let mut last_def: HashMap<(String, String), u32> = HashMap::new();
+
+    // Lenient-mode validation state.
+    let vocab = match mode {
+        MatchMode::Strict => HashMap::new(),
+        MatchMode::Lenient => known_variables(design),
+    };
+    let mut last_time: HashMap<String, SimTime> = HashMap::new();
+    let mut quarantined: u64 = 0;
+    let mut warned_models: HashSet<String> = HashSet::new();
+    let mut warned_times: HashSet<String> = HashSet::new();
+    let mut warned_vars: HashSet<(String, String)> = HashSet::new();
 
     // Seed members with their elaboration-time initial values.
     for def in design.models() {
@@ -88,6 +218,76 @@ pub fn analyse_events(design: &Design, events: &[Event]) -> DynamicResult {
     }
 
     for ev in events {
+        if mode == MatchMode::Lenient {
+            let (time, model, var) = match ev {
+                Event::Def {
+                    time, model, var, ..
+                }
+                | Event::Use {
+                    time, model, var, ..
+                } => (*time, model, var),
+            };
+            // `Some(w)` quarantines the event; the inner option is the
+            // warning to record (None once a site has already warned).
+            let quarantine_reason: Option<Option<DynamicWarning>> =
+                if !model_is_known(design, model) {
+                    Some(warned_models.insert(model.clone()).then(|| {
+                        DynamicWarning::UnknownModel {
+                            model: model.clone(),
+                            time,
+                        }
+                    }))
+                } else if let Some(&last) = last_time.get(model).filter(|&&last| time < last) {
+                    Some(warned_times.insert(model.clone()).then(|| {
+                        DynamicWarning::NonMonotoneTimestamp {
+                            model: model.clone(),
+                            time,
+                            last,
+                        }
+                    }))
+                } else if vocab
+                    .get(model)
+                    .is_some_and(|names| !names.contains(var.as_str()))
+                {
+                    Some(warned_vars.insert((model.clone(), var.clone())).then(|| {
+                        DynamicWarning::UnknownVariable {
+                            model: model.clone(),
+                            var: var.clone(),
+                            time,
+                        }
+                    }))
+                } else if let Event::Use {
+                    feeding: Some(prov),
+                    ..
+                } = ev
+                {
+                    // Provenance must also name a real model, else the pair
+                    // it would exercise is fabricated.
+                    (!model_is_known(design, &prov.model)).then(|| {
+                        warned_models.insert(prov.model.clone()).then(|| {
+                            DynamicWarning::UnknownModel {
+                                model: prov.model.clone(),
+                                time,
+                            }
+                        })
+                    })
+                } else {
+                    None
+                };
+            if let Some(warning) = quarantine_reason {
+                quarantined += 1;
+                if let Some(w) = warning {
+                    warnings.push(w);
+                }
+                // Poison the pending definition: a quarantined def must not
+                // let later uses pair with an older, stale definition.
+                if matches!(ev, Event::Def { .. }) {
+                    last_def.remove(&(model.clone(), var.clone()));
+                }
+                continue;
+            }
+            last_time.insert(model.clone(), time);
+        }
         match ev {
             Event::Def {
                 model, var, line, ..
@@ -162,10 +362,12 @@ pub fn analyse_events(design: &Design, events: &[Event]) -> DynamicResult {
 
     static ASSOC_EXERCISED: obs::Counter = obs::Counter::new("match.associations_exercised");
     ASSOC_EXERCISED.add(exercised.len() as u64);
+    QUARANTINED.add(quarantined);
     DynamicResult {
         exercised,
         defs_executed,
         warnings,
+        quarantined,
     }
 }
 
@@ -178,7 +380,20 @@ pub fn analyse_events_batch(
     logs: &[Vec<Event>],
     threads: usize,
 ) -> Vec<DynamicResult> {
-    crate::par::par_map(logs, threads, |events| analyse_events(design, events))
+    analyse_events_batch_with_mode(design, logs, threads, MatchMode::Strict)
+}
+
+/// [`analyse_events_batch`] with an explicit [`MatchMode`] applied to every
+/// log.
+pub fn analyse_events_batch_with_mode(
+    design: &Design,
+    logs: &[Vec<Event>],
+    threads: usize,
+    mode: MatchMode,
+) -> Vec<DynamicResult> {
+    crate::par::par_map(logs, threads, |events| {
+        analyse_events_with_mode(design, events, mode)
+    })
 }
 
 #[cfg(test)]
@@ -340,5 +555,144 @@ mod tests {
         assert!(r
             .exercised
             .contains(&Association::new("m_s", 7, "M", 3, "M")));
+    }
+
+    fn def_at(model: &str, var: &str, line: u32, us: u64) -> Event {
+        Event::Def {
+            time: SimTime::from_us(us),
+            model: model.into(),
+            var: var.into(),
+            line,
+        }
+    }
+
+    fn use_at(model: &str, var: &str, line: u32, us: u64) -> Event {
+        Event::Use {
+            time: SimTime::from_us(us),
+            model: model.into(),
+            var: var.into(),
+            line,
+            feeding: None,
+            defined: true,
+        }
+    }
+
+    #[test]
+    fn lenient_matches_strict_on_a_healthy_log() {
+        let d = design();
+        let events = vec![
+            def_at("M", "t", 3, 0),
+            use_at("M", "t", 4, 0),
+            def_at("M", "m_s", 7, 1),
+            use_at("M", "m_s", 3, 2),
+            Event::Use {
+                time: SimTime::from_us(2),
+                model: "M".into(),
+                var: "ip_x".into(),
+                line: 3,
+                feeding: Some(Provenance::new("op_y", 4, "M")),
+                defined: true,
+            },
+        ];
+        let strict = analyse_events_with_mode(&d, &events, MatchMode::Strict);
+        let lenient = analyse_events_with_mode(&d, &events, MatchMode::Lenient);
+        assert_eq!(strict.exercised, lenient.exercised);
+        assert_eq!(strict.defs_executed, lenient.defs_executed);
+        assert_eq!(strict.warnings, lenient.warnings);
+        assert_eq!(lenient.quarantined, 0);
+    }
+
+    #[test]
+    fn lenient_quarantines_unknown_models_and_warns_once() {
+        let d = design();
+        let events = vec![
+            use_at("__ghost_model_0", "t", 4, 0),
+            use_at("__ghost_model_0", "t", 4, 1),
+        ];
+        let r = analyse_events_with_mode(&d, &events, MatchMode::Lenient);
+        assert_eq!(r.quarantined, 2);
+        assert_eq!(r.warnings.len(), 1);
+        assert!(matches!(
+            &r.warnings[0],
+            DynamicWarning::UnknownModel { model, .. } if model == "__ghost_model_0"
+        ));
+        assert!(r.exercised.is_empty());
+    }
+
+    #[test]
+    fn lenient_accepts_cluster_named_events() {
+        // Provenance and parallel_print events carry the architecture name.
+        let d = design();
+        let events = vec![Event::Use {
+            time: SimTime::ZERO,
+            model: "M".into(),
+            var: "ip_x".into(),
+            line: 3,
+            feeding: Some(Provenance::new("op_out", 14, "top")),
+            defined: true,
+        }];
+        let r = analyse_events_with_mode(&d, &events, MatchMode::Lenient);
+        assert_eq!(r.quarantined, 0);
+        assert!(r
+            .exercised
+            .contains(&Association::new("op_out", 14, "top", 3, "M")));
+    }
+
+    #[test]
+    fn lenient_quarantines_backward_time_and_poisons_the_def() {
+        let d = design();
+        let events = vec![
+            def_at("M", "t", 3, 10),
+            def_at("M", "t", 9, 0), // time warped backwards: quarantined
+            use_at("M", "t", 10, 10),
+        ];
+        let r = analyse_events_with_mode(&d, &events, MatchMode::Lenient);
+        assert_eq!(r.quarantined, 1);
+        // The stale line-3 def must NOT pair with the line-10 use: the
+        // quarantined redefinition poisoned it.
+        assert!(r.exercised.is_empty());
+        assert!(r.warnings.iter().any(
+            |w| matches!(w, DynamicWarning::NonMonotoneTimestamp { model, .. } if model == "M")
+        ));
+        assert!(r
+            .warnings
+            .iter()
+            .any(|w| matches!(w, DynamicWarning::UseWithoutDef { var, .. } if var == "t")));
+    }
+
+    #[test]
+    fn lenient_quarantines_unknown_variables() {
+        let d = design();
+        let r = analyse_events_with_mode(
+            &d,
+            &[use_at("M", "__ghost_var_0", 4, 0)],
+            MatchMode::Lenient,
+        );
+        assert_eq!(r.quarantined, 1);
+        assert!(matches!(
+            &r.warnings[0],
+            DynamicWarning::UnknownVariable { var, .. } if var == "__ghost_var_0"
+        ));
+        assert!(r.exercised.is_empty());
+    }
+
+    #[test]
+    fn lenient_quarantines_fabricated_provenance() {
+        let d = design();
+        let events = vec![Event::Use {
+            time: SimTime::ZERO,
+            model: "M".into(),
+            var: "ip_x".into(),
+            line: 3,
+            feeding: Some(Provenance::new("op_out", 14, "__ghost_model_2")),
+            defined: true,
+        }];
+        let r = analyse_events_with_mode(&d, &events, MatchMode::Lenient);
+        assert_eq!(r.quarantined, 1);
+        assert!(r.exercised.is_empty());
+        assert!(matches!(
+            &r.warnings[0],
+            DynamicWarning::UnknownModel { model, .. } if model == "__ghost_model_2"
+        ));
     }
 }

@@ -76,6 +76,19 @@ impl From<tdf_interp::InterpError> for DftError {
 /// Result alias for this crate.
 pub type Result<T> = std::result::Result<T, DftError>;
 
+/// Render a `catch_unwind` payload as a message. Panics raised via
+/// `panic!("…")` carry `&str` or `String`; anything else gets a
+/// placeholder rather than being re-thrown.
+pub(crate) fn panic_payload_str(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -107,6 +107,7 @@ mod tests {
                 .map(|(m, v, l)| (m.to_string(), v.to_string(), *l))
                 .collect(),
             warnings: Vec::new(),
+            ..TestcaseResult::default()
         }
     }
 

@@ -40,9 +40,12 @@ pub mod synth;
 
 pub use assoc::{Association, Classification, ClassifiedAssoc};
 pub use classical::classical_pairs;
-pub use coverage::{Coverage, Criterion, TestcaseResult, UncoveredReason};
+pub use coverage::{Coverage, Criterion, RunOutcome, TestcaseResult, UncoveredReason};
 pub use design::Design;
-pub use dynamic::{analyse_events, analyse_events_batch, DynamicResult, DynamicWarning};
+pub use dynamic::{
+    analyse_events, analyse_events_batch, analyse_events_batch_with_mode, analyse_events_with_mode,
+    DynamicResult, DynamicWarning, MatchMode,
+};
 pub use error::{DftError, Result};
 pub use explain::explain_association;
 pub use export::{associations_to_csv, coverage_to_csv, diagnosis_to_csv};

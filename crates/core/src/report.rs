@@ -52,6 +52,15 @@ pub fn render_table1(cov: &Coverage) -> String {
             out.push('\n');
         }
     }
+    // Only degraded runs get a footer: a healthy testsuite renders
+    // byte-identically to a report without outcome tracking.
+    let degraded = cov.degraded();
+    if !degraded.is_empty() {
+        let _ = writeln!(out, "Degraded testcases (partial coverage)");
+        for (name, outcome) in degraded {
+            let _ = writeln!(out, "  {name}: {outcome}");
+        }
+    }
     out
 }
 
@@ -145,6 +154,15 @@ pub fn render_summary(cov: &Coverage) -> String {
         "data flow coverage: {c}/{t} ({:.1}%)",
         cov.total_percent()
     );
+    let degraded = cov.degraded();
+    if !degraded.is_empty() {
+        let _ = writeln!(
+            out,
+            "  ({} of {} testcases degraded; coverage is partial)",
+            degraded.len(),
+            cov.testcase_names().len()
+        );
+    }
     for class in Classification::ALL {
         let (cc, ct) = cov.class_ratio(class);
         if ct > 0 {

@@ -2,15 +2,17 @@
 //! dynamic analysis per testcase, then coverage evaluation — with the
 //! uncovered-association work list driving the "tests addition" loop.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use obs::MetricsReport;
-use tdf_sim::{Cluster, Event, RecordingSink, SimTime, Simulator};
+use tdf_sim::{Cluster, Event, EventSink, RecordingSink, RunLimits, SimTime, Simulator, TdfError};
 
-use crate::coverage::{Coverage, TestcaseResult};
+use crate::coverage::{Coverage, RunOutcome, TestcaseResult};
 use crate::design::Design;
-use crate::dynamic::{analyse_events, analyse_events_batch};
-use crate::error::Result;
+use crate::dynamic::{analyse_events, analyse_events_batch_with_mode, MatchMode};
+use crate::error::{panic_payload_str, DftError, Result};
 use crate::statics::{analyse, StaticAnalysis};
 
 /// One testcase prepared for [`DftSession::run_testcases`]: a freshly built
@@ -106,6 +108,7 @@ impl DftSession {
             exercised: result.exercised,
             defs_executed: result.defs_executed,
             warnings: result.warnings,
+            outcome: RunOutcome::Ok,
         });
         Ok(self.runs.last().expect("just pushed"))
     }
@@ -117,31 +120,67 @@ impl DftSession {
     /// batch order, so reports are byte-identical to running
     /// [`DftSession::run_testcase`] once per entry.
     ///
+    /// Unlike [`DftSession::run_testcase`], a failing testcase does **not**
+    /// abort the batch: elaboration errors, simulation errors, tripped
+    /// [`RunLimits`] budgets and even module panics are isolated to their
+    /// testcase and recorded as a degraded [`RunOutcome`], and whatever the
+    /// testcase logged before failing still contributes (partial) coverage.
+    ///
     /// # Errors
     ///
-    /// Propagates elaboration/simulation errors; on error, no result of
-    /// this batch is recorded.
+    /// Never errors; the `Result` is kept for API stability. Per-testcase
+    /// failures are reported via [`TestcaseResult::outcome`].
     pub fn run_testcases(&mut self, testcases: Vec<TestcaseSpec>) -> Result<&[TestcaseResult]> {
-        let mut logs = Vec::with_capacity(testcases.len());
+        Ok(self.run_testcases_with(testcases, RunLimits::none()))
+    }
+
+    /// [`DftSession::run_testcases`] with per-testcase [`RunLimits`]
+    /// budgets. Each testcase is simulated under `limits`; a tripped budget
+    /// degrades only that testcase ([`RunOutcome::TimedOut`]) while its
+    /// partial event log is still matched. Event logs of degraded testcases
+    /// are matched in [`MatchMode::Lenient`] — as are healthy ones, which
+    /// is indistinguishable from strict matching on a well-formed log.
+    pub fn run_testcases_with(
+        &mut self,
+        testcases: Vec<TestcaseSpec>,
+        limits: RunLimits,
+    ) -> &[TestcaseResult] {
+        static DEGRADED: obs::Counter = obs::Counter::new("testcase.degraded");
+        let mut names = Vec::with_capacity(testcases.len());
+        let mut outcomes = Vec::with_capacity(testcases.len());
+        let mut events = Vec::with_capacity(testcases.len());
         for tc in testcases {
-            let events = simulate_testcase(&tc.name, tc.cluster, tc.duration)?;
-            logs.push((tc.name, events));
+            let (log, outcome) =
+                simulate_testcase_isolated(&tc.name, tc.cluster, tc.duration, limits);
+            if outcome.is_degraded() {
+                DEGRADED.add(1);
+            }
+            names.push(tc.name);
+            outcomes.push(outcome);
+            events.push(log);
         }
-        let (names, events): (Vec<String>, Vec<_>) = logs.into_iter().unzip();
-        let results = analyse_events_batch(&self.design, &events, crate::thread_count());
-        let start = self.runs.len();
-        self.runs.extend(
-            names
-                .into_iter()
-                .zip(results)
-                .map(|(name, r)| TestcaseResult {
-                    name,
-                    exercised: r.exercised,
-                    defs_executed: r.defs_executed,
-                    warnings: r.warnings,
-                }),
+        let results = analyse_events_batch_with_mode(
+            &self.design,
+            &events,
+            crate::thread_count(),
+            MatchMode::Lenient,
         );
-        Ok(&self.runs[start..])
+        let start = self.runs.len();
+        self.runs
+            .extend(
+                names
+                    .into_iter()
+                    .zip(outcomes)
+                    .zip(results)
+                    .map(|((name, outcome), r)| TestcaseResult {
+                        name,
+                        exercised: r.exercised,
+                        defs_executed: r.defs_executed,
+                        warnings: r.warnings,
+                        outcome,
+                    }),
+            );
+        &self.runs[start..]
     }
 
     /// All testcase results so far.
@@ -189,6 +228,75 @@ fn simulate_testcase(name: &str, cluster: Cluster, duration: SimTime) -> Result<
         obs::observe_duration(&format!("testcase.{name}.wall"), t0.elapsed());
     }
     Ok(sink.events)
+}
+
+/// An [`EventSink`] appending into a shared, mutex-guarded buffer that
+/// outlives the simulation — so the event log survives a panicking module.
+struct SharedSink(Arc<Mutex<Vec<Event>>>);
+
+impl EventSink for SharedSink {
+    fn record(&mut self, event: Event) {
+        // A poisoned lock only means some other holder panicked mid-append;
+        // the Vec itself is never left in a torn state (push is the only
+        // mutation), so recover the guard and keep recording.
+        self.0.lock().unwrap_or_else(|p| p.into_inner()).push(event);
+    }
+}
+
+/// Elaborates and simulates one testcase under `limits` with full failure
+/// isolation: errors, tripped budgets and module panics degrade the
+/// [`RunOutcome`] instead of propagating, and whatever was logged before
+/// the failure is recovered.
+///
+/// Unwind-safety invariant (the reason `AssertUnwindSafe` is sound here):
+/// the closure *owns* everything it mutates — the cluster, the simulator
+/// built from it, and its `SharedSink` — so a panic can only tear state
+/// that dies with the closure. The sole data crossing the unwind boundary
+/// is the `Arc<Mutex<Vec<Event>>>` event buffer, which is append-only and
+/// mutated one `push` at a time under the lock; an unwind can therefore at
+/// worst *truncate* the log (a shorter but well-formed prefix), never
+/// corrupt an entry. No bare `&mut` borrow is captured across the boundary.
+fn simulate_testcase_isolated(
+    name: &str,
+    cluster: Cluster,
+    duration: SimTime,
+    limits: RunLimits,
+) -> (Vec<Event>, RunOutcome) {
+    let started = obs::metrics_enabled().then(Instant::now);
+    let events: Arc<Mutex<Vec<Event>>> = Arc::new(Mutex::new(Vec::new()));
+    let shared = Arc::clone(&events);
+    let run = catch_unwind(AssertUnwindSafe(move || {
+        let mut sim = Simulator::new(cluster)?;
+        let mut sink = SharedSink(shared);
+        let _span = obs::span("stage.simulate");
+        sim.run_with_limits(duration, &mut sink, &limits)?;
+        Ok::<(), DftError>(())
+    }));
+    let outcome = match run {
+        Ok(Ok(())) => RunOutcome::Ok,
+        Ok(Err(DftError::Sim(
+            e @ (TdfError::ActivationLimit { .. }
+            | TdfError::EventLimit { .. }
+            | TdfError::DeadlineExceeded { .. }),
+        ))) => RunOutcome::TimedOut {
+            reason: e.to_string(),
+        },
+        Ok(Err(e)) => RunOutcome::Failed {
+            error: e.to_string(),
+        },
+        Err(payload) => RunOutcome::Panicked {
+            payload: panic_payload_str(payload),
+        },
+    };
+    let log = {
+        let mut guard = events.lock().unwrap_or_else(|p| p.into_inner());
+        std::mem::take(&mut *guard)
+    };
+    if let Some(t0) = started {
+        obs::counter_add(&format!("testcase.{name}.events"), log.len() as u64);
+        obs::observe_duration(&format!("testcase.{name}.wall"), t0.elapsed());
+    }
+    (log, outcome)
 }
 
 #[cfg(test)]

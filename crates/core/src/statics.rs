@@ -18,6 +18,7 @@
 //!   TDF model"), e.g. `(ip_signal_in, 1, TS, 3, TS)`.
 
 use std::collections::{BTreeMap, HashMap, HashSet};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use dataflow::{path_facts, Cfg, DefSite as FlowDef, Liveness, NodeId, ReachingDefs};
 use tdf_interp::VarKind;
@@ -25,6 +26,7 @@ use tdf_sim::{DefSite, ModuleClass, Netlist, PortRef};
 
 use crate::assoc::{Association, Classification, ClassifiedAssoc};
 use crate::design::Design;
+use crate::error::panic_payload_str;
 
 /// Static-analysis findings that are not associations: suspicious shapes
 /// the verification engineer should look at.
@@ -54,6 +56,15 @@ pub enum StaticLint {
         model: String,
         /// Port name.
         port: String,
+    },
+    /// Classifying this model panicked (an internal invariant tripped on
+    /// its source). The panic was caught: the model contributes no
+    /// associations, but every other model's analysis is unaffected.
+    AnalysisPanicked {
+        /// Model name.
+        model: String,
+        /// The panic payload (message), when it was a string.
+        payload: String,
     },
 }
 
@@ -145,17 +156,35 @@ pub fn analyse_with_threads(design: &Design, threads: usize) -> StaticAnalysis {
     // Per-model flow construction + intra-model classification fan out;
     // each worker also warms the model's reachability cache, which the
     // cluster stage below reuses.
-    let per_model: Vec<(Vec<ClassifiedAssoc>, Vec<StaticLint>, ModelFlow)> =
+    // Each work item is isolated with `catch_unwind`: a panic while
+    // classifying one model (an internal invariant tripping on its source)
+    // degrades to a `StaticLint::AnalysisPanicked` instead of tearing down
+    // the whole analysis. Workers only *read* the shared `&Design`, so an
+    // unwind cannot leave shared state torn — `AssertUnwindSafe` is sound.
+    let per_model: Vec<(Vec<ClassifiedAssoc>, Vec<StaticLint>, Option<ModelFlow>)> =
         crate::par::par_map(&models, threads, |&model| {
             let _span = obs::span("static.model_classify");
-            let flow = ModelFlow::compute(design, model);
-            let mut assocs = Vec::new();
-            let mut lints = Vec::new();
-            intra_model(design, model, &flow, &mut assocs);
-            member_cross_activation(design, model, &flow, &mut assocs);
-            input_port_pseudo_defs(design, model, &flow, &mut assocs);
-            lint_model(design, model, &flow, &mut lints);
-            (assocs, lints, flow)
+            let isolated = catch_unwind(AssertUnwindSafe(|| {
+                let flow = ModelFlow::compute(design, model);
+                let mut assocs = Vec::new();
+                let mut lints = Vec::new();
+                intra_model(design, model, &flow, &mut assocs);
+                member_cross_activation(design, model, &flow, &mut assocs);
+                input_port_pseudo_defs(design, model, &flow, &mut assocs);
+                lint_model(design, model, &flow, &mut lints);
+                (assocs, lints, flow)
+            }));
+            match isolated {
+                Ok((assocs, lints, flow)) => (assocs, lints, Some(flow)),
+                Err(payload) => (
+                    Vec::new(),
+                    vec![StaticLint::AnalysisPanicked {
+                        model: model.to_owned(),
+                        payload: panic_payload_str(payload),
+                    }],
+                    None,
+                ),
+            }
         });
 
     let mut out: Vec<ClassifiedAssoc> = Vec::new();
@@ -164,19 +193,37 @@ pub fn analyse_with_threads(design: &Design, threads: usize) -> StaticAnalysis {
     for (model, (assocs, model_lints, flow)) in models.iter().zip(per_model) {
         out.extend(assocs);
         lints.extend(model_lints);
-        flows.insert((*model).to_owned(), flow);
+        if let Some(flow) = flow {
+            flows.insert((*model).to_owned(), flow);
+        }
     }
 
     // The cluster stage reads all flows at once, so it runs after the
-    // barrier above — again one model per work item, merged in order.
-    let cluster: Vec<Vec<ClassifiedAssoc>> = crate::par::par_map(&models, threads, |&model| {
-        let _span = obs::span("static.cluster_ports");
-        let mut assocs = Vec::new();
-        cluster_ports(design, model, &flows, &mut assocs);
-        assocs
-    });
-    for assocs in cluster {
+    // barrier above — again one model per work item, merged in order, with
+    // the same per-model panic isolation. A model whose flow is missing
+    // (its classify stage panicked) is skipped by `cluster_ports`.
+    let cluster: Vec<(Vec<ClassifiedAssoc>, Option<StaticLint>)> =
+        crate::par::par_map(&models, threads, |&model| {
+            let _span = obs::span("static.cluster_ports");
+            let isolated = catch_unwind(AssertUnwindSafe(|| {
+                let mut assocs = Vec::new();
+                cluster_ports(design, model, &flows, &mut assocs);
+                assocs
+            }));
+            match isolated {
+                Ok(assocs) => (assocs, None),
+                Err(payload) => (
+                    Vec::new(),
+                    Some(StaticLint::AnalysisPanicked {
+                        model: model.to_owned(),
+                        payload: panic_payload_str(payload),
+                    }),
+                ),
+            }
+        });
+    for (assocs, lint) in cluster {
         out.extend(assocs);
+        lints.extend(lint);
     }
 
     // Deduplicate on the tuple, keeping the first (intra-activation)
@@ -468,7 +515,11 @@ fn cluster_ports(
     let Some(iface) = design.interface(model) else {
         return;
     };
-    let flow = &flows[model];
+    // No flow means this model's classify stage panicked; its cluster
+    // pairs are sacrificed along with it.
+    let Some(flow) = flows.get(model) else {
+        return;
+    };
     for p in &iface.outputs {
         let defs = flow.rd.defs_reaching_exit(&flow.cfg, &p.name);
         let branches = collect_branches(design.netlist(), model, &p.name);

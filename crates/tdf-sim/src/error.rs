@@ -98,6 +98,27 @@ pub enum TdfError {
         /// Modules that still had pending firings.
         stuck: Vec<String>,
     },
+    /// A bounded run hit its activation budget before covering the
+    /// requested duration (see `RunLimits::max_activations`).
+    ActivationLimit {
+        /// The configured budget.
+        limit: u64,
+    },
+    /// A bounded run emitted more instrumentation events than its budget
+    /// allows (see `RunLimits::max_events`) — typically a runaway or
+    /// fault-injected testcase flooding the sink.
+    EventLimit {
+        /// The configured budget.
+        limit: u64,
+    },
+    /// A bounded run exceeded its wall-clock budget (see
+    /// `RunLimits::wall_budget`). The deadline is checked cooperatively
+    /// between module activations, so a single stalled `processing()` body
+    /// is detected at its next firing boundary.
+    DeadlineExceeded {
+        /// The configured wall-clock budget.
+        budget: std::time::Duration,
+    },
     /// A module produced more samples than its output port rate.
     TooManySamples {
         /// Module name.
@@ -161,6 +182,17 @@ impl fmt::Display for TdfError {
                     "static schedule deadlock; stuck modules: {}",
                     stuck.join(", ")
                 )
+            }
+            TdfError::ActivationLimit { limit } => write!(
+                f,
+                "run aborted: activation budget of {limit} activations exhausted"
+            ),
+            TdfError::EventLimit { limit } => write!(
+                f,
+                "run aborted: instrumentation event budget of {limit} events exhausted"
+            ),
+            TdfError::DeadlineExceeded { budget } => {
+                write!(f, "run aborted: wall-clock budget of {budget:?} exceeded")
             }
             TdfError::TooManySamples {
                 module,

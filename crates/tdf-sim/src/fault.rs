@@ -1,0 +1,651 @@
+//! Deterministic fault injection for the TDF kernel and its
+//! instrumentation stream.
+//!
+//! The dynamic half of the DFT pipeline only works if it survives the
+//! event logs and models it is fed. This module makes every degradation
+//! path *testable on demand*: a seeded [`FaultPlan`] drives a
+//! [`FaultInjector`] that can corrupt a recorded log offline
+//! ([`FaultInjector::corrupt_log`]), tamper with events as they flow to a
+//! sink ([`FaultSink`]), or wrap whole modules so they emit NaN/Inf
+//! samples ([`CorruptValues`]), panic ([`PanicAfter`]) or stall
+//! ([`StallAfter`]) after N activations.
+//!
+//! Everything is driven by a small dependency-free xorshift RNG seeded
+//! from the plan, so a given `(seed, probabilities)` pair reproduces the
+//! exact same fault sequence on every run — fault-injection tests stay
+//! deterministic. Each injected fault increments a `fault.injected.*`
+//! counter in the observability registry (visible under `DFT_METRICS=1`).
+
+use std::time::Duration;
+
+use crate::module::{
+    Event, EventSink, ModuleClass, ModuleSpec, ProcessingCtx, RecordingSink, TdfModule,
+};
+use crate::time::SimTime;
+use crate::value::Value;
+
+static FAULT_DROP: obs::Counter = obs::Counter::new("fault.injected.drop");
+static FAULT_DUP: obs::Counter = obs::Counter::new("fault.injected.duplicate");
+static FAULT_REORDER: obs::Counter = obs::Counter::new("fault.injected.reorder");
+static FAULT_CORRUPT: obs::Counter = obs::Counter::new("fault.injected.corrupt");
+static FAULT_NAN: obs::Counter = obs::Counter::new("fault.injected.nan");
+static FAULT_INF: obs::Counter = obs::Counter::new("fault.injected.inf");
+static FAULT_PANIC: obs::Counter = obs::Counter::new("fault.injected.panic");
+static FAULT_STALL: obs::Counter = obs::Counter::new("fault.injected.stall");
+
+/// A tiny deterministic RNG (splitmix64 seed scramble + xorshift64*),
+/// dependency-free so fault injection works without pulling `rand` into
+/// the kernel.
+#[derive(Debug, Clone)]
+pub struct FaultRng {
+    state: u64,
+}
+
+impl FaultRng {
+    /// Seeds the generator; any seed (including 0) yields a healthy stream.
+    pub fn new(seed: u64) -> Self {
+        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        FaultRng {
+            state: (z ^ (z >> 31)) | 1,
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Bernoulli draw with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        p > 0.0 && self.next_f64() < p
+    }
+}
+
+/// What to inject and how often — the seed plus one probability per fault
+/// class. All probabilities default to 0 (inject nothing).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// RNG seed; the same seed replays the same fault sequence.
+    pub seed: u64,
+    /// Probability an event is silently dropped from the stream.
+    pub drop_events: f64,
+    /// Probability an event is recorded twice.
+    pub duplicate_events: f64,
+    /// Probability an event is held back and re-emitted after a later one
+    /// (local reordering).
+    pub reorder_events: f64,
+    /// Probability an event's model/variable/timestamp is garbled.
+    pub corrupt_events: f64,
+    /// Probability an output sample's value is replaced with NaN
+    /// (via [`CorruptValues`]).
+    pub nan_outputs: f64,
+    /// Probability an output sample's value is replaced with +Inf
+    /// (via [`CorruptValues`]).
+    pub inf_outputs: f64,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            seed: 0,
+            drop_events: 0.0,
+            duplicate_events: 0.0,
+            reorder_events: 0.0,
+            corrupt_events: 0.0,
+            nan_outputs: 0.0,
+            inf_outputs: 0.0,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing (seed 0).
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Sets the RNG seed (builder style).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the event-drop probability (builder style).
+    pub fn with_drop_events(mut self, p: f64) -> Self {
+        self.drop_events = p;
+        self
+    }
+
+    /// Sets the event-duplication probability (builder style).
+    pub fn with_duplicate_events(mut self, p: f64) -> Self {
+        self.duplicate_events = p;
+        self
+    }
+
+    /// Sets the event-reorder probability (builder style).
+    pub fn with_reorder_events(mut self, p: f64) -> Self {
+        self.reorder_events = p;
+        self
+    }
+
+    /// Sets the event-corruption probability (builder style).
+    pub fn with_corrupt_events(mut self, p: f64) -> Self {
+        self.corrupt_events = p;
+        self
+    }
+
+    /// Sets the NaN-output probability (builder style).
+    pub fn with_nan_outputs(mut self, p: f64) -> Self {
+        self.nan_outputs = p;
+        self
+    }
+
+    /// Sets the +Inf-output probability (builder style).
+    pub fn with_inf_outputs(mut self, p: f64) -> Self {
+        self.inf_outputs = p;
+        self
+    }
+}
+
+/// Garbles one event: unknown model, unknown variable, or a warped
+/// timestamp (whichever the RNG picks).
+fn corrupt_event(e: &Event, rng: &mut FaultRng) -> Event {
+    let mut e = e.clone();
+    match rng.next_u64() % 3 {
+        0 => {
+            let name = format!("__ghost_model_{}", rng.next_u64() % 4);
+            match &mut e {
+                Event::Def { model, .. } | Event::Use { model, .. } => *model = name,
+            }
+        }
+        1 => {
+            let name = format!("__ghost_var_{}", rng.next_u64() % 4);
+            match &mut e {
+                Event::Def { var, .. } | Event::Use { var, .. } => *var = name,
+            }
+        }
+        _ => {
+            // Warp the timestamp backwards to zero — non-monotone for any
+            // event past the first activation.
+            match &mut e {
+                Event::Def { time, .. } | Event::Use { time, .. } => *time = SimTime::ZERO,
+            }
+        }
+    }
+    e
+}
+
+/// Shared fault pipeline for one event: drop → corrupt → reorder-hold →
+/// duplicate → deliver (flushing any held event *after* this one).
+fn apply_event_faults(
+    event: Event,
+    plan: &FaultPlan,
+    rng: &mut FaultRng,
+    held: &mut Option<Event>,
+    inner: &mut dyn EventSink,
+) {
+    if rng.chance(plan.drop_events) {
+        FAULT_DROP.add(1);
+        return;
+    }
+    let event = if rng.chance(plan.corrupt_events) {
+        FAULT_CORRUPT.add(1);
+        corrupt_event(&event, rng)
+    } else {
+        event
+    };
+    if held.is_none() && rng.chance(plan.reorder_events) {
+        FAULT_REORDER.add(1);
+        *held = Some(event);
+        return;
+    }
+    if rng.chance(plan.duplicate_events) {
+        FAULT_DUP.add(1);
+        inner.record(event.clone());
+    }
+    inner.record(event);
+    if let Some(h) = held.take() {
+        inner.record(h);
+    }
+}
+
+/// An [`EventSink`] adaptor injecting the plan's event faults into the
+/// stream on its way to `inner`. A held (reordered) event is flushed when
+/// a later event passes through, or at the latest when the sink drops —
+/// reordering never *loses* events.
+pub struct FaultSink<'a> {
+    inner: &'a mut dyn EventSink,
+    plan: FaultPlan,
+    rng: FaultRng,
+    held: Option<Event>,
+}
+
+impl<'a> FaultSink<'a> {
+    /// Wraps `inner`, seeding the fault RNG from the plan.
+    pub fn new(plan: FaultPlan, inner: &'a mut dyn EventSink) -> Self {
+        let rng = FaultRng::new(plan.seed);
+        FaultSink {
+            inner,
+            plan,
+            rng,
+            held: None,
+        }
+    }
+}
+
+impl EventSink for FaultSink<'_> {
+    fn record(&mut self, event: Event) {
+        apply_event_faults(event, &self.plan, &mut self.rng, &mut self.held, self.inner);
+    }
+}
+
+impl Drop for FaultSink<'_> {
+    fn drop(&mut self) {
+        if let Some(h) = self.held.take() {
+            self.inner.record(h);
+        }
+    }
+}
+
+/// Entry point for injecting faults from a [`FaultPlan`].
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+}
+
+impl FaultInjector {
+    /// Creates an injector for `plan`.
+    pub fn new(plan: FaultPlan) -> Self {
+        FaultInjector { plan }
+    }
+
+    /// The plan this injector executes.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Applies the plan's event faults to a recorded log, offline.
+    /// Deterministic: the same plan and input produce the same output.
+    pub fn corrupt_log(&self, events: &[Event]) -> Vec<Event> {
+        let mut out = RecordingSink::new();
+        {
+            let mut sink = FaultSink::new(self.plan.clone(), &mut out);
+            for e in events {
+                sink.record(e.clone());
+            }
+        }
+        out.events
+    }
+
+    /// Wraps `inner` so the plan's event faults are injected online.
+    pub fn wrap_sink<'a>(&self, inner: &'a mut dyn EventSink) -> FaultSink<'a> {
+        FaultSink::new(self.plan.clone(), inner)
+    }
+}
+
+/// Wraps a module so it panics (deterministically) once it has been
+/// activated more than `after` times. `initialize()` rearms the trigger.
+pub struct PanicAfter {
+    inner: Box<dyn TdfModule>,
+    after: u64,
+    count: u64,
+}
+
+impl PanicAfter {
+    /// The first `after` activations run normally; the next one panics.
+    pub fn new(inner: Box<dyn TdfModule>, after: u64) -> Self {
+        PanicAfter {
+            inner,
+            after,
+            count: 0,
+        }
+    }
+}
+
+impl TdfModule for PanicAfter {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+    fn spec(&self) -> ModuleSpec {
+        self.inner.spec()
+    }
+    fn class(&self) -> ModuleClass {
+        self.inner.class()
+    }
+    fn initialize(&mut self) {
+        self.count = 0;
+        self.inner.initialize();
+    }
+    fn processing(&mut self, ctx: &mut ProcessingCtx<'_>) {
+        self.count += 1;
+        if self.count > self.after {
+            FAULT_PANIC.add(1);
+            panic!(
+                "fault-inject: module `{}` panicking after {} activations",
+                self.inner.name(),
+                self.after
+            );
+        }
+        self.inner.processing(ctx);
+    }
+}
+
+/// Wraps a module so every activation past the first `after` sleeps for
+/// `stall` before delegating — a runaway model that a wall-clock budget
+/// ([`crate::RunLimits::wall_budget`]) catches at the next firing boundary.
+pub struct StallAfter {
+    inner: Box<dyn TdfModule>,
+    after: u64,
+    stall: Duration,
+    count: u64,
+}
+
+impl StallAfter {
+    /// The first `after` activations run normally; later ones stall.
+    pub fn new(inner: Box<dyn TdfModule>, after: u64, stall: Duration) -> Self {
+        StallAfter {
+            inner,
+            after,
+            stall,
+            count: 0,
+        }
+    }
+}
+
+impl TdfModule for StallAfter {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+    fn spec(&self) -> ModuleSpec {
+        self.inner.spec()
+    }
+    fn class(&self) -> ModuleClass {
+        self.inner.class()
+    }
+    fn initialize(&mut self) {
+        self.count = 0;
+        self.inner.initialize();
+    }
+    fn processing(&mut self, ctx: &mut ProcessingCtx<'_>) {
+        self.count += 1;
+        if self.count > self.after {
+            FAULT_STALL.add(1);
+            std::thread::sleep(self.stall);
+        }
+        self.inner.processing(ctx);
+    }
+}
+
+/// Wraps a module and replaces its output sample values with NaN/+Inf at
+/// the plan's `nan_outputs` / `inf_outputs` rates (provenance and
+/// definedness are left untouched — only the numeric payload is garbled).
+pub struct CorruptValues {
+    inner: Box<dyn TdfModule>,
+    plan: FaultPlan,
+    rng: FaultRng,
+}
+
+impl CorruptValues {
+    /// Wraps `inner`, seeding the value-fault RNG from the plan.
+    pub fn new(inner: Box<dyn TdfModule>, plan: FaultPlan) -> Self {
+        let rng = FaultRng::new(plan.seed);
+        CorruptValues { inner, plan, rng }
+    }
+}
+
+impl TdfModule for CorruptValues {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+    fn spec(&self) -> ModuleSpec {
+        self.inner.spec()
+    }
+    fn class(&self) -> ModuleClass {
+        self.inner.class()
+    }
+    fn initialize(&mut self) {
+        self.rng = FaultRng::new(self.plan.seed);
+        self.inner.initialize();
+    }
+    fn processing(&mut self, ctx: &mut ProcessingCtx<'_>) {
+        self.inner.processing(ctx);
+        for port in ctx.outputs.iter_mut() {
+            for sample in port.iter_mut() {
+                if self.rng.chance(self.plan.nan_outputs) {
+                    FAULT_NAN.add(1);
+                    sample.value = Value::Double(f64::NAN);
+                } else if self.rng.chance(self.plan.inf_outputs) {
+                    FAULT_INF.add(1);
+                    sample.value = Value::Double(f64::INFINITY);
+                }
+            }
+        }
+    }
+}
+
+/// Wraps a module so every event it emits passes through the plan's event
+/// faults before reaching the real sink — the online counterpart of
+/// [`FaultInjector::corrupt_log`]. The reorder hold-slot persists across
+/// activations; `initialize()` flushes it and reseeds the RNG.
+pub struct FaultyEvents {
+    inner: Box<dyn TdfModule>,
+    plan: FaultPlan,
+    rng: FaultRng,
+    held: Option<Event>,
+}
+
+impl FaultyEvents {
+    /// Wraps `inner`, seeding the event-fault RNG from the plan.
+    pub fn new(inner: Box<dyn TdfModule>, plan: FaultPlan) -> Self {
+        let rng = FaultRng::new(plan.seed);
+        FaultyEvents {
+            inner,
+            plan,
+            rng,
+            held: None,
+        }
+    }
+}
+
+/// Borrowing event-fault tap used by [`FaultyEvents`]: state lives in the
+/// wrapper so reordering works across activations.
+struct TapSink<'a> {
+    inner: &'a mut dyn EventSink,
+    plan: &'a FaultPlan,
+    rng: &'a mut FaultRng,
+    held: &'a mut Option<Event>,
+}
+
+impl EventSink for TapSink<'_> {
+    fn record(&mut self, event: Event) {
+        apply_event_faults(event, self.plan, self.rng, self.held, self.inner);
+    }
+}
+
+impl TdfModule for FaultyEvents {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+    fn spec(&self) -> ModuleSpec {
+        self.inner.spec()
+    }
+    fn class(&self) -> ModuleClass {
+        self.inner.class()
+    }
+    fn initialize(&mut self) {
+        self.rng = FaultRng::new(self.plan.seed);
+        self.held = None;
+        self.inner.initialize();
+    }
+    fn processing(&mut self, ctx: &mut ProcessingCtx<'_>) {
+        let mut tap = TapSink {
+            inner: ctx.sink,
+            plan: &self.plan,
+            rng: &mut self.rng,
+            held: &mut self.held,
+        };
+        let mut derived = ProcessingCtx {
+            time: ctx.time,
+            timestep: ctx.timestep,
+            inputs: ctx.inputs,
+            outputs: ctx.outputs,
+            sink: &mut tap,
+            timestep_request: ctx.timestep_request,
+        };
+        self.inner.processing(&mut derived);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::components::FnSource;
+    use crate::module::NullSink;
+
+    fn sample_log(n: u32) -> Vec<Event> {
+        (0..n)
+            .map(|i| Event::Def {
+                time: SimTime::from_us(i as u64),
+                model: "TS".into(),
+                var: "tmpr".into(),
+                line: 4 + i,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn corrupt_log_is_deterministic() {
+        let plan = FaultPlan::new()
+            .with_seed(42)
+            .with_drop_events(0.3)
+            .with_duplicate_events(0.3)
+            .with_reorder_events(0.3)
+            .with_corrupt_events(0.3);
+        let log = sample_log(50);
+        let a = FaultInjector::new(plan.clone()).corrupt_log(&log);
+        let b = FaultInjector::new(plan).corrupt_log(&log);
+        assert_eq!(a, b, "same plan replays the same faults");
+    }
+
+    #[test]
+    fn drop_probability_one_empties_the_log() {
+        let inj = FaultInjector::new(FaultPlan::new().with_drop_events(1.0));
+        assert!(inj.corrupt_log(&sample_log(10)).is_empty());
+    }
+
+    #[test]
+    fn duplicate_probability_one_doubles_the_log() {
+        let inj = FaultInjector::new(FaultPlan::new().with_duplicate_events(1.0));
+        assert_eq!(inj.corrupt_log(&sample_log(10)).len(), 20);
+    }
+
+    #[test]
+    fn reorder_never_loses_events() {
+        let inj = FaultInjector::new(FaultPlan::new().with_seed(7).with_reorder_events(0.8));
+        let log = sample_log(40);
+        let out = inj.corrupt_log(&log);
+        assert_eq!(out.len(), log.len(), "reordering only permutes");
+        let mut sorted_in: Vec<u32> = log.iter().map(Event::line).collect();
+        let mut sorted_out: Vec<u32> = out.iter().map(Event::line).collect();
+        sorted_in.sort_unstable();
+        sorted_out.sort_unstable();
+        assert_eq!(sorted_in, sorted_out, "same multiset of events");
+        assert_ne!(
+            log.iter().map(Event::line).collect::<Vec<_>>(),
+            out.iter().map(Event::line).collect::<Vec<_>>(),
+            "at 0.8 probability over 40 events some pair really swapped"
+        );
+    }
+
+    #[test]
+    fn corrupted_events_differ_from_originals() {
+        let inj = FaultInjector::new(FaultPlan::new().with_seed(3).with_corrupt_events(1.0));
+        let log = sample_log(10);
+        let out = inj.corrupt_log(&log);
+        assert_eq!(out.len(), log.len());
+        assert!(out.iter().zip(&log).any(|(a, b)| a != b));
+    }
+
+    #[test]
+    fn panic_after_fires_at_the_right_activation() {
+        let src = FnSource::new("src", SimTime::from_us(1), |_| Value::Double(1.0));
+        let mut wrapped = PanicAfter::new(Box::new(src), 2);
+        let fire = |m: &mut PanicAfter| {
+            let inputs: Vec<Vec<crate::value::Sample>> = Vec::new();
+            let mut outputs = vec![Vec::new()];
+            let mut req = None;
+            let mut sink = NullSink;
+            let mut ctx = ProcessingCtx {
+                time: SimTime::ZERO,
+                timestep: SimTime::from_us(1),
+                inputs: &inputs,
+                outputs: &mut outputs,
+                sink: &mut sink,
+                timestep_request: &mut req,
+            };
+            m.processing(&mut ctx);
+        };
+        fire(&mut wrapped);
+        fire(&mut wrapped);
+        let boom = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| fire(&mut wrapped)));
+        let payload = boom.unwrap_err();
+        let msg = payload.downcast_ref::<String>().unwrap();
+        assert_eq!(
+            msg,
+            "fault-inject: module `src` panicking after 2 activations"
+        );
+        // initialize() rearms: two more healthy activations.
+        wrapped.initialize();
+        fire(&mut wrapped);
+        fire(&mut wrapped);
+    }
+
+    #[test]
+    fn corrupt_values_injects_nan() {
+        let src = FnSource::new("src", SimTime::from_us(1), |_| Value::Double(1.0));
+        let mut wrapped = CorruptValues::new(Box::new(src), FaultPlan::new().with_nan_outputs(1.0));
+        let inputs: Vec<Vec<crate::value::Sample>> = Vec::new();
+        let mut outputs = vec![Vec::new()];
+        let mut req = None;
+        let mut sink = NullSink;
+        let mut ctx = ProcessingCtx {
+            time: SimTime::ZERO,
+            timestep: SimTime::from_us(1),
+            inputs: &inputs,
+            outputs: &mut outputs,
+            sink: &mut sink,
+            timestep_request: &mut req,
+        };
+        wrapped.processing(&mut ctx);
+        assert!(outputs[0][0].value.as_f64().is_nan());
+    }
+
+    #[test]
+    fn fault_sink_drop_flushes_held_event() {
+        let mut rec = RecordingSink::new();
+        {
+            let mut sink = FaultSink::new(
+                FaultPlan::new().with_seed(1).with_reorder_events(1.0),
+                &mut rec,
+            );
+            // Every event gets held; each next event flushes the previous
+            // hold, and the final hold flushes on drop.
+            for e in sample_log(3) {
+                sink.record(e);
+            }
+        }
+        assert_eq!(rec.events.len(), 3, "no event lost to the hold slot");
+    }
+}

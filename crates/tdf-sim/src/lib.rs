@@ -50,6 +50,7 @@ mod analog;
 mod cluster;
 mod components;
 mod error;
+mod fault;
 mod module;
 mod schedule;
 mod sim;
@@ -64,12 +65,16 @@ pub use components::{
     Adc, Buffer, Delay, FnSource, Gain, LowPass, ParallelPrint, Probe, SliceSource, Wire,
 };
 pub use error::{Result, TdfError};
+pub use fault::{
+    CorruptValues, FaultInjector, FaultPlan, FaultRng, FaultSink, FaultyEvents, PanicAfter,
+    StallAfter,
+};
 pub use module::{
     DefSite, Event, EventSink, ModuleClass, ModuleSpec, NullSink, PortSpec, ProcessingCtx,
     RecordingSink, TdfModule,
 };
 pub use schedule::{compute_schedule, Schedule, MAX_TOTAL_FIRINGS};
-pub use sim::{SimStats, Simulator};
+pub use sim::{RunLimits, SimStats, Simulator};
 pub use time::SimTime;
 pub use trace::{render_traces, TraceBuffer};
 pub use value::{Provenance, Sample, Value};

@@ -3,10 +3,11 @@
 //! timestep changes with rescheduling at cluster-period boundaries.
 
 use std::collections::VecDeque;
+use std::time::{Duration, Instant};
 
 use crate::cluster::{Cluster, ModuleId, Netlist};
 use crate::error::{Result, TdfError};
-use crate::module::{EventSink, ProcessingCtx};
+use crate::module::{Event, EventSink, ProcessingCtx};
 use crate::schedule::{compute_schedule, Schedule};
 use crate::time::SimTime;
 use crate::value::Sample;
@@ -27,6 +28,67 @@ pub struct SimStats {
     pub samples_transferred: u64,
     /// Dynamic-TDF reschedules performed.
     pub reschedules: u64,
+}
+
+/// Budget caps for a bounded simulation run ([`Simulator::run_with_limits`]).
+///
+/// Every field defaults to `None` (unbounded); an all-`None` limit set takes
+/// the exact same code path as [`Simulator::run`], so healthy runs pay
+/// nothing. Bounds are checked *cooperatively between module activations*:
+/// a module whose `processing()` body stalls is detected at its next firing
+/// boundary, not mid-activation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunLimits {
+    /// Abort once the simulator's cumulative activation count reaches this.
+    pub max_activations: Option<u64>,
+    /// Abort once the run has emitted this many instrumentation events.
+    pub max_events: Option<u64>,
+    /// Abort once the run has consumed this much wall-clock time.
+    pub wall_budget: Option<Duration>,
+}
+
+impl RunLimits {
+    /// No limits at all — equivalent to [`Simulator::run`].
+    pub fn none() -> Self {
+        RunLimits::default()
+    }
+
+    /// Caps cumulative module activations (builder style).
+    pub fn with_max_activations(mut self, n: u64) -> Self {
+        self.max_activations = Some(n);
+        self
+    }
+
+    /// Caps instrumentation events emitted by this run (builder style).
+    pub fn with_max_events(mut self, n: u64) -> Self {
+        self.max_events = Some(n);
+        self
+    }
+
+    /// Caps wall-clock time for this run (builder style).
+    pub fn with_wall_budget(mut self, budget: Duration) -> Self {
+        self.wall_budget = Some(budget);
+        self
+    }
+
+    /// True when no bound is set (the zero-cost fast path applies).
+    pub fn is_unlimited(&self) -> bool {
+        self.max_activations.is_none() && self.max_events.is_none() && self.wall_budget.is_none()
+    }
+}
+
+/// Counts events flowing to the wrapped sink so [`RunLimits::max_events`]
+/// can be enforced without touching the sink implementations themselves.
+struct CountingSink<'a> {
+    inner: &'a mut dyn EventSink,
+    recorded: u64,
+}
+
+impl EventSink for CountingSink<'_> {
+    fn record(&mut self, event: Event) {
+        self.recorded += 1;
+        self.inner.record(event);
+    }
 }
 
 /// An elaborated, executable TDF cluster.
@@ -208,6 +270,77 @@ impl Simulator {
         })();
         self.record_stat_deltas(before);
         result
+    }
+
+    /// Runs whole cluster periods until `duration` is covered, aborting
+    /// early when any bound in `limits` trips. With an unlimited `limits`
+    /// this delegates to [`Simulator::run`] and is exactly as fast.
+    ///
+    /// Partial progress is preserved: time, buffers and stats reflect every
+    /// activation that completed before the bound tripped, so a caller can
+    /// still harvest whatever the sink recorded.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TdfError::ActivationLimit`], [`TdfError::EventLimit`] or
+    /// [`TdfError::DeadlineExceeded`] when the corresponding budget is
+    /// exhausted, and propagates the same errors as [`Simulator::run`].
+    pub fn run_with_limits(
+        &mut self,
+        duration: SimTime,
+        sink: &mut dyn EventSink,
+        limits: &RunLimits,
+    ) -> Result<SimStats> {
+        if limits.is_unlimited() {
+            return self.run(duration, sink);
+        }
+        let _span = obs::span("sim.run");
+        let before = self.stats;
+        let deadline = limits.wall_budget.map(|b| (Instant::now() + b, b));
+        let mut counting = CountingSink {
+            inner: sink,
+            recorded: 0,
+        };
+        let target = self.now + duration;
+        let result = (|| {
+            while self.now < target {
+                self.run_period_bounded(&mut counting, limits, deadline)?;
+            }
+            Ok(self.stats)
+        })();
+        self.record_stat_deltas(before);
+        result
+    }
+
+    fn run_period_bounded(
+        &mut self,
+        sink: &mut CountingSink<'_>,
+        limits: &RunLimits,
+        deadline: Option<(Instant, Duration)>,
+    ) -> Result<()> {
+        let firings = self.schedule.firings.clone();
+        for m in firings {
+            if let Some(limit) = limits.max_activations {
+                if self.stats.activations >= limit {
+                    return Err(TdfError::ActivationLimit { limit });
+                }
+            }
+            if let Some(limit) = limits.max_events {
+                if sink.recorded >= limit {
+                    return Err(TdfError::EventLimit { limit });
+                }
+            }
+            if let Some((at, budget)) = deadline {
+                if Instant::now() >= at {
+                    return Err(TdfError::DeadlineExceeded { budget });
+                }
+            }
+            self.fire(m, sink)?;
+        }
+        self.now += self.schedule.period;
+        self.stats.periods += 1;
+        self.apply_requests()?;
+        Ok(())
     }
 
     /// Publishes the step loop's counter deltas since `before` to the
@@ -724,6 +857,104 @@ mod tests {
         assert_eq!(sim.now(), SimTime::from_us(10));
         assert_eq!(sim.stats().activations, 10);
     }
+
+    #[test]
+    fn unlimited_limits_match_plain_run() {
+        let build = || {
+            let mut c = Cluster::new("top");
+            let a = c.add_module(counter("src")).unwrap();
+            let (col, seen) = collector("dst");
+            let b = c.add_module(col).unwrap();
+            c.connect(a, "op_y", b, "ip_x").unwrap();
+            (Simulator::new(c).unwrap(), seen)
+        };
+        let (mut plain, seen_plain) = build();
+        plain.run(SimTime::from_us(5), &mut NullSink).unwrap();
+        let (mut bounded, seen_bounded) = build();
+        bounded
+            .run_with_limits(SimTime::from_us(5), &mut NullSink, &RunLimits::none())
+            .unwrap();
+        assert_eq!(plain.stats(), bounded.stats());
+        assert_eq!(*seen_plain.borrow(), *seen_bounded.borrow());
+    }
+
+    #[test]
+    fn activation_limit_trips_with_partial_progress() {
+        let mut c = Cluster::new("top");
+        c.add_module(counter("src")).unwrap();
+        let mut sim = Simulator::new(c).unwrap();
+        let limits = RunLimits::none().with_max_activations(3);
+        let err = sim
+            .run_with_limits(SimTime::from_us(10), &mut NullSink, &limits)
+            .unwrap_err();
+        assert_eq!(err, TdfError::ActivationLimit { limit: 3 });
+        assert_eq!(sim.stats().activations, 3, "partial progress preserved");
+    }
+
+    #[test]
+    fn event_limit_trips_on_chatty_instrumentation() {
+        struct Noisy;
+        impl TdfModule for Noisy {
+            fn name(&self) -> &str {
+                "noisy"
+            }
+            fn spec(&self) -> ModuleSpec {
+                ModuleSpec::new()
+                    .output(PortSpec::new("op_y"))
+                    .with_timestep(SimTime::from_us(1))
+            }
+            fn processing(&mut self, ctx: &mut ProcessingCtx<'_>) {
+                ctx.emit(Event::Def {
+                    time: ctx.time(),
+                    model: "noisy".into(),
+                    var: "x".into(),
+                    line: 1,
+                });
+                ctx.write(0, Sample::new(0.0));
+            }
+        }
+        let mut c = Cluster::new("top");
+        c.add_module(Box::new(Noisy)).unwrap();
+        let mut sim = Simulator::new(c).unwrap();
+        let mut sink = RecordingSink::new();
+        let limits = RunLimits::none().with_max_events(4);
+        let err = sim
+            .run_with_limits(SimTime::from_us(100), &mut sink, &limits)
+            .unwrap_err();
+        assert_eq!(err, TdfError::EventLimit { limit: 4 });
+        assert_eq!(sink.events.len(), 4, "recorded events survive the abort");
+    }
+
+    #[test]
+    fn wall_budget_trips_on_a_stalling_module() {
+        struct Stall;
+        impl TdfModule for Stall {
+            fn name(&self) -> &str {
+                "stall"
+            }
+            fn spec(&self) -> ModuleSpec {
+                ModuleSpec::new()
+                    .output(PortSpec::new("op_y"))
+                    .with_timestep(SimTime::from_us(1))
+            }
+            fn processing(&mut self, ctx: &mut ProcessingCtx<'_>) {
+                std::thread::sleep(Duration::from_millis(25));
+                ctx.write(0, Sample::new(0.0));
+            }
+        }
+        let mut c = Cluster::new("top");
+        c.add_module(Box::new(Stall)).unwrap();
+        let mut sim = Simulator::new(c).unwrap();
+        let limits = RunLimits::none().with_wall_budget(Duration::from_millis(5));
+        let err = sim
+            .run_with_limits(SimTime::from_us(1000), &mut NullSink, &limits)
+            .unwrap_err();
+        assert!(matches!(err, TdfError::DeadlineExceeded { .. }));
+        assert!(
+            sim.stats().activations < 1000,
+            "the deadline aborted the run long before the duration was covered"
+        );
+    }
 }
 
 #[cfg(test)]
@@ -788,5 +1019,67 @@ mod reset_tests {
             first_run[..first_run.len().min(3)],
             "identical replay"
         );
+    }
+
+    /// A degraded (budget-aborted) run must not leak samples, stats or
+    /// delay-line tokens into the next run: after `reset()`, replay matches
+    /// a factory-fresh simulator byte for byte.
+    #[test]
+    fn reset_after_degraded_run_matches_fresh_simulator() {
+        use crate::module::RecordingSink;
+
+        let build = || {
+            let mut c = Cluster::new("top");
+            let a = c.add_module(Box::new(Counter2 { next: 7 })).unwrap();
+            // A delayed probe: the connection carries a delay token, which a
+            // leaky reset would leave half-consumed.
+            struct DelayedProbe(crate::components::Probe);
+            impl TdfModule for DelayedProbe {
+                fn name(&self) -> &str {
+                    self.0.name()
+                }
+                fn spec(&self) -> ModuleSpec {
+                    ModuleSpec::new().input(PortSpec::new("tdf_i").with_delay(1))
+                }
+                fn class(&self) -> crate::module::ModuleClass {
+                    crate::module::ModuleClass::Testbench
+                }
+                fn processing(&mut self, ctx: &mut ProcessingCtx<'_>) {
+                    self.0.processing(ctx);
+                }
+            }
+            let (probe, buf) = crate::components::Probe::new("p");
+            let p = c.add_module(Box::new(DelayedProbe(probe))).unwrap();
+            c.connect(a, "op_y", p, "tdf_i").unwrap();
+            (Simulator::new(c).unwrap(), buf)
+        };
+
+        // Degrade: abort mid-schedule via an activation budget, leaving the
+        // delay-line FIFO in a mid-period state.
+        let (mut sim, buf) = build();
+        let limits = RunLimits::none().with_max_activations(3);
+        let err = sim
+            .run_with_limits(SimTime::from_us(100), &mut NullSink, &limits)
+            .unwrap_err();
+        assert_eq!(err, TdfError::ActivationLimit { limit: 3 });
+        assert_ne!(sim.stats(), SimStats::default());
+
+        buf.clear();
+        sim.reset().unwrap();
+        assert_eq!(sim.stats(), SimStats::default(), "stats reset");
+        assert_eq!(sim.now(), SimTime::ZERO);
+
+        let mut replay_sink = RecordingSink::new();
+        sim.run_periods(4, &mut replay_sink).unwrap();
+        let replay_vals = buf.values_f64();
+        let replay_stats = sim.stats();
+
+        let (mut fresh, fresh_buf) = build();
+        let mut fresh_sink = RecordingSink::new();
+        fresh.run_periods(4, &mut fresh_sink).unwrap();
+
+        assert_eq!(replay_vals, fresh_buf.values_f64(), "no leaked samples");
+        assert_eq!(replay_stats, fresh.stats(), "no leaked stats");
+        assert_eq!(replay_sink.events, fresh_sink.events, "no leaked events");
     }
 }

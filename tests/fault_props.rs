@@ -1,0 +1,197 @@
+//! Property-based tests for the fault-injection harness and lenient event
+//! matching:
+//!
+//! * lenient matching never panics, whatever the corruption;
+//! * on a corrupted stream, lenient mode never reports *more* exercised
+//!   associations than strict mode would (quarantining only removes);
+//! * both modes agree exactly on a healthy stream.
+//!
+//! The quick variants run in the default suite; heavier case counts are
+//! opted in with `--features fault-inject` (the CI fault-injection job).
+
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+
+use systemc_ams_dft::dft::{analyse_events_with_mode, Design, MatchMode};
+use systemc_ams_dft::interp::{Interface, InterpModule, TdfModelDef};
+use systemc_ams_dft::sim::{
+    Cluster, Event, FaultInjector, FaultPlan, FnSource, Provenance, RecordingSink, SimTime,
+    Simulator, Value,
+};
+
+const SRC: &str = "\
+void producer::processing()
+{
+    double v = ip_in;
+    double o = v * 2;
+    op_y = o;
+}
+void consumer::processing()
+{
+    double got = ip_x;
+    op_z = got + 1;
+}";
+
+/// One healthy instrumented simulation, shared across proptest cases.
+fn healthy() -> &'static (Design, Vec<Event>) {
+    static FIXTURE: OnceLock<(Design, Vec<Event>)> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let tu = minic::parse(SRC).unwrap();
+        let defs = vec![
+            TdfModelDef::new(
+                "producer",
+                Interface::new()
+                    .input("ip_in")
+                    .output("op_y")
+                    .timestep(SimTime::from_us(5)),
+            ),
+            TdfModelDef::new("consumer", Interface::new().input("ip_x").output("op_z")),
+        ];
+        let mut cluster = Cluster::new("top");
+        let src = cluster
+            .add_module(Box::new(FnSource::new("stim", SimTime::from_us(5), |t| {
+                Value::Double((t.as_fs() / 1_000_000_000) as f64)
+            })))
+            .unwrap();
+        let p = cluster
+            .add_module(Box::new(
+                InterpModule::new(&tu, "producer", defs[0].interface.clone()).unwrap(),
+            ))
+            .unwrap();
+        let c = cluster
+            .add_module(Box::new(
+                InterpModule::new(&tu, "consumer", defs[1].interface.clone()).unwrap(),
+            ))
+            .unwrap();
+        cluster.connect(src, "op_out", p, "ip_in").unwrap();
+        cluster.connect(p, "op_y", c, "ip_x").unwrap();
+        let design = Design::new(minic::parse(SRC).unwrap(), defs, cluster.netlist()).unwrap();
+        let mut sim = Simulator::new(cluster).unwrap();
+        let mut sink = RecordingSink::new();
+        sim.run(SimTime::from_us(60), &mut sink).unwrap();
+        assert!(!sink.events.is_empty(), "fixture produced events");
+        (design, sink.events)
+    })
+}
+
+fn arb_plan() -> impl Strategy<Value = FaultPlan> {
+    (
+        any::<u64>(),
+        0.0f64..0.6,
+        0.0f64..0.6,
+        0.0f64..0.6,
+        0.0f64..0.9,
+    )
+        .prop_map(|(seed, drop, dup, reorder, corrupt)| {
+            FaultPlan::new()
+                .with_seed(seed)
+                .with_drop_events(drop)
+                .with_duplicate_events(dup)
+                .with_reorder_events(reorder)
+                .with_corrupt_events(corrupt)
+        })
+}
+
+/// Arbitrary garbage events, detached from any simulation: names drawn
+/// from a pool mixing real and ghost identifiers, arbitrary times/lines.
+fn arb_event() -> impl Strategy<Value = Event> {
+    let name = prop_oneof![
+        Just("producer".to_string()),
+        Just("consumer".to_string()),
+        Just("top".to_string()),
+        Just("__ghost_model_1".to_string()),
+        "[a-z_]{1,12}",
+    ];
+    let var = prop_oneof![
+        Just("v".to_string()),
+        Just("o".to_string()),
+        Just("ip_in".to_string()),
+        Just("op_y".to_string()),
+        Just("__ghost_var_2".to_string()),
+        "[a-z_]{1,12}",
+    ];
+    let time = (0u64..200).prop_map(SimTime::from_us);
+    let prov = (any::<bool>(), var.clone(), 0u32..50, name.clone())
+        .prop_map(|(some, v, l, m)| some.then(|| Provenance::new(v, l, m)));
+    (
+        (name, var, time),
+        (0u32..50, prov, any::<bool>(), any::<bool>()),
+    )
+        .prop_map(|((model, var, time), (line, feeding, defined, is_def))| {
+            if is_def {
+                Event::Def {
+                    time,
+                    model,
+                    var,
+                    line,
+                }
+            } else {
+                Event::Use {
+                    time,
+                    model,
+                    var,
+                    line,
+                    feeding,
+                    defined,
+                }
+            }
+        })
+}
+
+fn assert_lenient_subset_of_strict(design: &Design, events: &[Event]) {
+    let strict = analyse_events_with_mode(design, events, MatchMode::Strict);
+    let lenient = analyse_events_with_mode(design, events, MatchMode::Lenient);
+    assert!(
+        lenient.exercised.is_subset(&strict.exercised),
+        "lenient invented associations: {:?}",
+        lenient
+            .exercised
+            .difference(&strict.exercised)
+            .collect::<Vec<_>>()
+    );
+    assert!(
+        lenient.defs_executed.is_subset(&strict.defs_executed),
+        "lenient invented executed defs"
+    );
+}
+
+#[cfg(not(feature = "fault-inject"))]
+const CASES: u32 = 48;
+#[cfg(feature = "fault-inject")]
+const CASES: u32 = 512;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(CASES))]
+
+    /// Injecting any fault plan into a healthy log: lenient mode neither
+    /// panics nor exercises more than strict mode on the same stream.
+    #[test]
+    fn lenient_subset_on_injected_faults(plan in arb_plan()) {
+        let (design, events) = healthy();
+        let corrupted = FaultInjector::new(plan).corrupt_log(events);
+        assert_lenient_subset_of_strict(design, &corrupted);
+    }
+
+    /// Same property on fully arbitrary event soup (no simulation at all).
+    #[test]
+    fn lenient_subset_on_arbitrary_garbage(events in prop::collection::vec(arb_event(), 0..60)) {
+        let (design, _) = healthy();
+        assert_lenient_subset_of_strict(design, &events);
+    }
+
+    /// A fault-free plan is the identity on the log, and both matching
+    /// modes agree exactly on it.
+    #[test]
+    fn no_faults_means_identical_modes(seed in any::<u64>()) {
+        let (design, events) = healthy();
+        let plan = FaultPlan::new().with_seed(seed);
+        let untouched = FaultInjector::new(plan).corrupt_log(events);
+        prop_assert_eq!(&untouched, events);
+        let strict = analyse_events_with_mode(design, &untouched, MatchMode::Strict);
+        let lenient = analyse_events_with_mode(design, &untouched, MatchMode::Lenient);
+        prop_assert_eq!(strict.exercised, lenient.exercised);
+        prop_assert_eq!(strict.warnings, lenient.warnings);
+        prop_assert_eq!(lenient.quarantined, 0);
+    }
+}
