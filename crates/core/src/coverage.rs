@@ -252,6 +252,36 @@ impl Coverage {
         self.total_ratio().0
     }
 
+    /// Associations exercised by `self` but not by `earlier` — the
+    /// newly-exercised set a refinement iteration contributed.
+    ///
+    /// Both results must come from the same static stage (the association
+    /// vectors are compared index-wise, never rescanned per element), so
+    /// fitness scoring over many candidate coverages is `O(associations)`
+    /// per candidate instead of `O(associations²)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two coverages have different static association sets.
+    pub fn delta(&self, earlier: &Coverage) -> Vec<&ClassifiedAssoc> {
+        assert_eq!(
+            self.associations.len(),
+            earlier.associations.len(),
+            "delta requires coverages over the same static analysis"
+        );
+        debug_assert!(self
+            .associations
+            .iter()
+            .zip(&earlier.associations)
+            .all(|(a, b)| a.assoc == b.assoc));
+        self.associations
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| self.is_covered(*i) && !earlier.is_covered(*i))
+            .map(|(_, c)| c)
+            .collect()
+    }
+
     /// Associations never exercised — the work list guiding testcase
     /// addition ("tests addition" loop of Fig. 3).
     pub fn uncovered(&self) -> Vec<&ClassifiedAssoc> {
@@ -435,6 +465,56 @@ mod tests {
         assert!(cov.satisfies(Criterion::AllPFirm));
         assert!(cov.satisfies(Criterion::AllPWeak));
         assert!(cov.satisfies(Criterion::AllDataflow));
+    }
+
+    #[test]
+    fn delta_agrees_with_exercised_count() {
+        let st = statics_with(vec![
+            (a("x", 1, 2), Classification::Strong),
+            (a("x", 1, 3), Classification::Strong),
+            (a("y", 4, 5), Classification::Firm),
+        ]);
+        let earlier = Coverage::evaluate(&st, &[run("TC1", &[a("x", 1, 2)])]);
+        let later = Coverage::evaluate(
+            &st,
+            &[
+                run("TC1", &[a("x", 1, 2)]),
+                run("TC2", &[a("x", 1, 3), a("y", 4, 5)]),
+            ],
+        );
+        let delta = later.delta(&earlier);
+        // Pinned against exercised_count(): a superset run's delta length
+        // is exactly the exercised-count difference.
+        assert_eq!(
+            delta.len(),
+            later.exercised_count() - earlier.exercised_count()
+        );
+        let names: Vec<String> = delta.iter().map(|c| c.assoc.to_string()).collect();
+        assert_eq!(names.len(), 2);
+        assert!(delta.iter().all(|c| {
+            let i = later
+                .associations()
+                .iter()
+                .position(|x| x.assoc == c.assoc)
+                .unwrap();
+            later.is_covered(i) && !earlier.is_covered(i)
+        }));
+        // Identical coverages have an empty delta.
+        assert!(later.delta(&later).is_empty());
+        assert!(earlier.delta(&later).is_empty(), "no regression possible");
+    }
+
+    #[test]
+    #[should_panic]
+    fn delta_rejects_mismatched_static_sets() {
+        let st1 = statics_with(vec![(a("x", 1, 2), Classification::Strong)]);
+        let st2 = statics_with(vec![
+            (a("x", 1, 2), Classification::Strong),
+            (a("y", 4, 5), Classification::Firm),
+        ]);
+        let c1 = Coverage::evaluate(&st1, &[]);
+        let c2 = Coverage::evaluate(&st2, &[]);
+        let _ = c2.delta(&c1);
     }
 
     #[test]

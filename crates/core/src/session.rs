@@ -145,6 +145,21 @@ impl DftSession {
         testcases: Vec<TestcaseSpec>,
         limits: RunLimits,
     ) -> &[TestcaseResult] {
+        self.run_testcases_with_threads(testcases, limits, crate::thread_count())
+    }
+
+    /// [`DftSession::run_testcases_with`] with an explicit worker count
+    /// for the log-matching fan-out, instead of the process-wide
+    /// [`crate::thread_count`]. Results are byte-identical for every
+    /// `threads` value (index-slot merge); an explicit count lets callers
+    /// — the coverage-guided generator's determinism gates in particular
+    /// — compare thread counts in-process without mutating `DFT_THREADS`.
+    pub fn run_testcases_with_threads(
+        &mut self,
+        testcases: Vec<TestcaseSpec>,
+        limits: RunLimits,
+        threads: usize,
+    ) -> &[TestcaseResult] {
         static DEGRADED: obs::Counter = obs::Counter::new("testcase.degraded");
         let mut names = Vec::with_capacity(testcases.len());
         let mut outcomes = Vec::with_capacity(testcases.len());
@@ -159,12 +174,8 @@ impl DftSession {
             outcomes.push(outcome);
             events.push(log);
         }
-        let results = analyse_events_batch_with_mode(
-            &self.design,
-            &events,
-            crate::thread_count(),
-            MatchMode::Lenient,
-        );
+        let results =
+            analyse_events_batch_with_mode(&self.design, &events, threads, MatchMode::Lenient);
         let start = self.runs.len();
         self.runs
             .extend(
@@ -196,6 +207,26 @@ impl DftSession {
     /// Drops all recorded runs (e.g. to replay a reduced testsuite).
     pub fn clear_runs(&mut self) {
         self.runs.clear();
+    }
+
+    /// Splits off and returns every run from index `start` on, leaving
+    /// the session with its first `start` runs. This is the candidate
+    /// protocol of coverage-guided generation: evaluate a batch
+    /// ([`DftSession::run_testcases_with_threads`]), take the appended
+    /// results for fitness scoring, and [`DftSession::push_run`] back
+    /// only the accepted ones — the statics never re-run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > self.runs().len()`.
+    pub fn take_runs_from(&mut self, start: usize) -> Vec<TestcaseResult> {
+        self.runs.split_off(start)
+    }
+
+    /// Appends an already-computed run (one previously returned by
+    /// [`DftSession::take_runs_from`]) without re-simulating anything.
+    pub fn push_run(&mut self, run: TestcaseResult) {
+        self.runs.push(run);
     }
 
     /// Snapshot of the observability registry: per-stage wall times
@@ -427,6 +458,55 @@ void B::processing()
             crate::render_table1(&batch.coverage()),
             "reports byte-identical"
         );
+    }
+
+    #[test]
+    fn take_and_push_runs_preserve_reports() {
+        let (c1, design) = build_cluster(0.01);
+        let (c2, _) = build_cluster(0.1);
+        let mut session = DftSession::new(design).unwrap();
+        session
+            .run_testcases(vec![
+                TestcaseSpec::new("TC1", c1, SimTime::from_us(3)),
+                TestcaseSpec::new("TC2", c2, SimTime::from_us(3)),
+            ])
+            .unwrap();
+        let before = crate::render_table1(&session.coverage());
+
+        // Candidate protocol: take everything, push it back, same report.
+        let taken = session.take_runs_from(0);
+        assert_eq!(taken.len(), 2);
+        assert_eq!(session.runs().len(), 0);
+        for run in taken {
+            session.push_run(run);
+        }
+        assert_eq!(crate::render_table1(&session.coverage()), before);
+
+        // Dropping the tail keeps the head intact.
+        let tail = session.take_runs_from(1);
+        assert_eq!(tail.len(), 1);
+        assert_eq!(session.runs().len(), 1);
+        assert_eq!(session.runs()[0].name, "TC1");
+    }
+
+    #[test]
+    fn explicit_thread_counts_are_byte_identical() {
+        let mut reports = Vec::new();
+        for threads in [1usize, 4] {
+            let (c1, design) = build_cluster(0.01);
+            let (c2, _) = build_cluster(0.1);
+            let mut session = DftSession::new(design).unwrap();
+            session.run_testcases_with_threads(
+                vec![
+                    TestcaseSpec::new("TC1", c1, SimTime::from_us(3)),
+                    TestcaseSpec::new("TC2", c2, SimTime::from_us(3)),
+                ],
+                RunLimits::none(),
+                threads,
+            );
+            reports.push(crate::render_table1(&session.coverage()));
+        }
+        assert_eq!(reports[0], reports[1]);
     }
 
     #[test]

@@ -70,12 +70,25 @@ impl SynthSpec {
     /// Propagates parse/bind/elaboration errors (none expected for
     /// generated specs).
     pub fn build_cluster(&self) -> Result<Cluster> {
+        self.build_cluster_with(Box::new(FnSource::new("stim", SimTime::from_us(1), |t| {
+            Value::Double((t.as_fs() % 7) as f64)
+        })))
+    }
+
+    /// [`SynthSpec::build_cluster`] with a caller-supplied stimulus
+    /// module driving the chain head (its output port must be `op_out`,
+    /// like [`FnSource`]'s). This is the hook coverage-guided test
+    /// generation uses to run candidate signals through synthetic chains
+    /// without hand-building the netlist.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parse/bind/elaboration errors (none expected for
+    /// generated specs).
+    pub fn build_cluster_with(&self, stim: Box<dyn tdf_sim::TdfModule>) -> Result<Cluster> {
         let tu = minic::parse(&self.source)?;
         let mut cluster = Cluster::new("synth_top");
-        let src =
-            cluster.add_module(Box::new(FnSource::new("stim", SimTime::from_us(1), |t| {
-                Value::Double((t.as_fs() % 7) as f64)
-            })))?;
+        let src = cluster.add_module(stim)?;
         let mut prev_port = ("stim".to_owned(), "op_out".to_owned());
         let mut prev_id = src;
         for (i, def) in self.models.iter().enumerate() {

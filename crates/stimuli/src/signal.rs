@@ -217,6 +217,153 @@ impl Signal {
     pub fn times(self, k: f64) -> Signal {
         Signal::Scaled(Box::new(self), k)
     }
+
+    /// Structurally rewrites every *level* parameter through `f` — the
+    /// amplitude/offset mutation hook used by coverage-guided test
+    /// generation. Levels are the voltage-like parameters (constant
+    /// values, step/ramp/triangle endpoints, sine offset and amplitude,
+    /// PWM rails, piecewise values, noise bounds); shape parameters
+    /// (times, frequency, duty, scale factors, seeds) are untouched, so
+    /// the signal keeps its kind. `Noise` bounds are re-ordered after
+    /// mapping so `lo <= hi` still holds.
+    pub fn map_levels(&self, f: &mut dyn FnMut(f64) -> f64) -> Signal {
+        match self {
+            Signal::Constant(v) => Signal::Constant(f(*v)),
+            Signal::Step { before, after, at } => Signal::Step {
+                before: f(*before),
+                after: f(*after),
+                at: *at,
+            },
+            Signal::Ramp {
+                from,
+                to,
+                start,
+                end,
+            } => Signal::Ramp {
+                from: f(*from),
+                to: f(*to),
+                start: *start,
+                end: *end,
+            },
+            Signal::Triangle {
+                from,
+                to,
+                start,
+                end,
+            } => Signal::Triangle {
+                from: f(*from),
+                to: f(*to),
+                start: *start,
+                end: *end,
+            },
+            Signal::Sine {
+                offset,
+                amplitude,
+                freq_hz,
+            } => Signal::Sine {
+                offset: f(*offset),
+                amplitude: f(*amplitude),
+                freq_hz: *freq_hz,
+            },
+            Signal::Pwm {
+                low,
+                high,
+                period,
+                duty,
+            } => Signal::Pwm {
+                low: f(*low),
+                high: f(*high),
+                period: *period,
+                duty: *duty,
+            },
+            Signal::Piecewise(points) => {
+                Signal::Piecewise(points.iter().map(|(t, v)| (*t, f(*v))).collect())
+            }
+            Signal::Noise { lo, hi, seed, hold } => {
+                let (a, b) = (f(*lo), f(*hi));
+                Signal::Noise {
+                    lo: a.min(b),
+                    hi: a.max(b),
+                    seed: *seed,
+                    hold: *hold,
+                }
+            }
+            Signal::Sum(a, b) => Signal::Sum(Box::new(a.map_levels(f)), Box::new(b.map_levels(f))),
+            Signal::Scaled(inner, k) => Signal::Scaled(Box::new(inner.map_levels(f)), *k),
+        }
+    }
+
+    /// Structurally rewrites every *time* parameter through `f` — the
+    /// step-time/window mutation hook used by coverage-guided test
+    /// generation. Window pairs (ramp/triangle `start`/`end`) are
+    /// re-ordered after mapping so `start <= end` still holds, and
+    /// piecewise breakpoints are re-sorted by time; levels are untouched.
+    pub fn map_times(&self, f: &mut dyn FnMut(SimTime) -> SimTime) -> Signal {
+        match self {
+            Signal::Constant(v) => Signal::Constant(*v),
+            Signal::Step { before, after, at } => Signal::Step {
+                before: *before,
+                after: *after,
+                at: f(*at),
+            },
+            Signal::Ramp {
+                from,
+                to,
+                start,
+                end,
+            } => {
+                let (a, b) = (f(*start), f(*end));
+                Signal::Ramp {
+                    from: *from,
+                    to: *to,
+                    start: a.min(b),
+                    end: a.max(b),
+                }
+            }
+            Signal::Triangle {
+                from,
+                to,
+                start,
+                end,
+            } => {
+                let (a, b) = (f(*start), f(*end));
+                Signal::Triangle {
+                    from: *from,
+                    to: *to,
+                    start: a.min(b),
+                    end: a.max(b),
+                }
+            }
+            Signal::Sine { .. } => self.clone(),
+            Signal::Pwm {
+                low,
+                high,
+                period,
+                duty,
+            } => Signal::Pwm {
+                low: *low,
+                high: *high,
+                // A zero period would alias every sample to the high rail;
+                // keep at least one femtosecond.
+                period: f(*period).max(SimTime::from_fs(1)),
+                duty: *duty,
+            },
+            Signal::Piecewise(points) => {
+                let mut mapped: Vec<(SimTime, f64)> =
+                    points.iter().map(|(t, v)| (f(*t), *v)).collect();
+                mapped.sort_by_key(|(t, _)| *t);
+                Signal::Piecewise(mapped)
+            }
+            Signal::Noise { lo, hi, seed, hold } => Signal::Noise {
+                lo: *lo,
+                hi: *hi,
+                seed: *seed,
+                hold: f(*hold).max(SimTime::from_fs(1)),
+            },
+            Signal::Sum(a, b) => Signal::Sum(Box::new(a.map_times(f)), Box::new(b.map_times(f))),
+            Signal::Scaled(inner, k) => Signal::Scaled(Box::new(inner.map_times(f)), *k),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -342,6 +489,97 @@ mod tests {
         let v = s.sample_vec(US(1), US(4));
         assert_eq!(v.len(), 4);
         assert!((v[2] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn map_levels_rewrites_levels_only() {
+        let s = Signal::Step {
+            before: 1.0,
+            after: 2.0,
+            at: US(10),
+        }
+        .plus(Signal::Sine {
+            offset: 0.5,
+            amplitude: 0.25,
+            freq_hz: 50.0,
+        });
+        let doubled = s.map_levels(&mut |v| v * 2.0);
+        // Every level doubled, shape parameters untouched.
+        assert_eq!(doubled.value_at(US(0)), 2.0 + 1.0);
+        assert_eq!(
+            doubled,
+            Signal::Step {
+                before: 2.0,
+                after: 4.0,
+                at: US(10),
+            }
+            .plus(Signal::Sine {
+                offset: 1.0,
+                amplitude: 0.5,
+                freq_hz: 50.0,
+            })
+        );
+    }
+
+    #[test]
+    fn map_levels_keeps_noise_bounds_ordered() {
+        let s = Signal::Noise {
+            lo: -0.1,
+            hi: 0.1,
+            seed: 1,
+            hold: US(1),
+        };
+        // Negation swaps the bounds; the hook must re-order them.
+        let flipped = s.map_levels(&mut |v| -v);
+        match flipped {
+            Signal::Noise { lo, hi, .. } => {
+                assert!(lo <= hi, "bounds re-ordered: {lo} {hi}");
+            }
+            other => panic!("kind preserved, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn map_times_rewrites_times_and_reorders_windows() {
+        let s = Signal::Triangle {
+            from: 0.0,
+            to: 1.0,
+            start: US(10),
+            end: US(30),
+        };
+        // Reflect the window: start/end swap and must be re-ordered.
+        let mapped = s.map_times(&mut |t| US(40) - t);
+        assert_eq!(
+            mapped,
+            Signal::Triangle {
+                from: 0.0,
+                to: 1.0,
+                start: US(10),
+                end: US(30),
+            }
+        );
+        let pw = Signal::Piecewise(vec![(US(0), 0.0), (US(10), 1.0)]);
+        let rev = pw.map_times(&mut |t| US(10) - t);
+        assert_eq!(
+            rev,
+            Signal::Piecewise(vec![(US(0), 1.0), (US(10), 0.0)]),
+            "breakpoints re-sorted by mapped time"
+        );
+    }
+
+    #[test]
+    fn map_times_keeps_periods_positive() {
+        let s = Signal::Pwm {
+            low: 0.0,
+            high: 1.0,
+            period: US(10),
+            duty: 0.5,
+        };
+        let squashed = s.map_times(&mut |_| SimTime::ZERO);
+        match squashed {
+            Signal::Pwm { period, .. } => assert!(!period.is_zero()),
+            other => panic!("kind preserved, got {other:?}"),
+        }
     }
 
     #[test]

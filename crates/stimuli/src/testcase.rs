@@ -34,7 +34,18 @@ impl Testcase {
         self
     }
 
-    /// The signal driving `channel`, or a constant 0 if unspecified.
+    /// The signal driving `channel`, or `Signal::Constant(0.0)` if the
+    /// testcase does not drive it.
+    ///
+    /// The constant-zero fallback is a load-bearing contract: cluster
+    /// builders call `signal()` for *every* stimulus channel of the
+    /// design, so a testcase may drive any subset (the paper's TC3 drives
+    /// only the humidity sensor) and every undriven input is held at a
+    /// well-defined 0.0 instead of floating. Test generation relies on it
+    /// too — mutating one channel of a partial testcase never changes
+    /// what the untouched channels feed the design. Use
+    /// [`Testcase::drives`] to distinguish "drives 0.0 explicitly" from
+    /// "not driven".
     pub fn signal(&self, channel: &str) -> Signal {
         self.channels
             .iter()
@@ -46,6 +57,17 @@ impl Testcase {
     /// Whether the testcase drives `channel` explicitly.
     pub fn drives(&self, channel: &str) -> bool {
         self.channels.iter().any(|(c, _)| c == channel)
+    }
+
+    /// Replaces the signal on `channel`, or appends the channel if the
+    /// testcase does not drive it yet — the in-place mutation hook used
+    /// by coverage-guided test generation (unlike [`Testcase::with`],
+    /// which always appends and would shadow-duplicate the channel).
+    pub fn set_signal(&mut self, channel: &str, signal: Signal) {
+        match self.channels.iter_mut().find(|(c, _)| c == channel) {
+            Some((_, s)) => *s = signal,
+            None => self.channels.push((channel.to_owned(), signal)),
+        }
     }
 }
 
@@ -148,5 +170,74 @@ mod tests {
     fn out_of_range_iteration_panics() {
         let s = Testsuite::new("x");
         s.up_to(0);
+    }
+
+    #[test]
+    fn undriven_channel_falls_back_to_constant_zero() {
+        let t = tc("TC").with("driven", Signal::Constant(1.0));
+        // The documented contract: undriven channels read as a constant
+        // 0.0 signal at every time, and `drives` tells them apart from an
+        // explicit zero.
+        assert_eq!(t.signal("undriven"), Signal::Constant(0.0));
+        assert_eq!(
+            t.signal("undriven").value_at(SimTime::from_ms(5)),
+            0.0,
+            "fallback holds at all times"
+        );
+        assert!(!t.drives("undriven"));
+        let explicit = tc("TC0").with("zeroed", Signal::Constant(0.0));
+        assert!(explicit.drives("zeroed"));
+        assert_eq!(explicit.signal("zeroed"), t.signal("undriven"));
+    }
+
+    #[test]
+    fn set_signal_replaces_in_place_or_appends() {
+        let mut t = tc("TC").with("a", Signal::Constant(1.0));
+        t.set_signal("a", Signal::Constant(2.0));
+        assert_eq!(t.channels.len(), 1, "replaced, not duplicated");
+        assert_eq!(t.signal("a"), Signal::Constant(2.0));
+        t.set_signal("b", Signal::Constant(3.0));
+        assert_eq!(t.channels.len(), 2);
+        assert_eq!(t.signal("b"), Signal::Constant(3.0));
+    }
+
+    #[test]
+    fn empty_iterations_keep_boundaries_consistent() {
+        let mut s = Testsuite::new("gen");
+        // An iteration that accepted no candidates still records a
+        // boundary — Table II rendering needs one row per iteration even
+        // when the suite did not grow.
+        s.add_iteration(vec![]);
+        assert_eq!(s.iterations(), 1);
+        assert_eq!(s.size_at(0), 0);
+        assert!(s.up_to(0).is_empty());
+        s.add_iteration(vec![tc("a")]);
+        s.add_iteration(vec![]);
+        assert_eq!(s.iterations(), 3);
+        assert_eq!(s.size_at(0), 0);
+        assert_eq!(s.size_at(1), 1);
+        assert_eq!(s.size_at(2), 1, "empty iteration holds the count");
+        assert_eq!(s.up_to(2).len(), 1);
+        assert_eq!(s.all().len(), 1);
+    }
+
+    #[test]
+    fn boundary_at_zero_and_cumulative_counts() {
+        let mut s = Testsuite::new("gen");
+        s.add_iteration(vec![]);
+        s.add_iteration(vec![tc("a"), tc("b")]);
+        s.add_iteration(vec![tc("c")]);
+        // Cumulative counts: 0, 2, 3 — and `up_to` slices agree with
+        // `size_at` at every boundary.
+        let sizes: Vec<usize> = (0..s.iterations()).map(|i| s.size_at(i)).collect();
+        assert_eq!(sizes, vec![0, 2, 3]);
+        for i in 0..s.iterations() {
+            assert_eq!(s.up_to(i).len(), s.size_at(i));
+        }
+        assert_eq!(
+            s.up_to(2)[0].name,
+            "a",
+            "earlier iterations prefix later ones"
+        );
     }
 }

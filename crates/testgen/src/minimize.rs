@@ -1,0 +1,118 @@
+//! Greedy suite minimization: pick the smallest (greedy set-cover)
+//! subset of accepted testcases whose union still exercises every
+//! association the full suite exercises.
+//!
+//! The paper grows suites monotonically across refinement iterations;
+//! many early cases end up dominated by later ones. Exact minimum set
+//! cover is NP-hard, so we use the standard greedy approximation with the
+//! same class weights as acceptance, and fully deterministic tie-breaks
+//! (lowest original index wins) so minimized suites are reproducible.
+
+/// Greedily selects a subset of `sets` (each a sorted list of exercised
+/// static-association indices, one per accepted testcase) covering the
+/// union of all sets. `weights[idx]` is the per-association weight used
+/// to rank marginal gains. Returns the selected testcase indices in
+/// ascending order.
+pub(crate) fn greedy_minimize(sets: &[&[usize]], weights: &[u64]) -> Vec<usize> {
+    let mut covered = vec![false; weights.len()];
+    let mut remaining: usize = sets
+        .iter()
+        .flat_map(|s| s.iter())
+        .map(|&idx| {
+            if !covered[idx] {
+                covered[idx] = true;
+                1
+            } else {
+                0
+            }
+        })
+        .sum();
+    covered.iter_mut().for_each(|c| *c = false);
+
+    let mut selected = Vec::new();
+    let mut used = vec![false; sets.len()];
+    while remaining > 0 {
+        let mut best: Option<(usize, u64, usize)> = None; // (set, weight gain, count gain)
+        for (i, set) in sets.iter().enumerate() {
+            if used[i] {
+                continue;
+            }
+            let mut gain = 0u64;
+            let mut count = 0usize;
+            for &idx in set.iter() {
+                if !covered[idx] {
+                    gain += weights[idx];
+                    count += 1;
+                }
+            }
+            // Strictly-greater comparison => first (lowest-index) set wins ties.
+            if count > 0 && best.is_none_or(|(_, g, _)| gain > g) {
+                best = Some((i, gain, count));
+            }
+        }
+        let Some((i, _, count)) = best else {
+            // Unreachable while `remaining > 0`, but never loop forever.
+            break;
+        };
+        used[i] = true;
+        selected.push(i);
+        for &idx in sets[i].iter() {
+            covered[idx] = true;
+        }
+        remaining -= count;
+    }
+    selected.sort_unstable();
+    selected
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drops_dominated_sets() {
+        // Set 1 covers everything sets 0 and 2 cover.
+        let sets: Vec<&[usize]> = vec![&[0, 1], &[0, 1, 2, 3], &[2]];
+        let w = vec![1u64; 4];
+        assert_eq!(greedy_minimize(&sets, &w), vec![1]);
+    }
+
+    #[test]
+    fn preserves_full_union() {
+        let sets: Vec<&[usize]> = vec![&[0, 1], &[2, 3], &[1, 2], &[4]];
+        let w = vec![1u64; 5];
+        let sel = greedy_minimize(&sets, &w);
+        let mut union = [false; 5];
+        for &i in &sel {
+            for &idx in sets[i] {
+                union[idx] = true;
+            }
+        }
+        assert!(union.iter().all(|&c| c), "selection covers the union");
+        assert!(sel.len() <= 3, "set 2 is redundant: {sel:?}");
+    }
+
+    #[test]
+    fn weighted_gain_prefers_rare_classes() {
+        // Set 0 covers two cheap associations; set 1 covers one expensive
+        // one. Greedy must take set 1 first, but both survive (disjoint).
+        let sets: Vec<&[usize]> = vec![&[0, 1], &[2]];
+        let w = vec![1, 1, 8];
+        let sel = greedy_minimize(&sets, &w);
+        assert_eq!(sel, vec![0, 1], "both needed, ascending order");
+    }
+
+    #[test]
+    fn ties_break_to_lowest_index() {
+        let sets: Vec<&[usize]> = vec![&[0], &[0]];
+        let w = vec![1u64];
+        assert_eq!(greedy_minimize(&sets, &w), vec![0]);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(greedy_minimize(&[], &[]).is_empty());
+        let sets: Vec<&[usize]> = vec![&[], &[]];
+        assert!(greedy_minimize(&sets, &[1, 1]).is_empty());
+    }
+}

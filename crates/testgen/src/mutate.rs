@@ -1,0 +1,393 @@
+//! Candidate synthesis: the mutation operators the search engine applies
+//! to `stimuli::Signal` / `stimuli::Testcase` values.
+//!
+//! Three families, all driven by the seeded [`GenRng`]:
+//!
+//! * **fresh synthesis** — a random signal of any grammar shape
+//!   (constant, step, ramp, triangle, sine, PWM, noise, piecewise, plus
+//!   sum/scaled compositions), bounded to the channel's `[lo, hi]` range;
+//! * **perturbation** — amplitude/offset scaling via
+//!   [`stimuli::Signal::map_levels`], step-time/window warping via
+//!   [`stimuli::Signal::map_times`], and whole-shape replacement;
+//! * **recombination** — channel crossover between two parent testcases.
+//!
+//! Every operator keeps levels inside the channel range (clamped), so
+//! candidates stay physically meaningful for the design under test while
+//! still reaching the range edges the hand-written suites rely on.
+
+use stimuli::{Signal, Testcase};
+use tdf_sim::SimTime;
+
+use crate::rng::GenRng;
+
+/// One stimulus channel of the design under test, with the level range
+/// the generator may drive it over (e.g. `vin ∈ [0, 32]` volts for the
+/// buck-boost converter, `btn_up ∈ [0, 1]` for the window lifter).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChannelSpec {
+    /// Channel name as the cluster builder expects it (e.g. `"ts_in"`).
+    pub name: String,
+    /// Lowest level the generator will drive.
+    pub lo: f64,
+    /// Highest level the generator will drive.
+    pub hi: f64,
+}
+
+impl ChannelSpec {
+    /// Bundles a channel range.
+    pub fn new(name: impl Into<String>, lo: f64, hi: f64) -> ChannelSpec {
+        assert!(lo <= hi, "channel range must be ordered");
+        ChannelSpec {
+            name: name.into(),
+            lo,
+            hi,
+        }
+    }
+
+    fn clamp(&self, v: f64) -> f64 {
+        v.clamp(self.lo, self.hi)
+    }
+}
+
+/// A random fraction of `dur`, at femtosecond resolution.
+fn frac_time(rng: &mut GenRng, dur: SimTime) -> SimTime {
+    SimTime::from_fs((dur.as_fs() as f64 * rng.next_f64()) as u64)
+}
+
+/// An ordered random window inside `[0, dur]`.
+fn window(rng: &mut GenRng, dur: SimTime) -> (SimTime, SimTime) {
+    let a = frac_time(rng, dur);
+    let b = frac_time(rng, dur);
+    (a.min(b), a.max(b))
+}
+
+/// A gate pulse: `lo` outside a random inner window, `hi` inside — the
+/// canonical digital stimulus (button press, enable, load step), built
+/// the same way the hand-written suites build presses (1 µs edges).
+fn gate(rng: &mut GenRng, ch: &ChannelSpec, dur: SimTime) -> Signal {
+    let (start, end) = window(rng, dur);
+    let eps = SimTime::from_us(1);
+    let end = end.max(start + eps);
+    Signal::Piecewise(vec![
+        (SimTime::ZERO, ch.lo),
+        (start, ch.lo),
+        (start + eps, ch.hi),
+        (end, ch.hi),
+        (end + eps, ch.lo),
+    ])
+}
+
+/// Synthesizes a fresh random signal for `ch`, bounded to its range and
+/// time-scaled to the candidate duration `dur`. `depth` bounds the
+/// composition nesting (callers pass 1).
+pub fn random_signal(rng: &mut GenRng, ch: &ChannelSpec, dur: SimTime, depth: u32) -> Signal {
+    // Gate pulses get extra probability mass beyond uniform shape choice:
+    // sequential state machines (press up, release, press down) are only
+    // reached by composing clean pulses, which uniform draws make rare.
+    if rng.chance(0.2) {
+        return gate(rng, ch, dur);
+    }
+    let shapes = if depth > 0 { 10 } else { 8 };
+    match rng.index(shapes) {
+        0 => Signal::Constant(rng.range_f64(ch.lo, ch.hi)),
+        1 => Signal::Step {
+            before: rng.range_f64(ch.lo, ch.hi),
+            after: rng.range_f64(ch.lo, ch.hi),
+            at: frac_time(rng, dur),
+        },
+        2 => {
+            let (start, end) = window(rng, dur);
+            Signal::Ramp {
+                from: rng.range_f64(ch.lo, ch.hi),
+                to: rng.range_f64(ch.lo, ch.hi),
+                start,
+                end,
+            }
+        }
+        3 => {
+            let (start, end) = window(rng, dur);
+            Signal::Triangle {
+                from: rng.range_f64(ch.lo, ch.hi),
+                to: rng.range_f64(ch.lo, ch.hi),
+                start,
+                end,
+            }
+        }
+        4 => {
+            // Center the sine inside the range so the swing stays legal.
+            let offset = rng.range_f64(ch.lo, ch.hi);
+            let max_amp = (offset - ch.lo).min(ch.hi - offset).max(0.0);
+            // 0.5 .. 12 periods over the candidate duration.
+            let periods = rng.range_f64(0.5, 12.0);
+            Signal::Sine {
+                offset,
+                amplitude: rng.range_f64(0.0, max_amp),
+                freq_hz: periods / dur.as_secs_f64().max(f64::MIN_POSITIVE),
+            }
+        }
+        5 => Signal::Pwm {
+            low: rng.range_f64(ch.lo, ch.hi),
+            high: rng.range_f64(ch.lo, ch.hi),
+            period: SimTime::from_fs((dur.as_fs() / (2 + rng.index(30) as u64)).max(1)),
+            duty: rng.next_f64(),
+        },
+        6 => Signal::Noise {
+            lo: ch.lo,
+            hi: ch.hi,
+            seed: rng.next_u64(),
+            hold: SimTime::from_fs((dur.as_fs() / (4 + rng.index(60) as u64)).max(1)),
+        },
+        7 => {
+            let n = 2 + rng.index(4);
+            let mut points: Vec<(SimTime, f64)> = (0..n)
+                .map(|_| (frac_time(rng, dur), rng.range_f64(ch.lo, ch.hi)))
+                .collect();
+            points.sort_by_key(|&(t, _)| t);
+            Signal::Piecewise(points)
+        }
+        8 => {
+            // Sum of two sub-shapes, each synthesized over half the range
+            // so the sum is bounded by construction (clamping composed
+            // shapes after the fact cannot bound e.g. offset+amplitude).
+            let half = ChannelSpec::new(&ch.name, ch.lo / 2.0, ch.hi / 2.0);
+            let a = random_signal(rng, &half, dur, depth - 1);
+            let b = random_signal(rng, &half, dur, depth - 1);
+            a.plus(b)
+        }
+        _ => {
+            // Contraction around the range midpoint: mid + k·(v − mid),
+            // in range for any k in (0, 1] whatever the range's sign.
+            let inner = random_signal(rng, ch, dur, depth - 1);
+            let k = rng.range_f64(0.25, 1.0);
+            let mid = (ch.lo + ch.hi) / 2.0;
+            inner.times(k).plus(Signal::Constant(mid * (1.0 - k)))
+        }
+    }
+}
+
+/// Event overlay: approximate the parent signal as a sampled piecewise
+/// and splice a constant window (range edge) into it. This is the
+/// paper's manual refinement move — keep the scenario, insert one new
+/// stimulus event later in time — and it is how sequential behaviours
+/// (move up, release, move down) get composed from accepted cases.
+fn overlay_event(rng: &mut GenRng, sig: &Signal, ch: &ChannelSpec, dur: SimTime) -> Signal {
+    const SAMPLES: u64 = 32;
+    let (a, b) = window(rng, dur);
+    let eps = SimTime::from_us(1);
+    let b = b.max(a + eps);
+    let level = if rng.chance(0.5) { ch.hi } else { ch.lo };
+    let mut points: Vec<(SimTime, f64)> = Vec::new();
+    for k in 0..=SAMPLES {
+        let t = SimTime::from_fs(dur.as_fs() / SAMPLES * k);
+        if t < a || t > b {
+            points.push((t, ch.clamp(sig.value_at(t))));
+        }
+    }
+    points.push((a, ch.clamp(sig.value_at(a))));
+    points.push((a + eps, level));
+    points.push((b, level));
+    points.push((b + eps, ch.clamp(sig.value_at(b + eps))));
+    points.sort_by_key(|&(t, _)| t);
+    Signal::Piecewise(points)
+}
+
+/// Perturbs one signal: amplitude/offset scaling, time warping, event
+/// overlay, or whole shape replacement — the per-channel mutation step.
+pub fn mutate_signal(rng: &mut GenRng, sig: &Signal, ch: &ChannelSpec, dur: SimTime) -> Signal {
+    match rng.index(6) {
+        // Amplitude scaling around the range midpoint.
+        0 => {
+            let k = rng.range_f64(0.5, 1.8);
+            let mid = (ch.lo + ch.hi) / 2.0;
+            sig.map_levels(&mut |v| ch.clamp(mid + (v - mid) * k))
+        }
+        // Offset shift by up to a quarter of the range.
+        1 => {
+            let d = rng.range_f64(-0.25, 0.25) * (ch.hi - ch.lo);
+            sig.map_levels(&mut |v| ch.clamp(v + d))
+        }
+        // Time warp: scale every time coordinate (step times, windows,
+        // PWM period, noise hold) by 0.5..2, clamped to the duration.
+        2 => {
+            let k = rng.range_f64(0.5, 2.0);
+            sig.map_times(&mut |t| {
+                SimTime::from_fs(((t.as_fs() as f64 * k) as u64).min(dur.as_fs()))
+            })
+        }
+        // Time shift: slide every time coordinate by a fraction of the
+        // duration (saturating at 0 / clamped to the duration).
+        3 => {
+            let d = (dur.as_fs() as f64 * rng.range_f64(-0.3, 0.3)) as i64;
+            sig.map_times(&mut |t| {
+                let fs = (t.as_fs() as i64 + d).clamp(0, dur.as_fs() as i64);
+                SimTime::from_fs(fs as u64)
+            })
+        }
+        // Event insertion.
+        4 => overlay_event(rng, sig, ch, dur),
+        // Shape replacement.
+        _ => random_signal(rng, ch, dur, 1),
+    }
+}
+
+/// A fresh random testcase: each channel independently driven with
+/// probability ~0.8 (undriven channels fall back to the documented
+/// `Constant(0.0)`), with at least one channel always driven.
+pub fn random_testcase(
+    rng: &mut GenRng,
+    name: impl Into<String>,
+    channels: &[ChannelSpec],
+    dur: SimTime,
+) -> Testcase {
+    let mut tc = Testcase::new(name, dur);
+    for ch in channels {
+        if rng.chance(0.8) {
+            let sig = random_signal(rng, ch, dur, 1);
+            tc.set_signal(&ch.name, sig);
+        }
+    }
+    if tc.channels.is_empty() {
+        let ch = &channels[rng.index(channels.len())];
+        let sig = random_signal(rng, ch, dur, 1);
+        tc.set_signal(&ch.name, sig);
+    }
+    tc
+}
+
+/// Mutates a parent testcase: perturbs or replaces the signal on one or
+/// two random channels (possibly ones the parent leaves undriven — the
+/// `Constant(0.0)` fallback is the mutation's starting point there).
+pub fn mutate_testcase(
+    rng: &mut GenRng,
+    parent: &Testcase,
+    name: impl Into<String>,
+    channels: &[ChannelSpec],
+    dur: SimTime,
+) -> Testcase {
+    let mut tc = parent.clone();
+    tc.name = name.into();
+    tc.duration = dur;
+    let n_mut = 1 + rng.index(2.min(channels.len()));
+    for _ in 0..n_mut {
+        let ch = &channels[rng.index(channels.len())];
+        let sig = mutate_signal(rng, &tc.signal(&ch.name), ch, dur);
+        tc.set_signal(&ch.name, sig);
+    }
+    tc
+}
+
+/// Channel crossover: for every channel of the design, inherit the signal
+/// from parent `a` or parent `b` (fair coin per channel). Channels driven
+/// by neither parent stay undriven.
+pub fn crossover(
+    rng: &mut GenRng,
+    a: &Testcase,
+    b: &Testcase,
+    name: impl Into<String>,
+    channels: &[ChannelSpec],
+    dur: SimTime,
+) -> Testcase {
+    let mut tc = Testcase::new(name, dur);
+    for ch in channels {
+        let parent = if rng.chance(0.5) { a } else { b };
+        if parent.drives(&ch.name) {
+            tc.set_signal(&ch.name, parent.signal(&ch.name));
+        }
+    }
+    if tc.channels.is_empty() {
+        // Both coins landed on the non-driving parent everywhere: inherit
+        // one genuinely driven channel so the child is never empty (and
+        // never picks up a parent's Constant(0.0) fallback as if driven).
+        let driven: Vec<&ChannelSpec> = channels
+            .iter()
+            .filter(|c| a.drives(&c.name) || b.drives(&c.name))
+            .collect();
+        if driven.is_empty() {
+            let ch = &channels[rng.index(channels.len())];
+            tc.set_signal(&ch.name, a.signal(&ch.name));
+        } else {
+            let ch = driven[rng.index(driven.len())];
+            let parent = if a.drives(&ch.name) { a } else { b };
+            tc.set_signal(&ch.name, parent.signal(&ch.name));
+        }
+    }
+    tc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ch() -> ChannelSpec {
+        ChannelSpec::new("in", -1.0, 2.0)
+    }
+
+    fn dur() -> SimTime {
+        SimTime::from_us(100)
+    }
+
+    #[test]
+    fn random_signals_stay_in_range() {
+        let mut rng = GenRng::new(11);
+        let c = ch();
+        for _ in 0..200 {
+            let s = random_signal(&mut rng, &c, dur(), 1);
+            for k in 0..20 {
+                let v = s.value_at(SimTime::from_us(5 * k));
+                assert!(
+                    (c.lo - 1e-9..=c.hi + 1e-9).contains(&v),
+                    "{s:?} out of range at {k}: {v}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mutations_stay_in_range_and_are_deterministic() {
+        let c = ch();
+        let base = Signal::Triangle {
+            from: 0.0,
+            to: 1.5,
+            start: SimTime::ZERO,
+            end: dur(),
+        };
+        let mut r1 = GenRng::new(3);
+        let mut r2 = GenRng::new(3);
+        for _ in 0..100 {
+            let a = mutate_signal(&mut r1, &base, &c, dur());
+            let b = mutate_signal(&mut r2, &base, &c, dur());
+            assert_eq!(a, b, "same seed, same mutation");
+            for k in 0..10 {
+                let v = a.value_at(SimTime::from_us(10 * k));
+                assert!((c.lo - 1e-9..=c.hi + 1e-9).contains(&v), "{a:?}: {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn random_testcase_always_drives_something() {
+        let channels = vec![ch(), ChannelSpec::new("other", 0.0, 1.0)];
+        let mut rng = GenRng::new(5);
+        for i in 0..50 {
+            let tc = random_testcase(&mut rng, format!("c{i}"), &channels, dur());
+            assert!(!tc.channels.is_empty());
+            assert_eq!(tc.duration, dur());
+        }
+    }
+
+    #[test]
+    fn crossover_inherits_from_parents() {
+        let channels = vec![ch(), ChannelSpec::new("other", 0.0, 1.0)];
+        let a = Testcase::new("a", dur()).with("in", Signal::Constant(1.0));
+        let b = Testcase::new("b", dur()).with("other", Signal::Constant(0.5));
+        let mut rng = GenRng::new(8);
+        for i in 0..50 {
+            let child = crossover(&mut rng, &a, &b, format!("x{i}"), &channels, dur());
+            for (name, sig) in &child.channels {
+                let expected = if name == "in" { &a } else { &b };
+                assert_eq!(sig, &expected.signal(name), "inherited verbatim");
+            }
+            assert!(!child.channels.is_empty());
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! The generation trajectory report: Table II of the paper, grown by
+//! search — one row per refinement iteration, extended with the search
+//! effort (candidates evaluated, candidates accepted) that produced it.
+
+use dft_core::{render_table2, Coverage, Table2Row};
+
+/// One refinement iteration of a generation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GenIterationRow {
+    /// Candidates synthesized and evaluated this iteration.
+    pub candidates: usize,
+    /// Candidates accepted into the suite this iteration.
+    pub accepted: usize,
+    /// The coverage row (iteration, suite size, per-class percentages).
+    pub row: Table2Row,
+}
+
+impl GenIterationRow {
+    /// Snapshots one iteration from the session's current coverage.
+    pub fn new(
+        iteration: usize,
+        candidates: usize,
+        accepted: usize,
+        suite_size: usize,
+        cov: &Coverage,
+    ) -> GenIterationRow {
+        GenIterationRow {
+            candidates,
+            accepted,
+            row: Table2Row::from_coverage("generated", iteration, suite_size, cov),
+        }
+    }
+}
+
+/// The full trajectory of one generation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GenReport {
+    /// System (suite) name the run targeted.
+    pub system: String,
+    /// The seed that reproduces this exact run.
+    pub seed: u64,
+    /// One row per iteration, in order.
+    pub rows: Vec<GenIterationRow>,
+}
+
+impl GenReport {
+    /// Renders the trajectory: the paper's Table II columns plus the
+    /// search-effort columns (`Cands`, `Acc`).
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "Generated suite for {} (seed {})",
+            self.system, self.seed
+        );
+        let table2: Vec<Table2Row> = self
+            .rows
+            .iter()
+            .map(|r| Table2Row {
+                system: self.system.clone(),
+                ..r.row.clone()
+            })
+            .collect();
+        // Zip the rendered Table II lines with the effort columns.
+        let rendered = render_table2(&table2);
+        let mut lines = rendered.lines();
+        if let Some(header) = lines.next() {
+            let _ = writeln!(out, "{header} {:>6} {:>4}", "Cands", "Acc");
+        }
+        for (line, r) in lines.zip(&self.rows) {
+            let _ = writeln!(out, "{line} {:>6} {:>4}", r.candidates, r.accepted);
+        }
+        out
+    }
+
+    /// Dynamic (exercised) counts per iteration — convenient for
+    /// monotonicity assertions in tests.
+    pub fn dynamic_counts(&self) -> Vec<usize> {
+        self.rows.iter().map(|r| r.row.dynamic_count).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(iteration: usize, tests: usize, dynamic: usize) -> GenIterationRow {
+        GenIterationRow {
+            candidates: 8,
+            accepted: 1,
+            row: Table2Row {
+                system: "generated".to_owned(),
+                iteration,
+                tests,
+                static_count: 10,
+                dynamic_count: dynamic,
+                strong_pct: Some(50.0),
+                firm_pct: None,
+                pfirm_pct: Some(25.0),
+                pweak_pct: None,
+            },
+        }
+    }
+
+    #[test]
+    fn render_has_header_effort_columns_and_one_line_per_row() {
+        let rep = GenReport {
+            system: "sensor".to_owned(),
+            seed: 7,
+            rows: vec![row(0, 1, 4), row(1, 2, 6)],
+        };
+        let text = rep.render();
+        assert!(text.contains("seed 7"));
+        assert!(text.contains("Cands"));
+        assert!(text.contains("Acc"));
+        // Title + header + 2 data rows.
+        assert_eq!(text.lines().count(), 4, "{text}");
+        assert!(text.lines().nth(1).unwrap().contains("Dynamic"));
+    }
+
+    #[test]
+    fn dynamic_counts_in_order() {
+        let rep = GenReport {
+            system: "s".to_owned(),
+            seed: 1,
+            rows: vec![row(0, 1, 3), row(1, 2, 5), row(2, 3, 5)],
+        };
+        assert_eq!(rep.dynamic_counts(), vec![3, 5, 5]);
+    }
+}

@@ -13,6 +13,7 @@
 //! | [`dft`] | `dft-core` | the paper's contribution: classification, coverage, criteria, reports |
 //! | [`signals`] | `stimuli` | test input signals, testcases, testsuites |
 //! | [`models`] | `ams-models` | the sensor system (Fig. 2), window lifter, buck-boost VPs |
+//! | [`gen`] | `testgen` | coverage-guided testcase generation (the refinement loop as search) |
 //!
 //! ## Quick start
 //!
@@ -42,3 +43,4 @@ pub use minic as lang;
 pub use stimuli as signals;
 pub use tdf_interp as interp;
 pub use tdf_sim as sim;
+pub use testgen as gen;
