@@ -4,6 +4,8 @@
 
 use std::collections::HashSet;
 
+use dataflow::BitSet;
+
 use crate::assoc::{Association, Classification, ClassifiedAssoc};
 use crate::dynamic::DynamicWarning;
 use crate::statics::StaticAnalysis;
@@ -104,6 +106,13 @@ pub struct TestcaseResult {
     /// How the simulation ended; a degraded outcome means `exercised` was
     /// computed from a partial event log.
     pub outcome: RunOutcome,
+    /// Exercised static associations as a bitset over
+    /// [`StaticAnalysis::associations`] indices, when the run was matched
+    /// by a [`MatchAutomaton`](crate::MatchAutomaton). Must agree with
+    /// `exercised` restricted to the static set; [`Coverage::evaluate`]
+    /// uses it to skip the per-association hash probes. `None` (e.g. a
+    /// hand-built result) falls back to probing `exercised`.
+    pub exercised_idx: Option<BitSet>,
 }
 
 /// Why an uncovered association was missed (see
@@ -133,8 +142,11 @@ impl std::fmt::Display for UncoveredReason {
 #[derive(Debug, Clone)]
 pub struct Coverage {
     associations: Vec<ClassifiedAssoc>,
-    /// `covered[i][t]`: association `i` exercised by testcase `t`.
-    covered: Vec<Vec<bool>>,
+    /// One bitset per testcase over association indices: bit `i` of
+    /// `covered[t]` means association `i` was exercised by testcase `t`.
+    covered: Vec<BitSet>,
+    /// Union of all testcase columns (bit `i`: covered by any testcase).
+    any: BitSet,
     tc_names: Vec<String>,
     /// Per-testcase run outcomes, column order (same indexing as
     /// `tc_names`).
@@ -147,19 +159,34 @@ impl Coverage {
     /// Exercised associations that the static stage did not predict (static
     /// analysis is an over- *and* under-approximation at the boundaries,
     /// e.g. member initial values) are ignored, as in the paper's tool.
+    /// Runs carrying a valid [`TestcaseResult::exercised_idx`] bitset are
+    /// adopted wholesale; the rest are probed association by association.
     pub fn evaluate(statics: &StaticAnalysis, runs: &[TestcaseResult]) -> Coverage {
         let associations = statics.associations.clone();
-        let covered = associations
+        let n = associations.len();
+        let covered: Vec<BitSet> = runs
             .iter()
-            .map(|c| {
-                runs.iter()
-                    .map(|r| r.exercised.contains(&c.assoc))
-                    .collect()
+            .map(|r| match &r.exercised_idx {
+                Some(bits) if bits.capacity() == n => bits.clone(),
+                _ => {
+                    let mut bits = BitSet::new(n);
+                    for (i, c) in associations.iter().enumerate() {
+                        if r.exercised.contains(&c.assoc) {
+                            bits.insert(i);
+                        }
+                    }
+                    bits
+                }
             })
             .collect();
+        let mut any = BitSet::new(n);
+        for bits in &covered {
+            any.union_with(bits);
+        }
         Coverage {
             associations,
             covered,
+            any,
             tc_names: runs.iter().map(|r| r.name.clone()).collect(),
             outcomes: runs.iter().map(|r| r.outcome.clone()).collect(),
         }
@@ -194,12 +221,20 @@ impl Coverage {
 
     /// Whether association `i` was exercised by any testcase.
     pub fn is_covered(&self, i: usize) -> bool {
-        self.covered[i].iter().any(|&b| b)
+        assert!(
+            i < self.associations.len(),
+            "association index out of range"
+        );
+        self.any.contains(i)
     }
 
     /// Whether association `i` was exercised by testcase `t`.
     pub fn is_covered_by(&self, i: usize, t: usize) -> bool {
-        self.covered[i][t]
+        assert!(
+            i < self.associations.len(),
+            "association index out of range"
+        );
+        self.covered[t].contains(i)
     }
 
     /// `(covered, total)` for one classification.

@@ -1,9 +1,11 @@
 //! The design under verification: parsed sources + model interfaces +
 //! cluster binding information, bundled for analysis.
 
+use std::sync::Arc;
+
 use minic::TranslationUnit;
 use tdf_interp::{Interface, TdfModelDef, VarKind};
-use tdf_sim::{ModuleClass, Netlist};
+use tdf_sim::{Interner, ModuleClass, Netlist};
 
 use crate::error::{DftError, Result};
 
@@ -18,6 +20,12 @@ pub struct Design {
     tu: TranslationUnit,
     models: Vec<TdfModelDef>,
     netlist: Netlist,
+    /// Design-wide name interner, seeded at construction with every name
+    /// the design declares (cluster, modules, ports, members). Shared —
+    /// clones of the design keep interning into the same table, so
+    /// [`Sym`](tdf_sim::Sym) ids agree across every cluster/session built
+    /// from this design.
+    interner: Arc<Interner>,
 }
 
 impl Design {
@@ -43,11 +51,37 @@ impl Design {
                 }
             }
         }
+        let interner = Arc::new(Interner::new());
+        interner.intern(&netlist.cluster);
+        for m in &netlist.modules {
+            interner.intern(&m.name);
+            for p in m.in_ports.iter().chain(&m.out_ports) {
+                interner.intern(p);
+            }
+        }
+        for def in &models {
+            interner.intern(&def.model);
+            for p in def.interface.inputs.iter().chain(&def.interface.outputs) {
+                interner.intern(&p.name);
+            }
+            for (member, _) in &def.interface.members {
+                interner.intern(member);
+            }
+        }
         Ok(Design {
             tu,
             models,
             netlist,
+            interner,
         })
+    }
+
+    /// The design-wide name interner (see the field docs): every cluster
+    /// simulated under this design should carry it
+    /// ([`Cluster::set_interner`](tdf_sim::Cluster::set_interner)) so
+    /// compact event ids agree with the analysis tables.
+    pub fn interner(&self) -> &Arc<Interner> {
+        &self.interner
     }
 
     /// The parsed sources.

@@ -189,70 +189,116 @@ pub fn analyse_events_with_mode(
     static EVENTS_MATCHED: obs::Counter = obs::Counter::new("match.events");
     static QUARANTINED: obs::Counter = obs::Counter::new("match.quarantined_events");
     EVENTS_MATCHED.add(events.len() as u64);
-    let mut exercised: HashSet<Association> = HashSet::new();
-    let mut defs_executed: HashSet<(String, String, u32)> = HashSet::new();
-    let mut warnings: Vec<DynamicWarning> = Vec::new();
-    let mut warned: HashSet<(String, String, u32)> = HashSet::new();
-    // Last definition line per (model, var).
-    let mut last_def: HashMap<(String, String), u32> = HashMap::new();
 
-    // Lenient-mode validation state.
-    let vocab = match mode {
+    // Lenient-mode validation vocabulary, in owned string form.
+    let vocab_src = match mode {
         MatchMode::Strict => HashMap::new(),
         MatchMode::Lenient => known_variables(design),
     };
-    let mut last_time: HashMap<String, SimTime> = HashMap::new();
+
+    // Per-call borrowing interner: every hot map below is keyed on these
+    // compact ids instead of cloned `String` pairs, so steady-state
+    // matching allocates nothing. Strings are materialised only on the
+    // first occurrence of a site (a warning, an exercised pair, an
+    // executed def). For the cross-session fast path see
+    // [`MatchAutomaton`](crate::MatchAutomaton), which hoists the id
+    // tables out of the per-call scope entirely.
+    fn sym<'a>(ids: &mut HashMap<&'a str, u32>, s: &'a str) -> u32 {
+        match ids.get(s) {
+            Some(&id) => id,
+            None => {
+                let id = ids.len() as u32;
+                ids.insert(s, id);
+                id
+            }
+        }
+    }
+    let mut ids: HashMap<&str, u32> = HashMap::new();
+
+    let mut exercised: HashSet<Association> = HashSet::new();
+    let mut seen_pair: HashSet<(u32, u32, u32, u32, u32)> = HashSet::new();
+    let mut defs_executed: HashSet<(String, String, u32)> = HashSet::new();
+    let mut seen_def: HashSet<(u32, u32, u32)> = HashSet::new();
+    let mut warnings: Vec<DynamicWarning> = Vec::new();
+    let mut warned: HashSet<(u32, u32, u32)> = HashSet::new();
+    // Last definition line per (model, var).
+    let mut last_def: HashMap<(u32, u32), u32> = HashMap::new();
+
+    // Lenient-mode validation state.
+    let mut vocab: HashMap<u32, HashSet<u32>> = HashMap::new();
+    for (model, names) in &vocab_src {
+        let m = sym(&mut ids, model);
+        let names: HashSet<u32> = names.iter().map(|n| sym(&mut ids, n)).collect();
+        vocab.insert(m, names);
+    }
+    let mut last_time: HashMap<u32, SimTime> = HashMap::new();
     let mut quarantined: u64 = 0;
-    let mut warned_models: HashSet<String> = HashSet::new();
-    let mut warned_times: HashSet<String> = HashSet::new();
-    let mut warned_vars: HashSet<(String, String)> = HashSet::new();
+    let mut warned_models: HashSet<u32> = HashSet::new();
+    let mut warned_times: HashSet<u32> = HashSet::new();
+    let mut warned_vars: HashSet<(u32, u32)> = HashSet::new();
+    // Design lookups scan the model list linearly; memoise per site.
+    let mut known_memo: HashMap<u32, bool> = HashMap::new();
+    let mut inport_memo: HashMap<(u32, u32), bool> = HashMap::new();
+    let mut start_memo: HashMap<u32, u32> = HashMap::new();
 
     // Seed members with their elaboration-time initial values.
     for def in design.models() {
-        for (m, _) in &def.interface.members {
-            last_def.insert(
-                (def.model.clone(), m.clone()),
-                design.start_line(&def.model),
-            );
+        let m = sym(&mut ids, &def.model);
+        for (member, _) in &def.interface.members {
+            let v = sym(&mut ids, member);
+            last_def.insert((m, v), design.start_line(&def.model));
         }
     }
 
     for ev in events {
+        let (time, model, var, line) = match ev {
+            Event::Def {
+                time,
+                model,
+                var,
+                line,
+            }
+            | Event::Use {
+                time,
+                model,
+                var,
+                line,
+                ..
+            } => (*time, model.as_str(), var.as_str(), *line),
+        };
+        let msym = sym(&mut ids, model);
+        let vsym = sym(&mut ids, var);
         if mode == MatchMode::Lenient {
-            let (time, model, var) = match ev {
-                Event::Def {
-                    time, model, var, ..
-                }
-                | Event::Use {
-                    time, model, var, ..
-                } => (*time, model, var),
-            };
+            let known = *known_memo
+                .entry(msym)
+                .or_insert_with(|| model_is_known(design, model));
             // `Some(w)` quarantines the event; the inner option is the
             // warning to record (None once a site has already warned).
             let quarantine_reason: Option<Option<DynamicWarning>> =
-                if !model_is_known(design, model) {
-                    Some(warned_models.insert(model.clone()).then(|| {
-                        DynamicWarning::UnknownModel {
-                            model: model.clone(),
-                            time,
-                        }
-                    }))
-                } else if let Some(&last) = last_time.get(model).filter(|&&last| time < last) {
-                    Some(warned_times.insert(model.clone()).then(|| {
-                        DynamicWarning::NonMonotoneTimestamp {
-                            model: model.clone(),
-                            time,
-                            last,
-                        }
-                    }))
-                } else if vocab
-                    .get(model)
-                    .is_some_and(|names| !names.contains(var.as_str()))
-                {
-                    Some(warned_vars.insert((model.clone(), var.clone())).then(|| {
+                if !known {
+                    Some(
+                        warned_models
+                            .insert(msym)
+                            .then(|| DynamicWarning::UnknownModel {
+                                model: model.to_string(),
+                                time,
+                            }),
+                    )
+                } else if let Some(&last) = last_time.get(&msym).filter(|&&last| time < last) {
+                    Some(
+                        warned_times
+                            .insert(msym)
+                            .then(|| DynamicWarning::NonMonotoneTimestamp {
+                                model: model.to_string(),
+                                time,
+                                last,
+                            }),
+                    )
+                } else if vocab.get(&msym).is_some_and(|names| !names.contains(&vsym)) {
+                    Some(warned_vars.insert((msym, vsym)).then(|| {
                         DynamicWarning::UnknownVariable {
-                            model: model.clone(),
-                            var: var.clone(),
+                            model: model.to_string(),
+                            var: var.to_string(),
                             time,
                         }
                     }))
@@ -263,13 +309,17 @@ pub fn analyse_events_with_mode(
                 {
                     // Provenance must also name a real model, else the pair
                     // it would exercise is fabricated.
-                    (!model_is_known(design, &prov.model)).then(|| {
-                        warned_models.insert(prov.model.clone()).then(|| {
-                            DynamicWarning::UnknownModel {
+                    let psym = sym(&mut ids, &prov.model);
+                    let pknown = *known_memo
+                        .entry(psym)
+                        .or_insert_with(|| model_is_known(design, &prov.model));
+                    (!pknown).then(|| {
+                        warned_models
+                            .insert(psym)
+                            .then(|| DynamicWarning::UnknownModel {
                                 model: prov.model.clone(),
                                 time,
-                            }
-                        })
+                            })
                     })
                 } else {
                     None
@@ -282,79 +332,88 @@ pub fn analyse_events_with_mode(
                 // Poison the pending definition: a quarantined def must not
                 // let later uses pair with an older, stale definition.
                 if matches!(ev, Event::Def { .. }) {
-                    last_def.remove(&(model.clone(), var.clone()));
+                    last_def.remove(&(msym, vsym));
                 }
                 continue;
             }
-            last_time.insert(model.clone(), time);
+            last_time.insert(msym, time);
         }
         match ev {
-            Event::Def {
-                model, var, line, ..
-            } => {
-                last_def.insert((model.clone(), var.clone()), *line);
-                defs_executed.insert((model.clone(), var.clone(), *line));
+            Event::Def { .. } => {
+                last_def.insert((msym, vsym), line);
+                if seen_def.insert((msym, vsym, line)) {
+                    defs_executed.insert((model.to_string(), var.to_string(), line));
+                }
             }
             Event::Use {
-                time,
-                model,
-                var,
-                line,
-                feeding,
-                defined,
+                feeding, defined, ..
             } => {
                 if let Some(prov) = feeding {
-                    defs_executed.insert((prov.model.clone(), prov.var.clone(), prov.line));
-                    exercised.insert(Association::new(
-                        prov.var.clone(),
-                        prov.line,
-                        prov.model.clone(),
-                        *line,
-                        model.clone(),
-                    ));
+                    let pm = sym(&mut ids, &prov.model);
+                    let pv = sym(&mut ids, &prov.var);
+                    if seen_def.insert((pm, pv, prov.line)) {
+                        defs_executed.insert((prov.model.clone(), prov.var.clone(), prov.line));
+                    }
+                    if seen_pair.insert((pv, prov.line, pm, line, msym)) {
+                        exercised.insert(Association::new(
+                            prov.var.clone(),
+                            prov.line,
+                            prov.model.clone(),
+                            line,
+                            model.to_string(),
+                        ));
+                    }
                     continue;
                 }
-                let kind = design.kind_of(model, var);
-                match kind {
-                    VarKind::InPort(_) => {
-                        if *defined {
+                let inport = *inport_memo
+                    .entry((msym, vsym))
+                    .or_insert_with(|| matches!(design.kind_of(model, var), VarKind::InPort(_)));
+                if inport {
+                    if *defined {
+                        let dline = *start_memo
+                            .entry(msym)
+                            .or_insert_with(|| design.start_line(model));
+                        if seen_pair.insert((vsym, dline, msym, line, msym)) {
                             exercised.insert(Association::new(
-                                var.clone(),
-                                design.start_line(model),
-                                model.clone(),
-                                *line,
-                                model.clone(),
-                            ));
-                        } else if warned.insert((model.clone(), var.clone(), *line)) {
-                            warnings.push(DynamicWarning::UndefinedSampleRead {
-                                model: model.clone(),
-                                var: var.clone(),
-                                line: *line,
-                                time: *time,
-                            });
-                        }
-                    }
-                    _ => match last_def.get(&(model.clone(), var.clone())) {
-                        Some(&dline) => {
-                            exercised.insert(Association::new(
-                                var.clone(),
+                                var.to_string(),
                                 dline,
-                                model.clone(),
-                                *line,
-                                model.clone(),
+                                model.to_string(),
+                                line,
+                                model.to_string(),
                             ));
+                        }
+                    } else if warned.insert((msym, vsym, line)) {
+                        warnings.push(DynamicWarning::UndefinedSampleRead {
+                            model: model.to_string(),
+                            var: var.to_string(),
+                            line,
+                            time,
+                        });
+                    }
+                } else {
+                    match last_def.get(&(msym, vsym)) {
+                        Some(&dline) => {
+                            if seen_pair.insert((vsym, dline, msym, line, msym)) {
+                                exercised.insert(Association::new(
+                                    var.to_string(),
+                                    dline,
+                                    model.to_string(),
+                                    line,
+                                    model.to_string(),
+                                ));
+                            }
                         }
                         None => {
-                            if warned.insert((model.clone(), var.clone(), *line)) {
+                            if warned.insert((msym, vsym, line)) {
                                 warnings.push(DynamicWarning::UseWithoutDef {
-                                    model: model.clone(),
-                                    var: var.clone(),
-                                    line: *line,
-                                    time: *time,
+                                    model: model.to_string(),
+                                    var: var.to_string(),
+                                    line,
+                                    time,
                                 });
                             }
                         }
-                    },
+                    }
                 }
             }
         }

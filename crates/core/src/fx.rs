@@ -1,0 +1,96 @@
+//! A minimal Fx-style hasher for integer-keyed maps on the matching hot
+//! path. `std`'s default SipHash is DoS-resistant but costs ~10× more per
+//! small integer key; the automaton's keys are interned ids we control,
+//! so the cheap multiply-rotate mix is safe and measurably faster. No
+//! external dependency (the build environment is offline).
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// The `FxHasher` multiply constant (from Firefox's hash — the same one
+/// rustc uses).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// A fast, non-cryptographic hasher for small fixed-size keys.
+#[derive(Default, Clone, Copy)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.add(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+}
+
+/// `BuildHasher` plugging [`FxHasher`] into std collections.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` hashed with [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` hashed with [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_round_trips_tuple_keys() {
+        let mut m: FxHashMap<(u32, u32, u32), u32> = FxHashMap::default();
+        for i in 0..1000u32 {
+            m.insert((i, i.wrapping_mul(7), i % 13), i);
+        }
+        assert_eq!(m.len(), 1000);
+        for i in 0..1000u32 {
+            assert_eq!(m.get(&(i, i.wrapping_mul(7), i % 13)), Some(&i));
+        }
+    }
+
+    #[test]
+    fn hashes_differ_for_nearby_keys() {
+        use std::hash::BuildHasher;
+        let build = FxBuildHasher::default();
+        let hash = |k: (u32, u32)| build.hash_one(k);
+        assert_ne!(hash((0, 1)), hash((1, 0)));
+        assert_ne!(hash((2, 3)), hash((3, 2)));
+    }
+}

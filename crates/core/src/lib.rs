@@ -32,6 +32,8 @@ mod dynamic;
 mod error;
 mod explain;
 mod export;
+mod fx;
+mod matcher;
 mod par;
 mod report;
 mod session;
@@ -41,6 +43,7 @@ pub mod synth;
 pub use assoc::{Association, Classification, ClassifiedAssoc};
 pub use classical::classical_pairs;
 pub use coverage::{Coverage, Criterion, RunOutcome, TestcaseResult, UncoveredReason};
+pub use dataflow::BitSet;
 pub use design::Design;
 pub use dynamic::{
     analyse_events, analyse_events_batch, analyse_events_batch_with_mode, analyse_events_with_mode,
@@ -49,6 +52,7 @@ pub use dynamic::{
 pub use error::{DftError, Result};
 pub use explain::explain_association;
 pub use export::{associations_to_csv, coverage_to_csv, diagnosis_to_csv};
+pub use matcher::MatchAutomaton;
 pub use obs::{self, MetricsReport, TimerStat};
 pub use par::thread_count;
 pub use report::{render_summary, render_table1, render_table2, Table2Row};

@@ -7,12 +7,16 @@ use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use obs::MetricsReport;
-use tdf_sim::{Cluster, Event, EventSink, RecordingSink, RunLimits, SimTime, Simulator, TdfError};
+use tdf_sim::{
+    Cluster, CompactEvent, CompactRecordingSink, Event, EventSink, Interner, RunLimits, SimTime,
+    Simulator, TdfError,
+};
 
 use crate::coverage::{Coverage, RunOutcome, TestcaseResult};
 use crate::design::Design;
-use crate::dynamic::{analyse_events, analyse_events_batch_with_mode, MatchMode};
+use crate::dynamic::MatchMode;
 use crate::error::{panic_payload_str, DftError, Result};
+use crate::matcher::MatchAutomaton;
 use crate::statics::{analyse, StaticAnalysis};
 
 /// One testcase prepared for [`DftSession::run_testcases`]: a freshly built
@@ -61,17 +65,28 @@ impl TestcaseSpec {
 pub struct DftSession {
     design: Design,
     statics: StaticAnalysis,
+    /// Prebuilt matching tables over the design-wide interner (see
+    /// [`MatchAutomaton`]); built once here, shared read-only by every
+    /// log-matching worker.
+    automaton: MatchAutomaton,
     runs: Vec<TestcaseResult>,
+    /// Recycled event buffers: testcase simulations record into a pooled
+    /// `Vec<CompactEvent>` (clear-and-reuse), so candidate evaluation
+    /// loops stop reallocating megabyte-sized logs per testcase.
+    pool: Vec<Vec<CompactEvent>>,
 }
 
 impl DftSession {
     /// Creates a session and runs the static stage.
     pub fn new(design: Design) -> Result<DftSession> {
         let statics = analyse(&design);
+        let automaton = MatchAutomaton::new(&design, &statics);
         Ok(DftSession {
             design,
             statics,
+            automaton,
             runs: Vec::new(),
+            pool: Vec::new(),
         })
     }
 
@@ -101,14 +116,19 @@ impl DftSession {
         cluster: Cluster,
         duration: SimTime,
     ) -> Result<&TestcaseResult> {
-        let events = simulate_testcase(name, cluster, duration)?;
-        let result = analyse_events(&self.design, &events);
+        let buffer = self.pool.pop().unwrap_or_default();
+        let events = simulate_testcase(name, cluster, duration, self.design.interner(), buffer)?;
+        let (result, bits) = self
+            .automaton
+            .analyse_with_coverage(&events, MatchMode::Strict);
+        self.pool.push(recycled(events));
         self.runs.push(TestcaseResult {
             name: name.to_owned(),
             exercised: result.exercised,
             defs_executed: result.defs_executed,
             warnings: result.warnings,
             outcome: RunOutcome::Ok,
+            exercised_idx: Some(bits),
         });
         Ok(self.runs.last().expect("just pushed"))
     }
@@ -165,8 +185,15 @@ impl DftSession {
         let mut outcomes = Vec::with_capacity(testcases.len());
         let mut events = Vec::with_capacity(testcases.len());
         for tc in testcases {
-            let (log, outcome) =
-                simulate_testcase_isolated(&tc.name, tc.cluster, tc.duration, limits);
+            let buffer = self.pool.pop().unwrap_or_default();
+            let (log, outcome) = simulate_testcase_isolated(
+                &tc.name,
+                tc.cluster,
+                tc.duration,
+                limits,
+                self.design.interner(),
+                buffer,
+            );
             if outcome.is_degraded() {
                 DEGRADED.add(1);
             }
@@ -174,23 +201,23 @@ impl DftSession {
             outcomes.push(outcome);
             events.push(log);
         }
-        let results =
-            analyse_events_batch_with_mode(&self.design, &events, threads, MatchMode::Lenient);
+        let automaton = &self.automaton;
+        let results = crate::par::par_map(&events, threads, |log| {
+            automaton.analyse_with_coverage(log, MatchMode::Lenient)
+        });
+        self.pool.extend(events.into_iter().map(recycled));
         let start = self.runs.len();
         self.runs
-            .extend(
-                names
-                    .into_iter()
-                    .zip(outcomes)
-                    .zip(results)
-                    .map(|((name, outcome), r)| TestcaseResult {
-                        name,
-                        exercised: r.exercised,
-                        defs_executed: r.defs_executed,
-                        warnings: r.warnings,
-                        outcome,
-                    }),
-            );
+            .extend(names.into_iter().zip(outcomes).zip(results).map(
+                |((name, outcome), (r, bits))| TestcaseResult {
+                    name,
+                    exercised: r.exercised,
+                    defs_executed: r.defs_executed,
+                    warnings: r.warnings,
+                    outcome,
+                    exercised_idx: Some(bits),
+                },
+            ));
         &self.runs[start..]
     }
 
@@ -244,12 +271,29 @@ impl DftSession {
     }
 }
 
+/// Clears a returned event buffer so the pool hands out empty, warm
+/// allocations.
+fn recycled(mut buffer: Vec<CompactEvent>) -> Vec<CompactEvent> {
+    buffer.clear();
+    buffer
+}
+
 /// Elaborates and simulates one testcase with instrumentation enabled,
-/// recording its event count and wall time under `testcase.<name>.*`.
-fn simulate_testcase(name: &str, cluster: Cluster, duration: SimTime) -> Result<Vec<Event>> {
+/// recording its event count and wall time under `testcase.<name>.*`. The
+/// cluster is re-keyed onto the design-wide `interner` so the recorded
+/// compact events use the session's symbol ids; `buffer` is a pooled
+/// allocation to record into.
+fn simulate_testcase(
+    name: &str,
+    mut cluster: Cluster,
+    duration: SimTime,
+    interner: &Arc<Interner>,
+    buffer: Vec<CompactEvent>,
+) -> Result<Vec<CompactEvent>> {
     let started = obs::metrics_enabled().then(Instant::now);
+    cluster.set_interner(Arc::clone(interner));
     let mut sim = Simulator::new(cluster)?;
-    let mut sink = RecordingSink::new();
+    let mut sink = CompactRecordingSink::with_buffer(Arc::clone(interner), buffer);
     {
         let _span = obs::span("stage.simulate");
         sim.run(duration, &mut sink)?;
@@ -263,14 +307,34 @@ fn simulate_testcase(name: &str, cluster: Cluster, duration: SimTime) -> Result<
 
 /// An [`EventSink`] appending into a shared, mutex-guarded buffer that
 /// outlives the simulation — so the event log survives a panicking module.
-struct SharedSink(Arc<Mutex<Vec<Event>>>);
+/// Compact events are pushed as-is; legacy string events (from fault sinks
+/// and hand-instrumented modules) are interned on the way in.
+struct SharedSink {
+    buf: Arc<Mutex<Vec<CompactEvent>>>,
+    interner: Arc<Interner>,
+}
 
 impl EventSink for SharedSink {
     fn record(&mut self, event: Event) {
+        let event = CompactEvent::from_event(&event, &self.interner);
         // A poisoned lock only means some other holder panicked mid-append;
         // the Vec itself is never left in a torn state (push is the only
         // mutation), so recover the guard and keep recording.
-        self.0.lock().unwrap_or_else(|p| p.into_inner()).push(event);
+        self.buf
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .push(event);
+    }
+
+    fn record_compact(&mut self, event: CompactEvent, interner: &Interner) {
+        debug_assert!(
+            std::ptr::eq(&*self.interner, interner),
+            "compact events recorded against a foreign interner"
+        );
+        self.buf
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .push(event);
     }
 }
 
@@ -289,16 +353,22 @@ impl EventSink for SharedSink {
 /// corrupt an entry. No bare `&mut` borrow is captured across the boundary.
 fn simulate_testcase_isolated(
     name: &str,
-    cluster: Cluster,
+    mut cluster: Cluster,
     duration: SimTime,
     limits: RunLimits,
-) -> (Vec<Event>, RunOutcome) {
+    interner: &Arc<Interner>,
+    buffer: Vec<CompactEvent>,
+) -> (Vec<CompactEvent>, RunOutcome) {
     let started = obs::metrics_enabled().then(Instant::now);
-    let events: Arc<Mutex<Vec<Event>>> = Arc::new(Mutex::new(Vec::new()));
-    let shared = Arc::clone(&events);
+    cluster.set_interner(Arc::clone(interner));
+    let events: Arc<Mutex<Vec<CompactEvent>>> = Arc::new(Mutex::new(recycled(buffer)));
+    let shared = SharedSink {
+        buf: Arc::clone(&events),
+        interner: Arc::clone(interner),
+    };
     let run = catch_unwind(AssertUnwindSafe(move || {
         let mut sim = Simulator::new(cluster)?;
-        let mut sink = SharedSink(shared);
+        let mut sink = shared;
         let _span = obs::span("stage.simulate");
         sim.run_with_limits(duration, &mut sink, &limits)?;
         Ok::<(), DftError>(())

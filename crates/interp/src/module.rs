@@ -7,7 +7,8 @@ use std::collections::HashMap;
 
 use minic::{BinOp, Block, Expr, ExprKind, Function, Stmt, StmtKind, TranslationUnit, UnOp};
 use tdf_sim::{
-    Event, ModuleClass, ModuleSpec, ProcessingCtx, Provenance, Sample, TdfModule, Value,
+    CompactEvent, EventKind, Interner, ModuleClass, ModuleSpec, ProcessingCtx, ProvId, Provenance,
+    Sample, Sym, TdfModule, Value,
 };
 
 use crate::error::{InterpError, Result};
@@ -36,6 +37,40 @@ pub struct InterpModule {
     kinds: HashMap<String, VarKind>,
     members: HashMap<String, Value>,
     run_init: bool,
+    emit_cache: Option<EmitCache>,
+}
+
+/// Interned ids for this module's emit sites, valid against exactly one
+/// cluster [`Interner`] (identified by address; rebuilt when the module
+/// meets a different one, dropped on `initialize()`). With the cache in
+/// place every def/use event is a [`CompactEvent`] copy — no `String`
+/// allocation per event.
+struct EmitCache {
+    interner_addr: usize,
+    model: Sym,
+    vars: HashMap<String, Sym>,
+}
+
+impl EmitCache {
+    fn build(name: &str, kinds: &HashMap<String, VarKind>, interner: &Interner) -> EmitCache {
+        let mut names: Vec<&String> = kinds.keys().collect();
+        names.sort_unstable(); // deterministic intern order
+        EmitCache {
+            interner_addr: interner as *const Interner as usize,
+            model: interner.intern(name),
+            vars: names
+                .into_iter()
+                .map(|n| (n.clone(), interner.intern(n)))
+                .collect(),
+        }
+    }
+
+    fn sym(&self, var: &str, interner: &Interner) -> Sym {
+        match self.vars.get(var) {
+            Some(&s) => s,
+            None => interner.intern(var),
+        }
+    }
 }
 
 impl std::fmt::Debug for InterpModule {
@@ -141,6 +176,7 @@ impl InterpModule {
             kinds,
             members,
             run_init,
+            emit_cache: None,
         })
     }
 
@@ -300,9 +336,19 @@ impl TdfModule for InterpModule {
             .map(|(n, v)| (n.clone(), *v))
             .collect();
         self.run_init = self.init_function.is_some();
+        self.emit_cache = None;
     }
 
     fn processing(&mut self, ctx: &mut ProcessingCtx<'_>) {
+        let interner_addr = ctx.interner() as *const Interner as usize;
+        if self
+            .emit_cache
+            .as_ref()
+            .is_none_or(|c| c.interner_addr != interner_addr)
+        {
+            self.emit_cache = Some(EmitCache::build(&self.name, &self.kinds, ctx.interner()));
+        }
+        let cache = self.emit_cache.as_ref().expect("just built");
         let mut out_values: Vec<Option<(Value, u32)>> =
             vec![None; self.def.interface.outputs.len()];
         if self.run_init {
@@ -311,6 +357,7 @@ impl TdfModule for InterpModule {
             let mut exec = Exec {
                 model: &self.name,
                 kinds: &self.kinds,
+                cache,
                 members: &mut self.members,
                 locals: HashMap::new(),
                 out_values: &mut out_values,
@@ -323,6 +370,7 @@ impl TdfModule for InterpModule {
             let mut exec = Exec {
                 model: &self.name,
                 kinds: &self.kinds,
+                cache,
                 members: &mut self.members,
                 locals: HashMap::new(),
                 out_values: &mut out_values,
@@ -355,6 +403,7 @@ enum Flow {
 struct Exec<'m, 'c> {
     model: &'m str,
     kinds: &'m HashMap<String, VarKind>,
+    cache: &'m EmitCache,
     members: &'m mut HashMap<String, Value>,
     locals: HashMap<String, Value>,
     out_values: &'m mut Vec<Option<(Value, u32)>>,
@@ -363,25 +412,29 @@ struct Exec<'m, 'c> {
 
 impl Exec<'_, '_> {
     fn emit_def(&mut self, var: &str, line: u32) {
-        let time = self.ctx.time();
-        self.ctx.emit(Event::Def {
-            time,
-            model: self.model.to_owned(),
-            var: var.to_owned(),
+        let event = CompactEvent {
+            time: self.ctx.time(),
+            model: self.cache.model,
+            var: self.cache.sym(var, self.ctx.interner()),
             line,
-        });
+            kind: EventKind::Def,
+            prov: ProvId::NONE,
+            defined: true,
+        };
+        self.ctx.emit_compact(event);
     }
 
-    fn emit_use(&mut self, var: &str, line: u32, feeding: Option<Provenance>, defined: bool) {
-        let time = self.ctx.time();
-        self.ctx.emit(Event::Use {
-            time,
-            model: self.model.to_owned(),
-            var: var.to_owned(),
+    fn emit_use(&mut self, var: &str, line: u32, feeding: ProvId, defined: bool) {
+        let event = CompactEvent {
+            time: self.ctx.time(),
+            model: self.cache.model,
+            var: self.cache.sym(var, self.ctx.interner()),
             line,
-            feeding,
+            kind: EventKind::Use,
+            prov: feeding,
             defined,
-        });
+        };
+        self.ctx.emit_compact(event);
     }
 
     fn block(&mut self, b: &Block) -> Flow {
@@ -507,25 +560,32 @@ impl Exec<'_, '_> {
     fn read_var(&mut self, name: &str, line: u32) -> Value {
         match self.kinds.get(name).copied() {
             Some(VarKind::InPort(i)) => {
-                let sample = self.ctx.input1(i).clone();
-                self.emit_use(name, line, sample.provenance.clone(), sample.defined);
-                sample.value
+                let (value, defined, prov) = {
+                    let sample = self.ctx.input1(i);
+                    let prov = match &sample.provenance {
+                        Some(p) => self.ctx.interner().intern_prov(p),
+                        None => ProvId::NONE,
+                    };
+                    (sample.value, sample.defined, prov)
+                };
+                self.emit_use(name, line, prov, defined);
+                value
             }
             Some(VarKind::OutPort(i)) => {
                 // Reading back an output port: the value written earlier in
                 // this activation (or default).
                 let v = self.out_values[i].map(|(v, _)| v).unwrap_or_default();
-                self.emit_use(name, line, None, true);
+                self.emit_use(name, line, ProvId::NONE, true);
                 v
             }
             Some(VarKind::Member) => {
                 let v = self.members.get(name).copied().unwrap_or_default();
-                self.emit_use(name, line, None, true);
+                self.emit_use(name, line, ProvId::NONE, true);
                 v
             }
             Some(VarKind::Local) | None => {
                 let v = self.locals.get(name).copied().unwrap_or_default();
-                self.emit_use(name, line, None, true);
+                self.emit_use(name, line, ProvId::NONE, true);
                 v
             }
         }
@@ -678,7 +738,7 @@ fn builtin(name: &str, args: &[Value]) -> Value {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tdf_sim::{Cluster, FnSource, NullSink, Probe, RecordingSink, SimTime, Simulator};
+    use tdf_sim::{Cluster, Event, FnSource, NullSink, Probe, RecordingSink, SimTime, Simulator};
 
     fn run_model(
         src: &str,

@@ -2,7 +2,10 @@
 //! ports, and the extractable netlist (binding information) the static
 //! analysis consumes.
 
+use std::sync::Arc;
+
 use crate::error::{Result, TdfError};
+use crate::intern::Interner;
 use crate::module::{ModuleClass, ModuleSpec, TdfModule};
 
 /// Handle to a module within a [`Cluster`].
@@ -38,6 +41,7 @@ pub struct Cluster {
     pub(crate) entries: Vec<Entry>,
     pub(crate) connections: Vec<Connection>,
     allow_open_inputs: bool,
+    pub(crate) interner: Arc<Interner>,
 }
 
 impl std::fmt::Debug for Cluster {
@@ -59,12 +63,26 @@ impl Cluster {
             entries: Vec::new(),
             connections: Vec::new(),
             allow_open_inputs: false,
+            interner: Arc::new(Interner::new()),
         }
     }
 
     /// The cluster (netlist model) name.
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// The interner compact instrumentation events are recorded against.
+    /// Fresh per cluster by default; [`Cluster::set_interner`] shares one.
+    pub fn interner(&self) -> &Arc<Interner> {
+        &self.interner
+    }
+
+    /// Replaces the cluster's interner — the analysis session attaches
+    /// its design-wide interner here before simulating, so event ids from
+    /// different testcase clusters of the same design agree.
+    pub fn set_interner(&mut self, interner: Arc<Interner>) {
+        self.interner = interner;
     }
 
     /// Permits input ports without a driver; they read undefined samples.

@@ -225,6 +225,12 @@ fn apply_event_faults(
 /// stream on its way to `inner`. A held (reordered) event is flushed when
 /// a later event passes through, or at the latest when the sink drops —
 /// reordering never *loses* events.
+///
+/// Fault injection deliberately operates on the legacy string
+/// representation (`corrupt_event` fabricates ghost names no interner
+/// has seen): compact events arriving via
+/// [`EventSink::record_compact`] take the default materialize-and-
+/// `record` path, so they pass through the same fault pipeline.
 pub struct FaultSink<'a> {
     inner: &'a mut dyn EventSink,
     plan: FaultPlan,
@@ -503,6 +509,7 @@ impl TdfModule for FaultyEvents {
             outputs: ctx.outputs,
             sink: &mut tap,
             timestep_request: ctx.timestep_request,
+            interner: ctx.interner,
         };
         self.inner.processing(&mut derived);
     }
@@ -587,6 +594,7 @@ mod tests {
             let mut outputs = vec![Vec::new()];
             let mut req = None;
             let mut sink = NullSink;
+            let interner = crate::Interner::new();
             let mut ctx = ProcessingCtx {
                 time: SimTime::ZERO,
                 timestep: SimTime::from_us(1),
@@ -594,6 +602,7 @@ mod tests {
                 outputs: &mut outputs,
                 sink: &mut sink,
                 timestep_request: &mut req,
+                interner: &interner,
             };
             m.processing(&mut ctx);
         };
@@ -620,6 +629,7 @@ mod tests {
         let mut outputs = vec![Vec::new()];
         let mut req = None;
         let mut sink = NullSink;
+        let interner = crate::Interner::new();
         let mut ctx = ProcessingCtx {
             time: SimTime::ZERO,
             timestep: SimTime::from_us(1),
@@ -627,6 +637,7 @@ mod tests {
             outputs: &mut outputs,
             sink: &mut sink,
             timestep_request: &mut req,
+            interner: &interner,
         };
         wrapped.processing(&mut ctx);
         assert!(outputs[0][0].value.as_f64().is_nan());

@@ -51,6 +51,7 @@ mod cluster;
 mod components;
 mod error;
 mod fault;
+mod intern;
 mod module;
 mod schedule;
 mod sim;
@@ -69,9 +70,10 @@ pub use fault::{
     CorruptValues, FaultInjector, FaultPlan, FaultRng, FaultSink, FaultyEvents, PanicAfter,
     StallAfter,
 };
+pub use intern::{CompactEvent, EventKind, Interner, ProvId, Sym};
 pub use module::{
-    DefSite, Event, EventSink, ModuleClass, ModuleSpec, NullSink, PortSpec, ProcessingCtx,
-    RecordingSink, TdfModule,
+    CompactRecordingSink, DefSite, Event, EventSink, ModuleClass, ModuleSpec, NullSink, PortSpec,
+    ProcessingCtx, RecordingSink, TdfModule,
 };
 pub use schedule::{compute_schedule, Schedule, MAX_TOTAL_FIRINGS};
 pub use sim::{RunLimits, SimStats, Simulator};

@@ -3,7 +3,9 @@
 //! [`EventSink`].
 
 use std::fmt;
+use std::sync::Arc;
 
+use crate::intern::{CompactEvent, Interner};
 use crate::time::SimTime;
 use crate::value::{Provenance, Sample, Value};
 
@@ -199,6 +201,14 @@ impl Event {
 pub trait EventSink {
     /// Records one event.
     fn record(&mut self, event: Event);
+
+    /// Records one compact (interned) event. The default materializes the
+    /// legacy [`Event`] and delegates to [`EventSink::record`], so
+    /// string-based sinks keep working unchanged; allocation-free sinks
+    /// ([`CompactRecordingSink`], [`NullSink`]) override it.
+    fn record_compact(&mut self, event: CompactEvent, interner: &Interner) {
+        self.record(event.to_event(interner));
+    }
 }
 
 /// Discards all events (uninstrumented runs — the baseline for the
@@ -208,6 +218,8 @@ pub struct NullSink;
 
 impl EventSink for NullSink {
     fn record(&mut self, _event: Event) {}
+
+    fn record_compact(&mut self, _event: CompactEvent, _interner: &Interner) {}
 }
 
 /// Buffers every event in memory for post-run analysis.
@@ -230,6 +242,53 @@ impl EventSink for RecordingSink {
     }
 }
 
+/// Buffers every event in compact (interned) form — the allocation-free
+/// counterpart of [`RecordingSink`]. Legacy [`Event`]s routed through
+/// [`EventSink::record`] are interned on arrival (control-path only).
+#[derive(Debug)]
+pub struct CompactRecordingSink {
+    /// The recorded compact event log, in execution order.
+    pub events: Vec<CompactEvent>,
+    /// The interner the compact events' ids belong to.
+    pub interner: Arc<Interner>,
+}
+
+impl CompactRecordingSink {
+    /// Creates an empty sink recording against `interner`.
+    pub fn new(interner: Arc<Interner>) -> Self {
+        CompactRecordingSink {
+            events: Vec::new(),
+            interner,
+        }
+    }
+
+    /// Creates a sink recording against `interner`, reusing `buffer`
+    /// (cleared) as backing storage — the pooling hook of the session's
+    /// batch runner.
+    pub fn with_buffer(interner: Arc<Interner>, mut buffer: Vec<CompactEvent>) -> Self {
+        buffer.clear();
+        CompactRecordingSink {
+            events: buffer,
+            interner,
+        }
+    }
+}
+
+impl EventSink for CompactRecordingSink {
+    fn record(&mut self, event: Event) {
+        let compact = CompactEvent::from_event(&event, &self.interner);
+        self.events.push(compact);
+    }
+
+    fn record_compact(&mut self, event: CompactEvent, interner: &Interner) {
+        debug_assert!(
+            std::ptr::eq(&*self.interner, interner),
+            "compact events recorded against a foreign interner"
+        );
+        self.events.push(event);
+    }
+}
+
 /// Context handed to [`TdfModule::processing`] during one activation.
 pub struct ProcessingCtx<'a> {
     pub(crate) time: SimTime,
@@ -238,6 +297,7 @@ pub struct ProcessingCtx<'a> {
     pub(crate) outputs: &'a mut [Vec<Sample>],
     pub(crate) sink: &'a mut dyn EventSink,
     pub(crate) timestep_request: &'a mut Option<SimTime>,
+    pub(crate) interner: &'a Interner,
 }
 
 impl ProcessingCtx<'_> {
@@ -293,6 +353,18 @@ impl ProcessingCtx<'_> {
     /// Emits an instrumentation event.
     pub fn emit(&mut self, event: Event) {
         self.sink.record(event);
+    }
+
+    /// Emits a compact (interned) instrumentation event. Ids must come
+    /// from [`ProcessingCtx::interner`].
+    pub fn emit_compact(&mut self, event: CompactEvent) {
+        self.sink.record_compact(event, self.interner);
+    }
+
+    /// The cluster's interner — modules cache [`Sym`](crate::Sym) ids for
+    /// their own names against it so emitting events is allocation-free.
+    pub fn interner(&self) -> &Interner {
+        self.interner
     }
 
     /// Requests a new module timestep, applied at the next cluster-period

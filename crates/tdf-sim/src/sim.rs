@@ -89,6 +89,11 @@ impl EventSink for CountingSink<'_> {
         self.recorded += 1;
         self.inner.record(event);
     }
+
+    fn record_compact(&mut self, event: crate::CompactEvent, interner: &crate::Interner) {
+        self.recorded += 1;
+        self.inner.record_compact(event, interner);
+    }
 }
 
 /// An elaborated, executable TDF cluster.
@@ -442,6 +447,7 @@ impl Simulator {
                 outputs: &mut outputs,
                 sink,
                 timestep_request: &mut self.requests[m],
+                interner: &self.cluster.interner,
             };
             entry.module.processing(&mut ctx);
         }

@@ -372,16 +372,26 @@ impl Generator {
         self.session
             .run_testcases_with_threads(specs, self.cfg.limits, threads);
         let runs = self.session.take_runs_from(start);
+        let n_assocs = self.weight.len();
         built
             .into_iter()
             .zip(runs)
             .map(|(tc, run)| {
-                let mut exercised: Vec<usize> = run
-                    .exercised
-                    .iter()
-                    .filter_map(|a| self.index.get(a).copied())
-                    .collect();
-                exercised.sort_unstable();
+                // The session's match automaton hands back exercised static
+                // indices directly (already in ascending order); hash-probe
+                // the association map only for runs without a valid bitset.
+                let exercised: Vec<usize> = match &run.exercised_idx {
+                    Some(bits) if bits.capacity() == n_assocs => bits.iter().collect(),
+                    _ => {
+                        let mut exercised: Vec<usize> = run
+                            .exercised
+                            .iter()
+                            .filter_map(|a| self.index.get(a).copied())
+                            .collect();
+                        exercised.sort_unstable();
+                        exercised
+                    }
+                };
                 (tc, exercised, run)
             })
             .collect()

@@ -5,7 +5,7 @@
 //!
 //! Run with: `cargo run --example buck_boost` (release recommended).
 
-use systemc_ams_dft::dft::{render_table2, Criterion, DftSession, Table2Row};
+use systemc_ams_dft::dft::{render_table2, Criterion, DftSession, MetricsReport, Table2Row};
 use systemc_ams_dft::models::buck_boost::{bb_design, bb_suite, build_bb_cluster};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -52,5 +52,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         cov.total_ratio().0,
         cov.total_ratio().1
     );
+
+    let report = MetricsReport::capture();
+    if !report.is_empty() {
+        println!(
+            "\npipeline stage timings (DFT_METRICS):\n\n{}",
+            report.to_text()
+        );
+    }
     Ok(())
 }
