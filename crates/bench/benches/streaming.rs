@@ -1,0 +1,68 @@
+//! Streamed vs buffered end-to-end testcase pipeline latency on the
+//! buck-boost converter (E9): under [`MatchStrategy::Streamed`] the
+//! session matches def/use events as the kernel emits them through a
+//! `MatchingSink`, so one `run_testcase` call *is* `stage.simulate +
+//! stage.match` with no materialized log; under
+//! [`MatchStrategy::Buffered`] it records the full compact log into a
+//! pooled `Vec` first and matches afterwards.
+//!
+//! The `long_horizon` group runs the same testcase at 10x duration — the
+//! regime the streaming pipeline exists for, where the buffered log grows
+//! linearly with simulated time while the streamed path stays at
+//! O(automaton state).
+
+use ams_models::buck_boost::{bb_design, bb_suite, build_bb_cluster};
+use criterion::{criterion_group, criterion_main, Criterion};
+use dft_core::{render_table1, DftSession, MatchStrategy};
+use std::hint::black_box;
+use stimuli::Testcase;
+
+/// A session per strategy, plus the testcase both replay.
+fn session(strategy: MatchStrategy) -> DftSession {
+    let mut s = DftSession::new(bb_design().unwrap()).unwrap();
+    s.set_match_strategy(strategy);
+    s
+}
+
+fn run_once(session: &mut DftSession, tc: &Testcase) {
+    session.clear_runs();
+    let (cluster, _) = build_bb_cluster(tc).unwrap();
+    black_box(
+        session
+            .run_testcase(&tc.name, cluster, tc.duration)
+            .unwrap(),
+    );
+}
+
+fn bench_streaming(c: &mut Criterion) {
+    let suite = bb_suite();
+    let tc = suite.up_to(0)[0].clone();
+    let mut long = tc.clone();
+    long.duration = tc.duration * 10;
+
+    // The comparison is only meaningful if both strategies report
+    // identically on this workload.
+    let mut streamed = session(MatchStrategy::Streamed);
+    let mut buffered = session(MatchStrategy::Buffered);
+    run_once(&mut streamed, &tc);
+    run_once(&mut buffered, &tc);
+    assert_eq!(
+        render_table1(&streamed.coverage()),
+        render_table1(&buffered.coverage()),
+        "strategies disagree on buck-boost"
+    );
+
+    let mut group = c.benchmark_group("streaming/buck_boost");
+    group.bench_function("streamed", |b| b.iter(|| run_once(&mut streamed, &tc)));
+    group.bench_function("buffered", |b| b.iter(|| run_once(&mut buffered, &tc)));
+    group.finish();
+
+    let mut group = c.benchmark_group("streaming/buck_boost_long_horizon_10x");
+    group.sample_size(10);
+    group.bench_function("streamed", |b| b.iter(|| run_once(&mut streamed, &long)));
+    group.bench_function("buffered", |b| b.iter(|| run_once(&mut buffered, &long)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_streaming);
+criterion_main!(benches);

@@ -1,6 +1,10 @@
 //! Stage 3 of Fig. 3: coverage evaluation — combining the static
 //! association set with per-testcase exercised sets into a coverage result
 //! and the test-adequacy criteria of §IV-B.2.
+//!
+//! This stage only sees exercised [`BitSet`]s, so it is agnostic to how
+//! stage 2 produced them — buffered log analysis or the streamed
+//! [`crate::MatchCursor`] yield bit-identical inputs here.
 
 use std::collections::HashSet;
 

@@ -4,6 +4,12 @@
 //! the set of *exercised* def-use associations plus runtime warnings
 //! (§V/§VI: "if there exists a use, but no definition, it is notified as a
 //! warning").
+//!
+//! Two equivalent forms exist: the batch functions here take a complete
+//! event log, while [`crate::MatchCursor`] (built from the same
+//! [`crate::MatchAutomaton`]) accepts events one at a time as the
+//! simulation emits them — the streamed form sessions use by default.
+//! `tests/match_equiv.rs` holds the byte-equivalence gates between them.
 
 use std::collections::{HashMap, HashSet};
 

@@ -52,9 +52,9 @@ pub use dynamic::{
 pub use error::{DftError, Result};
 pub use explain::explain_association;
 pub use export::{associations_to_csv, coverage_to_csv, diagnosis_to_csv};
-pub use matcher::MatchAutomaton;
+pub use matcher::{MatchAutomaton, MatchCursor};
 pub use obs::{self, MetricsReport, TimerStat};
 pub use par::thread_count;
 pub use report::{render_summary, render_table1, render_table2, Table2Row};
-pub use session::{DftSession, TestcaseSpec};
+pub use session::{DftSession, MatchStrategy, TestcaseSpec};
 pub use statics::{analyse, analyse_with_threads, StaticAnalysis, StaticLint};

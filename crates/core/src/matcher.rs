@@ -85,6 +85,7 @@ pub struct MatchAutomaton {
 /// Per-log mutable matching state — everything integer-keyed. Lives on the
 /// calling worker's stack so the automaton itself stays shared and
 /// immutable.
+#[derive(Debug)]
 struct LogState {
     /// Dense `row * frozen + var_sym -> last def line` (`NO_DEF` = none).
     last_def: Vec<u32>,
@@ -321,25 +322,13 @@ impl MatchAutomaton {
         self.analyse_with_coverage(events, mode).0
     }
 
-    /// [`Self::analyse`] plus the coverage bitset over
-    /// [`StaticAnalysis::associations`] indices: bit `i` is set iff
-    /// `associations[i]` is in the returned `exercised` set.
-    pub fn analyse_with_coverage(
-        &self,
-        events: &[CompactEvent],
-        mode: MatchMode,
-    ) -> (DynamicResult, BitSet) {
-        let _span = obs::span("stage.match");
-        static EVENTS_MATCHED: obs::Counter = obs::Counter::new("match.events");
-        static QUARANTINED: obs::Counter = obs::Counter::new("match.quarantined_events");
-        EVENTS_MATCHED.add(events.len() as u64);
-
+    /// Starts an incremental matching pass: the returned [`MatchCursor`]
+    /// consumes events one at a time ([`MatchCursor::feed`]) and yields the
+    /// same `(DynamicResult, BitSet)` as [`Self::analyse_with_coverage`]
+    /// when [`MatchCursor::finish`]ed — the streaming half of the
+    /// simulate-and-match pipeline, holding only O(automaton state).
+    pub fn cursor(&self, mode: MatchMode) -> MatchCursor<'_> {
         let frozen = self.frozen;
-        let mut bits = BitSet::new(self.n_assocs);
-        let mut exercised: HashSet<Association> = HashSet::new();
-        let mut defs_executed: HashSet<(String, String, u32)> = HashSet::new();
-        let mut warnings: Vec<DynamicWarning> = Vec::new();
-        let mut quarantined: u64 = 0;
         let mut st = LogState {
             last_def: vec![NO_DEF; self.n_rows * frozen],
             last_def_extra: FxHashMap::default(),
@@ -355,16 +344,87 @@ impl MatchAutomaton {
         for &(row, var, line) in &self.member_seeds {
             st.last_def[row as usize * frozen + var as usize] = line;
         }
+        MatchCursor {
+            automaton: self,
+            mode,
+            st,
+            bits: BitSet::new(self.n_assocs),
+            exercised: HashSet::new(),
+            defs_executed: HashSet::new(),
+            warnings: Vec::new(),
+            quarantined: 0,
+            events: 0,
+        }
+    }
 
+    /// [`Self::analyse`] plus the coverage bitset over
+    /// [`StaticAnalysis::associations`] indices: bit `i` is set iff
+    /// `associations[i]` is in the returned `exercised` set.
+    ///
+    /// This is the *buffered* entry point — a [`MatchCursor`] fed from a
+    /// fully materialized log. The streaming pipeline drives the same
+    /// cursor event by event instead (see [`Self::cursor`]), so the two
+    /// paths are byte-identical by construction.
+    pub fn analyse_with_coverage(
+        &self,
+        events: &[CompactEvent],
+        mode: MatchMode,
+    ) -> (DynamicResult, BitSet) {
+        let _span = obs::span("stage.match");
+        let mut cursor = self.cursor(mode);
         for ev in events {
-            let row = self.row_of(ev.model);
-            if mode == MatchMode::Lenient {
+            cursor.feed(ev);
+        }
+        cursor.finish()
+    }
+}
+
+/// Incremental matching state over one event stream: the per-run mutable
+/// half of [`MatchAutomaton::analyse_with_coverage`], split out so the
+/// simulator can feed events as it produces them (via
+/// [`tdf_sim::MatchingSink`]) with no materialized log. Memory is
+/// O(automaton state) — last-def tables, once-sets and the coverage
+/// bitset — independent of how many events are fed.
+#[derive(Debug)]
+pub struct MatchCursor<'a> {
+    automaton: &'a MatchAutomaton,
+    mode: MatchMode,
+    st: LogState,
+    bits: BitSet,
+    exercised: HashSet<Association>,
+    defs_executed: HashSet<(String, String, u32)>,
+    warnings: Vec<DynamicWarning>,
+    quarantined: u64,
+    events: u64,
+}
+
+impl MatchCursor<'_> {
+    /// Number of events fed so far.
+    pub fn events_fed(&self) -> u64 {
+        self.events
+    }
+
+    /// The match mode this cursor validates with.
+    pub fn mode(&self) -> MatchMode {
+        self.mode
+    }
+
+    /// Consumes one event, updating the incremental state exactly as the
+    /// corresponding iteration of the buffered loop would.
+    pub fn feed(&mut self, ev: &CompactEvent) {
+        self.events += 1;
+        let automaton = self.automaton;
+        let frozen = automaton.frozen;
+        let st = &mut self.st;
+        {
+            let row = automaton.row_of(ev.model);
+            if self.mode == MatchMode::Lenient {
                 // `Some(w)` quarantines the event; the inner option is the
                 // warning to record (None once a site already warned).
                 let quarantine_reason: Option<Option<DynamicWarning>> = match row {
                     None => Some(st.warned_models.insert(ev.model.0).then(|| {
                         DynamicWarning::UnknownModel {
-                            model: self.name(ev.model),
+                            model: automaton.name(ev.model),
                             time: ev.time,
                         }
                     })),
@@ -372,29 +432,29 @@ impl MatchAutomaton {
                         if let Some(last) = st.last_time[r].filter(|&last| ev.time < last) {
                             Some(st.warned_times.insert(ev.model.0).then(|| {
                                 DynamicWarning::NonMonotoneTimestamp {
-                                    model: self.name(ev.model),
+                                    model: automaton.name(ev.model),
                                     time: ev.time,
                                     last,
                                 }
                             }))
-                        } else if self.row_has_vocab[r]
-                            && !self.row_vocab[r].contains(ev.var.0 as usize)
+                        } else if automaton.row_has_vocab[r]
+                            && !automaton.row_vocab[r].contains(ev.var.0 as usize)
                         {
                             Some(st.warned_vars.insert((ev.model.0, ev.var.0)).then(|| {
                                 DynamicWarning::UnknownVariable {
-                                    model: self.name(ev.model),
-                                    var: self.name(ev.var),
+                                    model: automaton.name(ev.model),
+                                    var: automaton.name(ev.var),
                                     time: ev.time,
                                 }
                             }))
                         } else if ev.kind == EventKind::Use && !ev.prov.is_none() {
                             // Provenance must also name a real model, else
                             // the pair it would exercise is fabricated.
-                            let (_, _, pm) = self.prov_of(ev.prov, &mut st.prov_cache);
-                            self.row_of(pm).is_none().then(|| {
+                            let (_, _, pm) = automaton.prov_of(ev.prov, &mut st.prov_cache);
+                            automaton.row_of(pm).is_none().then(|| {
                                 st.warned_models.insert(pm.0).then(|| {
                                     DynamicWarning::UnknownModel {
-                                        model: self.name(pm),
+                                        model: automaton.name(pm),
                                         time: ev.time,
                                     }
                                 })
@@ -405,16 +465,16 @@ impl MatchAutomaton {
                     }
                 };
                 if let Some(warning) = quarantine_reason {
-                    quarantined += 1;
+                    self.quarantined += 1;
                     if let Some(w) = warning {
-                        warnings.push(w);
+                        self.warnings.push(w);
                     }
                     // Poison the pending definition: a quarantined def must
                     // not let later uses pair with a stale older one.
                     if ev.kind == EventKind::Def {
                         st.remove_last_def(row, frozen, ev.model, ev.var);
                     }
-                    continue;
+                    return;
                 }
                 st.last_time[row.expect("known model passed validation")] = Some(ev.time);
             }
@@ -422,41 +482,46 @@ impl MatchAutomaton {
                 EventKind::Def => {
                     st.set_last_def(row, frozen, ev.model, ev.var, ev.line);
                     if st.seen_def.insert((ev.model.0, ev.var.0, ev.line)) {
-                        defs_executed.insert((self.name(ev.model), self.name(ev.var), ev.line));
+                        self.defs_executed.insert((
+                            automaton.name(ev.model),
+                            automaton.name(ev.var),
+                            ev.line,
+                        ));
                     }
                 }
                 EventKind::Use => {
                     if !ev.prov.is_none() {
-                        let (pv, pl, pm) = self.prov_of(ev.prov, &mut st.prov_cache);
+                        let (pv, pl, pm) = automaton.prov_of(ev.prov, &mut st.prov_cache);
                         if st.seen_def.insert((pm.0, pv.0, pl)) {
-                            defs_executed.insert((self.name(pm), self.name(pv), pl));
+                            self.defs_executed
+                                .insert((automaton.name(pm), automaton.name(pv), pl));
                         }
-                        self.exercise(
+                        automaton.exercise(
                             (pv, pl, pm),
                             (ev.line, ev.model),
-                            &mut st,
-                            &mut exercised,
-                            &mut bits,
+                            st,
+                            &mut self.exercised,
+                            &mut self.bits,
                         );
-                        continue;
+                        return;
                     }
                     let inport =
-                        row.is_some_and(|r| self.row_inport[r].contains(ev.var.0 as usize));
+                        row.is_some_and(|r| automaton.row_inport[r].contains(ev.var.0 as usize));
                     if inport {
                         let r = row.expect("inport implies a row");
                         if ev.defined {
-                            let dline = self.row_start_line[r];
-                            self.exercise(
+                            let dline = automaton.row_start_line[r];
+                            automaton.exercise(
                                 (ev.var, dline, ev.model),
                                 (ev.line, ev.model),
-                                &mut st,
-                                &mut exercised,
-                                &mut bits,
+                                st,
+                                &mut self.exercised,
+                                &mut self.bits,
                             );
                         } else if st.warned.insert((ev.model.0, ev.var.0, ev.line)) {
-                            warnings.push(DynamicWarning::UndefinedSampleRead {
-                                model: self.name(ev.model),
-                                var: self.name(ev.var),
+                            self.warnings.push(DynamicWarning::UndefinedSampleRead {
+                                model: automaton.name(ev.model),
+                                var: automaton.name(ev.var),
                                 line: ev.line,
                                 time: ev.time,
                             });
@@ -464,19 +529,19 @@ impl MatchAutomaton {
                     } else {
                         match st.get_last_def(row, frozen, ev.model, ev.var) {
                             Some(dline) => {
-                                self.exercise(
+                                automaton.exercise(
                                     (ev.var, dline, ev.model),
                                     (ev.line, ev.model),
-                                    &mut st,
-                                    &mut exercised,
-                                    &mut bits,
+                                    st,
+                                    &mut self.exercised,
+                                    &mut self.bits,
                                 );
                             }
                             None => {
                                 if st.warned.insert((ev.model.0, ev.var.0, ev.line)) {
-                                    warnings.push(DynamicWarning::UseWithoutDef {
-                                        model: self.name(ev.model),
-                                        var: self.name(ev.var),
+                                    self.warnings.push(DynamicWarning::UseWithoutDef {
+                                        model: automaton.name(ev.model),
+                                        var: automaton.name(ev.var),
                                         line: ev.line,
                                         time: ev.time,
                                     });
@@ -487,19 +552,34 @@ impl MatchAutomaton {
                 }
             }
         }
+    }
 
+    /// Finalizes the pass: records the aggregate `match.*` counters and
+    /// returns the result plus coverage bitset — byte-identical to the
+    /// buffered [`MatchAutomaton::analyse_with_coverage`] over the same
+    /// event sequence.
+    pub fn finish(self) -> (DynamicResult, BitSet) {
+        static EVENTS_MATCHED: obs::Counter = obs::Counter::new("match.events");
         static ASSOC_EXERCISED: obs::Counter = obs::Counter::new("match.associations_exercised");
-        ASSOC_EXERCISED.add(exercised.len() as u64);
-        QUARANTINED.add(quarantined);
+        static QUARANTINED: obs::Counter = obs::Counter::new("match.quarantined_events");
+        EVENTS_MATCHED.add(self.events);
+        ASSOC_EXERCISED.add(self.exercised.len() as u64);
+        QUARANTINED.add(self.quarantined);
         (
             DynamicResult {
-                exercised,
-                defs_executed,
-                warnings,
-                quarantined,
+                exercised: self.exercised,
+                defs_executed: self.defs_executed,
+                warnings: self.warnings,
+                quarantined: self.quarantined,
             },
-            bits,
+            self.bits,
         )
+    }
+}
+
+impl tdf_sim::CompactConsumer for MatchCursor<'_> {
+    fn consume(&mut self, event: &CompactEvent) {
+        self.feed(event);
     }
 }
 

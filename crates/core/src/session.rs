@@ -1,6 +1,17 @@
 //! The three-stage DFT session of Fig. 3: static analysis once, then
 //! dynamic analysis per testcase, then coverage evaluation — with the
 //! uncovered-association work list driving the "tests addition" loop.
+//!
+//! Since PR 6 the dynamic stage defaults to **streaming**: a
+//! [`MatchCursor`] rides the simulation through a
+//! [`MatchingSink`](tdf_sim::MatchingSink), so events are matched as the
+//! kernel produces them and no per-testcase log is ever materialized —
+//! peak memory is O(automaton state), which is what unlocks
+//! long-/infinite-horizon runs. The buffered pipeline (record a pooled
+//! `Vec<CompactEvent>`, then match, fanning the matching out across
+//! `DFT_THREADS` workers) stays available behind
+//! [`MatchStrategy::Buffered`] / `DFT_STREAM=0` and is gated byte-identical
+//! to the streamed one in `tests/match_equiv.rs`.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Mutex};
@@ -8,16 +19,54 @@ use std::time::Instant;
 
 use obs::MetricsReport;
 use tdf_sim::{
-    Cluster, CompactEvent, CompactRecordingSink, Event, EventSink, Interner, RunLimits, SimTime,
-    Simulator, TdfError,
+    Cluster, CompactConsumer, CompactEvent, CompactRecordingSink, Event, EventSink, Interner,
+    MatchingSink, RunLimits, SimTime, Simulator, TdfError,
 };
 
 use crate::coverage::{Coverage, RunOutcome, TestcaseResult};
 use crate::design::Design;
 use crate::dynamic::MatchMode;
 use crate::error::{panic_payload_str, DftError, Result};
-use crate::matcher::MatchAutomaton;
+use crate::matcher::{MatchAutomaton, MatchCursor};
 use crate::statics::{analyse, StaticAnalysis};
+
+/// How a session turns simulation events into exercised associations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MatchStrategy {
+    /// Match events as the simulation emits them (one pass, no
+    /// materialized log). The default.
+    Streamed,
+    /// Record the full compact event log into a pooled buffer, then match
+    /// it (the pre-PR-6 pipeline; batch matching fans out across
+    /// `DFT_THREADS` workers).
+    Buffered,
+}
+
+impl MatchStrategy {
+    /// The strategy selected by the `DFT_STREAM` environment variable:
+    /// `0` / `false` / `off` opt back into the buffered pipeline,
+    /// anything else (including unset) streams.
+    pub fn from_env() -> MatchStrategy {
+        match std::env::var("DFT_STREAM") {
+            Ok(v)
+                if v == "0" || v.eq_ignore_ascii_case("false") || v.eq_ignore_ascii_case("off") =>
+            {
+                MatchStrategy::Buffered
+            }
+            _ => MatchStrategy::Streamed,
+        }
+    }
+}
+
+/// Most pooled event buffers a session retains between testcases; surplus
+/// buffers returned by large batches are dropped instead of pinned for the
+/// session lifetime.
+const MAX_POOLED_BUFFERS: usize = 8;
+
+/// Largest per-buffer capacity (in events) the pool keeps. A pathological
+/// testcase that ballooned a log past this is freed rather than recycled,
+/// so one outlier cannot pin megabytes until the session drops.
+const MAX_POOLED_EVENTS: usize = 1 << 18;
 
 /// One testcase prepared for [`DftSession::run_testcases`]: a freshly built
 /// cluster plus its name and simulated duration.
@@ -70,10 +119,16 @@ pub struct DftSession {
     /// log-matching worker.
     automaton: MatchAutomaton,
     runs: Vec<TestcaseResult>,
-    /// Recycled event buffers: testcase simulations record into a pooled
-    /// `Vec<CompactEvent>` (clear-and-reuse), so candidate evaluation
-    /// loops stop reallocating megabyte-sized logs per testcase.
+    /// Recycled event buffers for the buffered strategy: testcase
+    /// simulations record into a pooled `Vec<CompactEvent>`
+    /// (clear-and-reuse), so candidate evaluation loops stop reallocating
+    /// megabyte-sized logs per testcase. Bounded by
+    /// [`MAX_POOLED_BUFFERS`] / [`MAX_POOLED_EVENTS`]; the streamed
+    /// strategy never touches it.
     pool: Vec<Vec<CompactEvent>>,
+    /// How testcase events are matched; defaults to
+    /// [`MatchStrategy::from_env`].
+    strategy: MatchStrategy,
 }
 
 impl DftSession {
@@ -87,6 +142,7 @@ impl DftSession {
             automaton,
             runs: Vec::new(),
             pool: Vec::new(),
+            strategy: MatchStrategy::from_env(),
         })
     }
 
@@ -100,9 +156,42 @@ impl DftSession {
         &self.statics
     }
 
+    /// The active [`MatchStrategy`].
+    pub fn match_strategy(&self) -> MatchStrategy {
+        self.strategy
+    }
+
+    /// Overrides the [`MatchStrategy`] for subsequent testcases (builder
+    /// style mutator; both strategies produce byte-identical reports).
+    pub fn set_match_strategy(&mut self, strategy: MatchStrategy) {
+        self.strategy = strategy;
+    }
+
+    /// Number of recycled event buffers currently pooled. The streamed
+    /// strategy materializes no logs, so it leaves this at zero; exposed
+    /// so tests can assert both that invariant and the pool bound.
+    pub fn pool_len(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// Returns a drained event buffer to the pool, enforcing the count
+    /// and per-buffer-capacity bounds.
+    fn recycle(&mut self, mut buffer: Vec<CompactEvent>) {
+        buffer.clear();
+        if self.pool.len() < MAX_POOLED_BUFFERS && buffer.capacity() <= MAX_POOLED_EVENTS {
+            self.pool.push(buffer);
+        }
+    }
+
     /// Runs one testcase: elaborates `cluster`, simulates it for
-    /// `duration` with instrumentation enabled, and matches the event log
-    /// into exercised associations.
+    /// `duration` with instrumentation enabled, and matches its def/use
+    /// events into exercised associations — in one pass under the
+    /// streamed strategy, or log-then-match under the buffered one.
+    ///
+    /// Events are matched in [`MatchMode::Lenient`], the same mode as the
+    /// batch runners, so a batch of one reports identically to a single
+    /// run even on malformed logs (lenient and strict matching are
+    /// indistinguishable on well-formed ones).
     ///
     /// The cluster must be freshly built per testcase (testcases differ in
     /// their stimulus sources).
@@ -116,12 +205,38 @@ impl DftSession {
         cluster: Cluster,
         duration: SimTime,
     ) -> Result<&TestcaseResult> {
-        let buffer = self.pool.pop().unwrap_or_default();
-        let events = simulate_testcase(name, cluster, duration, self.design.interner(), buffer)?;
-        let (result, bits) = self
-            .automaton
-            .analyse_with_coverage(&events, MatchMode::Strict);
-        self.pool.push(recycled(events));
+        let (result, bits) = match self.strategy {
+            MatchStrategy::Streamed => {
+                let mut cursor = self.automaton.cursor(MatchMode::Lenient);
+                stream_testcase(name, cluster, duration, self.design.interner(), &mut cursor)?;
+                let _span = obs::span("stage.match");
+                cursor.finish()
+            }
+            MatchStrategy::Buffered => {
+                let buffer = self.pool.pop().unwrap_or_default();
+                let events = match simulate_testcase(
+                    name,
+                    cluster,
+                    duration,
+                    self.design.interner(),
+                    buffer,
+                ) {
+                    Ok(events) => events,
+                    Err((error, buffer)) => {
+                        // The pooled buffer must survive the failure —
+                        // dropping it here leaked warm allocations from
+                        // the pool one failing testcase at a time.
+                        self.recycle(buffer);
+                        return Err(error);
+                    }
+                };
+                let out = self
+                    .automaton
+                    .analyse_with_coverage(&events, MatchMode::Lenient);
+                self.recycle(events);
+                out
+            }
+        };
         self.runs.push(TestcaseResult {
             name: name.to_owned(),
             exercised: result.exercised,
@@ -181,43 +296,93 @@ impl DftSession {
         threads: usize,
     ) -> &[TestcaseResult] {
         static DEGRADED: obs::Counter = obs::Counter::new("testcase.degraded");
-        let mut names = Vec::with_capacity(testcases.len());
-        let mut outcomes = Vec::with_capacity(testcases.len());
-        let mut events = Vec::with_capacity(testcases.len());
-        for tc in testcases {
-            let buffer = self.pool.pop().unwrap_or_default();
-            let (log, outcome) = simulate_testcase_isolated(
-                &tc.name,
-                tc.cluster,
-                tc.duration,
-                limits,
-                self.design.interner(),
-                buffer,
-            );
-            if outcome.is_degraded() {
-                DEGRADED.add(1);
+        let entries: Vec<TestcaseResult> = match self.strategy {
+            MatchStrategy::Streamed => {
+                // Matching already happened inside the simulation pass, so
+                // there is no log-analysis fan-out left to thread; the
+                // `threads` knob only affects the buffered strategy (and
+                // reports are byte-identical either way).
+                let _ = threads;
+                let mut entries = Vec::with_capacity(testcases.len());
+                for tc in testcases {
+                    let cell =
+                        Arc::new(Mutex::new(Some(self.automaton.cursor(MatchMode::Lenient))));
+                    let outcome = stream_testcase_isolated(
+                        &tc.name,
+                        tc.cluster,
+                        tc.duration,
+                        limits,
+                        self.design.interner(),
+                        &cell,
+                    );
+                    if outcome.is_degraded() {
+                        DEGRADED.add(1);
+                    }
+                    let cursor = cell
+                        .lock()
+                        .unwrap_or_else(|p| p.into_inner())
+                        .take()
+                        .expect("cursor is only harvested once");
+                    let (r, bits) = {
+                        let _span = obs::span("stage.match");
+                        cursor.finish()
+                    };
+                    entries.push(TestcaseResult {
+                        name: tc.name,
+                        exercised: r.exercised,
+                        defs_executed: r.defs_executed,
+                        warnings: r.warnings,
+                        outcome,
+                        exercised_idx: Some(bits),
+                    });
+                }
+                entries
             }
-            names.push(tc.name);
-            outcomes.push(outcome);
-            events.push(log);
-        }
-        let automaton = &self.automaton;
-        let results = crate::par::par_map(&events, threads, |log| {
-            automaton.analyse_with_coverage(log, MatchMode::Lenient)
-        });
-        self.pool.extend(events.into_iter().map(recycled));
+            MatchStrategy::Buffered => {
+                let mut names = Vec::with_capacity(testcases.len());
+                let mut outcomes = Vec::with_capacity(testcases.len());
+                let mut events = Vec::with_capacity(testcases.len());
+                for tc in testcases {
+                    let buffer = self.pool.pop().unwrap_or_default();
+                    let (log, outcome) = simulate_testcase_isolated(
+                        &tc.name,
+                        tc.cluster,
+                        tc.duration,
+                        limits,
+                        self.design.interner(),
+                        buffer,
+                    );
+                    if outcome.is_degraded() {
+                        DEGRADED.add(1);
+                    }
+                    names.push(tc.name);
+                    outcomes.push(outcome);
+                    events.push(log);
+                }
+                let automaton = &self.automaton;
+                let results = crate::par::par_map(&events, threads, |log| {
+                    automaton.analyse_with_coverage(log, MatchMode::Lenient)
+                });
+                for buffer in events {
+                    self.recycle(buffer);
+                }
+                names
+                    .into_iter()
+                    .zip(outcomes)
+                    .zip(results)
+                    .map(|((name, outcome), (r, bits))| TestcaseResult {
+                        name,
+                        exercised: r.exercised,
+                        defs_executed: r.defs_executed,
+                        warnings: r.warnings,
+                        outcome,
+                        exercised_idx: Some(bits),
+                    })
+                    .collect()
+            }
+        };
         let start = self.runs.len();
-        self.runs
-            .extend(names.into_iter().zip(outcomes).zip(results).map(
-                |((name, outcome), (r, bits))| TestcaseResult {
-                    name,
-                    exercised: r.exercised,
-                    defs_executed: r.defs_executed,
-                    warnings: r.warnings,
-                    outcome,
-                    exercised_idx: Some(bits),
-                },
-            ));
+        self.runs.extend(entries);
         &self.runs[start..]
     }
 
@@ -282,27 +447,146 @@ fn recycled(mut buffer: Vec<CompactEvent>) -> Vec<CompactEvent> {
 /// recording its event count and wall time under `testcase.<name>.*`. The
 /// cluster is re-keyed onto the design-wide `interner` so the recorded
 /// compact events use the session's symbol ids; `buffer` is a pooled
-/// allocation to record into.
+/// allocation to record into — and it rides along in the error variant so
+/// the caller can recycle it instead of leaking it from the pool.
+#[allow(clippy::result_large_err)]
 fn simulate_testcase(
     name: &str,
     mut cluster: Cluster,
     duration: SimTime,
     interner: &Arc<Interner>,
     buffer: Vec<CompactEvent>,
-) -> Result<Vec<CompactEvent>> {
+) -> std::result::Result<Vec<CompactEvent>, (DftError, Vec<CompactEvent>)> {
     let started = obs::metrics_enabled().then(Instant::now);
     cluster.set_interner(Arc::clone(interner));
-    let mut sim = Simulator::new(cluster)?;
     let mut sink = CompactRecordingSink::with_buffer(Arc::clone(interner), buffer);
-    {
+    let mut sim = match Simulator::new(cluster) {
+        Ok(sim) => sim,
+        Err(e) => return Err((e.into(), sink.events)),
+    };
+    let run = {
         let _span = obs::span("stage.simulate");
-        sim.run(duration, &mut sink)?;
-    }
+        sim.run(duration, &mut sink)
+    };
     if let Some(t0) = started {
         obs::counter_add(&format!("testcase.{name}.events"), sink.events.len() as u64);
         obs::observe_duration(&format!("testcase.{name}.wall"), t0.elapsed());
     }
-    Ok(sink.events)
+    match run {
+        Ok(_) => Ok(sink.events),
+        Err(e) => Err((e.into(), sink.events)),
+    }
+}
+
+/// Streamed counterpart of [`simulate_testcase`]: elaborates and
+/// simulates one testcase with a [`MatchingSink`] feeding `cursor`
+/// event-by-event, so matching finishes the moment the simulation does
+/// and no log is materialized.
+fn stream_testcase(
+    name: &str,
+    mut cluster: Cluster,
+    duration: SimTime,
+    interner: &Arc<Interner>,
+    cursor: &mut MatchCursor<'_>,
+) -> Result<()> {
+    let started = obs::metrics_enabled().then(Instant::now);
+    cluster.set_interner(Arc::clone(interner));
+    let mut sim = Simulator::new(cluster)?;
+    {
+        let mut sink = MatchingSink::new(cursor, Arc::clone(interner));
+        let _span = obs::span("stage.simulate");
+        sim.run(duration, &mut sink)?;
+    }
+    if let Some(t0) = started {
+        obs::counter_add(&format!("testcase.{name}.events"), cursor.events_fed());
+        obs::observe_duration(&format!("testcase.{name}.wall"), t0.elapsed());
+    }
+    Ok(())
+}
+
+/// A [`CompactConsumer`] feeding a shared, mutex-guarded cursor — the
+/// streaming analog of [`SharedSink`], so the partially-fed cursor
+/// survives a panicking module.
+struct CursorCell<'a> {
+    cell: Arc<Mutex<Option<MatchCursor<'a>>>>,
+}
+
+impl CompactConsumer for CursorCell<'_> {
+    fn consume(&mut self, event: &CompactEvent) {
+        // Poison recovery mirrors `SharedSink`: `feed` applies one event
+        // at a time and any partially-applied final event only ever
+        // *under*-reports coverage for that event, matching the truncated
+        // log the buffered isolated path would have recovered.
+        if let Some(cursor) = self.cell.lock().unwrap_or_else(|p| p.into_inner()).as_mut() {
+            cursor.feed(event);
+        }
+    }
+}
+
+/// Streamed counterpart of [`simulate_testcase_isolated`]: simulates one
+/// testcase under `limits` with full failure isolation while feeding the
+/// shared cursor in `cell`. Errors, tripped budgets and module panics
+/// degrade the [`RunOutcome`]; whatever was streamed before the failure
+/// already sits in the cursor as (partial) coverage.
+///
+/// Unwind-safety: as in [`simulate_testcase_isolated`], the closure owns
+/// everything it mutates except the `Arc<Mutex<Option<MatchCursor>>>`,
+/// which is fed one event at a time under the lock — an unwind can at
+/// worst lose the tail of the stream (a well-formed prefix was matched),
+/// never corrupt the cursor's tables.
+fn stream_testcase_isolated<'a>(
+    name: &str,
+    mut cluster: Cluster,
+    duration: SimTime,
+    limits: RunLimits,
+    interner: &Arc<Interner>,
+    cell: &Arc<Mutex<Option<MatchCursor<'a>>>>,
+) -> RunOutcome {
+    let started = obs::metrics_enabled().then(Instant::now);
+    cluster.set_interner(Arc::clone(interner));
+    let mut consumer = CursorCell {
+        cell: Arc::clone(cell),
+    };
+    let sink_interner = Arc::clone(interner);
+    let run = catch_unwind(AssertUnwindSafe(move || {
+        let mut sim = Simulator::new(cluster)?;
+        let mut sink = MatchingSink::new(&mut consumer, sink_interner);
+        let _span = obs::span("stage.simulate");
+        sim.run_with_limits(duration, &mut sink, &limits)?;
+        Ok::<(), DftError>(())
+    }));
+    let outcome = outcome_of(run);
+    if let Some(t0) = started {
+        let fed = cell
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .as_ref()
+            .map_or(0, MatchCursor::events_fed);
+        obs::counter_add(&format!("testcase.{name}.events"), fed);
+        obs::observe_duration(&format!("testcase.{name}.wall"), t0.elapsed());
+    }
+    outcome
+}
+
+/// Maps an isolated run's `catch_unwind` result onto the degraded
+/// [`RunOutcome`] taxonomy shared by both pipeline strategies.
+fn outcome_of(run: std::thread::Result<std::result::Result<(), DftError>>) -> RunOutcome {
+    match run {
+        Ok(Ok(())) => RunOutcome::Ok,
+        Ok(Err(DftError::Sim(
+            e @ (TdfError::ActivationLimit { .. }
+            | TdfError::EventLimit { .. }
+            | TdfError::DeadlineExceeded { .. }),
+        ))) => RunOutcome::TimedOut {
+            reason: e.to_string(),
+        },
+        Ok(Err(e)) => RunOutcome::Failed {
+            error: e.to_string(),
+        },
+        Err(payload) => RunOutcome::Panicked {
+            payload: panic_payload_str(payload),
+        },
+    }
 }
 
 /// An [`EventSink`] appending into a shared, mutex-guarded buffer that
@@ -373,22 +657,7 @@ fn simulate_testcase_isolated(
         sim.run_with_limits(duration, &mut sink, &limits)?;
         Ok::<(), DftError>(())
     }));
-    let outcome = match run {
-        Ok(Ok(())) => RunOutcome::Ok,
-        Ok(Err(DftError::Sim(
-            e @ (TdfError::ActivationLimit { .. }
-            | TdfError::EventLimit { .. }
-            | TdfError::DeadlineExceeded { .. }),
-        ))) => RunOutcome::TimedOut {
-            reason: e.to_string(),
-        },
-        Ok(Err(e)) => RunOutcome::Failed {
-            error: e.to_string(),
-        },
-        Err(payload) => RunOutcome::Panicked {
-            payload: panic_payload_str(payload),
-        },
-    };
+    let outcome = outcome_of(run);
     let log = {
         let mut guard = events.lock().unwrap_or_else(|p| p.into_inner());
         std::mem::take(&mut *guard)
@@ -405,7 +674,7 @@ mod tests {
     use super::*;
     use crate::assoc::Association;
     use tdf_interp::{Interface, InterpModule, TdfModelDef};
-    use tdf_sim::{FnSource, Value};
+    use tdf_sim::{FaultPlan, FaultyEvents, FnSource, Value};
 
     const SRC: &str = "\
 void A::processing()
@@ -448,6 +717,35 @@ void B::processing()
         for d in defs() {
             let m = InterpModule::new(&tu, &d.model, d.interface.clone()).unwrap();
             ids.push(cluster.add_module(Box::new(m)).unwrap());
+        }
+        cluster.connect(src, "op_out", ids[0], "ip_in").unwrap();
+        cluster.connect(ids[0], "op_y", ids[1], "ip_x").unwrap();
+        let design = Design::new(minic::parse(SRC).unwrap(), defs(), cluster.netlist()).unwrap();
+        (cluster, design)
+    }
+
+    /// Like `build_cluster`, but module A's event stream passes through a
+    /// deterministic fault tap that garbles events — the malformed-log
+    /// scenario where match-mode choices become visible.
+    fn build_faulty_cluster(level: f64, plan: FaultPlan) -> (Cluster, Design) {
+        let tu = minic::parse(SRC).unwrap();
+        let mut cluster = Cluster::new("top");
+        let src = cluster
+            .add_module(Box::new(FnSource::new(
+                "src",
+                SimTime::from_us(1),
+                move |_| Value::Double(level),
+            )))
+            .unwrap();
+        let mut ids = Vec::new();
+        for (i, d) in defs().into_iter().enumerate() {
+            let m = InterpModule::new(&tu, &d.model, d.interface.clone()).unwrap();
+            let boxed: Box<dyn tdf_sim::TdfModule> = if i == 0 {
+                Box::new(FaultyEvents::new(Box::new(m), plan.clone()))
+            } else {
+                Box::new(m)
+            };
+            ids.push(cluster.add_module(boxed).unwrap());
         }
         cluster.connect(src, "op_out", ids[0], "ip_in").unwrap();
         cluster.connect(ids[0], "op_y", ids[1], "ip_x").unwrap();
@@ -621,6 +919,128 @@ void B::processing()
         let (text, json) = (report.to_text(), report.to_json());
         assert!(text.contains("stage.simulate"), "{text}");
         assert!(json.contains("\"stage.simulate\""), "{json}");
+    }
+
+    #[test]
+    fn failing_testcases_do_not_leak_pooled_buffers() {
+        let (warm, design) = build_cluster(0.1);
+        let mut session = DftSession::new(design).unwrap();
+        session.set_match_strategy(MatchStrategy::Buffered);
+        // Seed the pool with one warm buffer.
+        session
+            .run_testcase("warm", warm, SimTime::from_us(3))
+            .unwrap();
+        assert_eq!(session.pool_len(), 1);
+        // Elaboration of a timestep-less cluster fails before any event
+        // is recorded; the popped buffer must return to the pool anyway.
+        for i in 0..4 {
+            let tu = minic::parse(SRC).unwrap();
+            let mut broken = Cluster::new("broken");
+            let b =
+                InterpModule::new(&tu, "B", Interface::new().input("ip_x").output("op_z")).unwrap();
+            broken.add_module(Box::new(b)).unwrap();
+            let run = session.run_testcase(&format!("bad{i}"), broken, SimTime::from_us(1));
+            assert!(run.is_err(), "empty cluster must not elaborate");
+            assert_eq!(
+                session.pool_len(),
+                1,
+                "error path must recycle the pooled buffer"
+            );
+        }
+    }
+
+    #[test]
+    fn single_and_batch_of_one_agree_on_malformed_logs() {
+        // Ghost models/vars and warped timestamps in the event stream:
+        // before the mode unification, a single run (Strict) reported
+        // differently from a batch of one (Lenient) on exactly this input.
+        let plan = FaultPlan::new().with_seed(11).with_corrupt_events(0.5);
+        for strategy in [MatchStrategy::Streamed, MatchStrategy::Buffered] {
+            let (c_single, design) = build_faulty_cluster(0.1, plan.clone());
+            let mut single = DftSession::new(design).unwrap();
+            single.set_match_strategy(strategy);
+            single
+                .run_testcase("TC", c_single, SimTime::from_us(5))
+                .unwrap();
+
+            let (c_batch, design) = build_faulty_cluster(0.1, plan.clone());
+            let mut batch = DftSession::new(design).unwrap();
+            batch.set_match_strategy(strategy);
+            batch
+                .run_testcases(vec![TestcaseSpec::new("TC", c_batch, SimTime::from_us(5))])
+                .unwrap();
+
+            let s = &single.runs()[0];
+            let b = &batch.runs()[0];
+            assert_eq!(s.exercised, b.exercised, "{strategy:?}");
+            assert_eq!(s.defs_executed, b.defs_executed, "{strategy:?}");
+            assert_eq!(s.warnings, b.warnings, "{strategy:?}");
+            assert_eq!(
+                crate::render_table1(&single.coverage()),
+                crate::render_table1(&batch.coverage()),
+                "{strategy:?}: batch-of-one must report like a single run"
+            );
+        }
+    }
+
+    #[test]
+    fn pool_is_bounded_after_large_batches() {
+        let (_c, design) = build_cluster(0.1);
+        let mut session = DftSession::new(design).unwrap();
+        session.set_match_strategy(MatchStrategy::Buffered);
+        let specs: Vec<TestcaseSpec> = (0..MAX_POOLED_BUFFERS + 4)
+            .map(|i| {
+                let (c, _) = build_cluster(0.1);
+                TestcaseSpec::new(format!("TC{i}"), c, SimTime::from_us(3))
+            })
+            .collect();
+        session.run_testcases(specs).unwrap();
+        assert!(
+            session.pool_len() <= MAX_POOLED_BUFFERS,
+            "pool grew to {} (cap {MAX_POOLED_BUFFERS})",
+            session.pool_len()
+        );
+    }
+
+    #[test]
+    fn recycle_enforces_count_and_capacity_bounds() {
+        let (_c, design) = build_cluster(0.1);
+        let mut session = DftSession::new(design).unwrap();
+        // An over-capacity buffer is freed, not pooled.
+        session.recycle(Vec::with_capacity(MAX_POOLED_EVENTS + 1));
+        assert_eq!(session.pool_len(), 0);
+        // Surplus buffers beyond the count cap are dropped.
+        for _ in 0..MAX_POOLED_BUFFERS + 5 {
+            session.recycle(Vec::with_capacity(16));
+        }
+        assert_eq!(session.pool_len(), MAX_POOLED_BUFFERS);
+    }
+
+    #[test]
+    fn streamed_and_buffered_strategies_agree() {
+        let mut reports = Vec::new();
+        for strategy in [MatchStrategy::Streamed, MatchStrategy::Buffered] {
+            let (c1, design) = build_cluster(0.01);
+            let (c2, _) = build_cluster(0.1);
+            let mut session = DftSession::new(design).unwrap();
+            session.set_match_strategy(strategy);
+            assert_eq!(session.match_strategy(), strategy);
+            session
+                .run_testcase("TC1", c1, SimTime::from_us(3))
+                .unwrap();
+            session
+                .run_testcases(vec![TestcaseSpec::new("TC2", c2, SimTime::from_us(3))])
+                .unwrap();
+            if strategy == MatchStrategy::Streamed {
+                assert_eq!(
+                    session.pool_len(),
+                    0,
+                    "streamed runs must not materialize pooled logs"
+                );
+            }
+            reports.push(crate::render_table1(&session.coverage()));
+        }
+        assert_eq!(reports[0], reports[1], "strategies must be byte-identical");
     }
 
     #[test]

@@ -16,6 +16,7 @@
 //! deterministic. Each injected fault increments a `fault.injected.*`
 //! counter in the observability registry (visible under `DFT_METRICS=1`).
 
+use std::collections::VecDeque;
 use std::time::Duration;
 
 use crate::module::{
@@ -86,6 +87,11 @@ pub struct FaultPlan {
     /// Probability an event is held back and re-emitted after a later one
     /// (local reordering).
     pub reorder_events: f64,
+    /// Maximum number of events the reorder hold can retain at once — the
+    /// bound of the streaming pipeline's lookahead ring buffer. Depth 1
+    /// (the default) reproduces the historical single-slot behaviour
+    /// bit-for-bit; larger depths displace events further.
+    pub reorder_depth: usize,
     /// Probability an event's model/variable/timestamp is garbled.
     pub corrupt_events: f64,
     /// Probability an output sample's value is replaced with NaN
@@ -103,6 +109,7 @@ impl Default for FaultPlan {
             drop_events: 0.0,
             duplicate_events: 0.0,
             reorder_events: 0.0,
+            reorder_depth: 1,
             corrupt_events: 0.0,
             nan_outputs: 0.0,
             inf_outputs: 0.0,
@@ -137,6 +144,13 @@ impl FaultPlan {
     /// Sets the event-reorder probability (builder style).
     pub fn with_reorder_events(mut self, p: f64) -> Self {
         self.reorder_events = p;
+        self
+    }
+
+    /// Sets the reorder hold depth — the lookahead ring-buffer bound
+    /// (builder style). Clamped to at least 1.
+    pub fn with_reorder_depth(mut self, depth: usize) -> Self {
+        self.reorder_depth = depth.max(1);
         self
     }
 
@@ -188,12 +202,19 @@ fn corrupt_event(e: &Event, rng: &mut FaultRng) -> Event {
 }
 
 /// Shared fault pipeline for one event: drop → corrupt → reorder-hold →
-/// duplicate → deliver (flushing any held event *after* this one).
+/// duplicate → deliver (flushing all held events *after* this one).
+///
+/// The reorder hold is a **bounded ring buffer** of at most
+/// [`FaultPlan::reorder_depth`] events — the only buffering the streaming
+/// match pipeline ever needs, so peak lookahead memory stays O(depth)
+/// regardless of run length. The `held.len() < depth` guard short-circuits
+/// *before* the RNG draw, exactly like the historical `held.is_none()`
+/// single-slot check, so depth 1 replays byte-identical fault sequences.
 fn apply_event_faults(
     event: Event,
     plan: &FaultPlan,
     rng: &mut FaultRng,
-    held: &mut Option<Event>,
+    held: &mut VecDeque<Event>,
     inner: &mut dyn EventSink,
 ) {
     if rng.chance(plan.drop_events) {
@@ -206,9 +227,9 @@ fn apply_event_faults(
     } else {
         event
     };
-    if held.is_none() && rng.chance(plan.reorder_events) {
+    if held.len() < plan.reorder_depth.max(1) && rng.chance(plan.reorder_events) {
         FAULT_REORDER.add(1);
-        *held = Some(event);
+        held.push_back(event);
         return;
     }
     if rng.chance(plan.duplicate_events) {
@@ -216,13 +237,13 @@ fn apply_event_faults(
         inner.record(event.clone());
     }
     inner.record(event);
-    if let Some(h) = held.take() {
+    while let Some(h) = held.pop_front() {
         inner.record(h);
     }
 }
 
 /// An [`EventSink`] adaptor injecting the plan's event faults into the
-/// stream on its way to `inner`. A held (reordered) event is flushed when
+/// stream on its way to `inner`. Held (reordered) events are flushed when
 /// a later event passes through, or at the latest when the sink drops —
 /// reordering never *loses* events.
 ///
@@ -235,7 +256,7 @@ pub struct FaultSink<'a> {
     inner: &'a mut dyn EventSink,
     plan: FaultPlan,
     rng: FaultRng,
-    held: Option<Event>,
+    held: VecDeque<Event>,
 }
 
 impl<'a> FaultSink<'a> {
@@ -246,7 +267,7 @@ impl<'a> FaultSink<'a> {
             inner,
             plan,
             rng,
-            held: None,
+            held: VecDeque::new(),
         }
     }
 }
@@ -259,7 +280,7 @@ impl EventSink for FaultSink<'_> {
 
 impl Drop for FaultSink<'_> {
     fn drop(&mut self) {
-        if let Some(h) = self.held.take() {
+        while let Some(h) = self.held.pop_front() {
             self.inner.record(h);
         }
     }
@@ -449,7 +470,7 @@ pub struct FaultyEvents {
     inner: Box<dyn TdfModule>,
     plan: FaultPlan,
     rng: FaultRng,
-    held: Option<Event>,
+    held: VecDeque<Event>,
 }
 
 impl FaultyEvents {
@@ -460,7 +481,7 @@ impl FaultyEvents {
             inner,
             plan,
             rng,
-            held: None,
+            held: VecDeque::new(),
         }
     }
 }
@@ -471,7 +492,7 @@ struct TapSink<'a> {
     inner: &'a mut dyn EventSink,
     plan: &'a FaultPlan,
     rng: &'a mut FaultRng,
-    held: &'a mut Option<Event>,
+    held: &'a mut VecDeque<Event>,
 }
 
 impl EventSink for TapSink<'_> {
@@ -492,7 +513,7 @@ impl TdfModule for FaultyEvents {
     }
     fn initialize(&mut self) {
         self.rng = FaultRng::new(self.plan.seed);
-        self.held = None;
+        self.held.clear();
         self.inner.initialize();
     }
     fn processing(&mut self, ctx: &mut ProcessingCtx<'_>) {
@@ -574,6 +595,24 @@ mod tests {
             out.iter().map(Event::line).collect::<Vec<_>>(),
             "at 0.8 probability over 40 events some pair really swapped"
         );
+    }
+
+    #[test]
+    fn reorder_depth_bounds_the_hold_ring() {
+        let inj = FaultInjector::new(
+            FaultPlan::new()
+                .with_seed(9)
+                .with_reorder_events(1.0)
+                .with_reorder_depth(4),
+        );
+        let log = sample_log(20);
+        let out = inj.corrupt_log(&log);
+        assert_eq!(out.len(), log.len(), "ring flushes everything");
+        // At probability 1 the first four events fill the ring; the fifth
+        // finds it full (no RNG draw), is delivered, and flushes the held
+        // ones in arrival order.
+        let lines: Vec<u32> = out.iter().map(Event::line).collect();
+        assert_eq!(&lines[..5], &[8, 4, 5, 6, 7]);
     }
 
     #[test]

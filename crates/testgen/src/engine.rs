@@ -350,7 +350,10 @@ impl Generator {
     /// budgets and returns `(testcase, exercised static indices, run)`
     /// per candidate, batch order. Candidates whose cluster fails to
     /// build are dropped (counted, never fatal); the session's run list
-    /// is left exactly as it was.
+    /// is left exactly as it was. Evaluation rides whatever
+    /// [`dft_core::MatchStrategy`] the session is configured with — by
+    /// default each candidate is matched *while it simulates*, so large
+    /// candidate batches never materialize per-candidate event logs.
     fn evaluate(&mut self, candidates: &[Testcase]) -> Vec<(Testcase, Vec<usize>, TestcaseResult)> {
         let mut specs = Vec::with_capacity(candidates.len());
         let mut built = Vec::with_capacity(candidates.len());

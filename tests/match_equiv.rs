@@ -14,8 +14,8 @@ use proptest::prelude::*;
 
 use systemc_ams_dft::dft::synth::synthetic_chain;
 use systemc_ams_dft::dft::{
-    analyse, analyse_events_with_mode, render_table1, Coverage, Design, DftSession, MatchAutomaton,
-    MatchMode, StaticAnalysis, TestcaseResult, TestcaseSpec,
+    analyse, analyse_events_with_mode, obs, render_table1, Coverage, Design, DftSession,
+    MatchAutomaton, MatchMode, MatchStrategy, StaticAnalysis, TestcaseResult, TestcaseSpec,
 };
 use systemc_ams_dft::sim::{
     CompactEvent, Event, FaultInjector, FaultPlan, RecordingSink, RunLimits, SimTime, Simulator,
@@ -157,6 +157,51 @@ proptest! {
         assert_matchers_equivalent(fx, &fx.events, MatchMode::Lenient);
         assert_matchers_equivalent(fx, &fx.events, MatchMode::Strict);
     }
+
+    /// The streaming cursor fed one event at a time must be byte-identical
+    /// to the buffered whole-log analysis — every result field, the
+    /// coverage bitset and the rendered Table I — in both match modes,
+    /// on fault-injected logs.
+    #[test]
+    fn cursor_streaming_matches_buffered_analysis(
+        which in 0usize..3,
+        plan in arb_plan(),
+    ) {
+        let fx = &fixtures()[which];
+        let corrupted = FaultInjector::new(plan).corrupt_log(&fx.events);
+        let compact: Vec<CompactEvent> = corrupted
+            .iter()
+            .map(|e| CompactEvent::from_event(e, fx.automaton.interner()))
+            .collect();
+        for mode in [MatchMode::Lenient, MatchMode::Strict] {
+            let (buffered, buffered_bits) = fx.automaton.analyse_with_coverage(&compact, mode);
+            let mut cursor = fx.automaton.cursor(mode);
+            for ev in &compact {
+                cursor.feed(ev);
+            }
+            prop_assert_eq!(cursor.events_fed(), compact.len() as u64);
+            let (streamed, streamed_bits) = cursor.finish();
+            prop_assert_eq!(&streamed.exercised, &buffered.exercised);
+            prop_assert_eq!(&streamed.defs_executed, &buffered.defs_executed);
+            prop_assert_eq!(&streamed.warnings, &buffered.warnings);
+            prop_assert_eq!(streamed.quarantined, buffered.quarantined);
+            prop_assert_eq!(&streamed_bits, &buffered_bits, "coverage bitsets differ");
+
+            let run = |r: systemc_ams_dft::dft::DynamicResult, bits| TestcaseResult {
+                name: "TC".into(),
+                exercised: r.exercised,
+                defs_executed: r.defs_executed,
+                warnings: r.warnings,
+                exercised_idx: Some(bits),
+                ..TestcaseResult::default()
+            };
+            prop_assert_eq!(
+                render_table1(&Coverage::evaluate(&fx.statics, &[run(streamed, streamed_bits)])),
+                render_table1(&Coverage::evaluate(&fx.statics, &[run(buffered, buffered_bits)])),
+                "rendered coverage reports differ"
+            );
+        }
+    }
 }
 
 /// The batch pipeline (simulate → pooled compact logs → shared automaton
@@ -188,4 +233,91 @@ fn session_reports_identical_across_thread_counts() {
             "chain{length} differs by thread count"
         );
     }
+}
+
+/// The streamed and buffered session strategies render identical reports,
+/// and neither depends on the matcher thread count (1 vs 4) — streaming
+/// matches inline during simulation, so the thread knob must be a no-op
+/// there, while the buffered fan-out must merge deterministically.
+#[test]
+fn session_strategies_identical_across_thread_counts() {
+    for length in [2usize, 5] {
+        let mut outputs = Vec::new();
+        for strategy in [MatchStrategy::Streamed, MatchStrategy::Buffered] {
+            for threads in [1usize, 4] {
+                let spec = synthetic_chain(length, true);
+                let design = spec.build_design().unwrap();
+                let mut session = DftSession::new(design).unwrap();
+                session.set_match_strategy(strategy);
+                let specs: Vec<TestcaseSpec> = (0..3)
+                    .map(|i| {
+                        TestcaseSpec::new(
+                            format!("TC{i}"),
+                            spec.build_cluster().unwrap(),
+                            SimTime::from_us(40),
+                        )
+                    })
+                    .collect();
+                session.run_testcases_with_threads(specs, RunLimits::none(), threads);
+                let warnings: usize = session.runs().iter().map(|r| r.warnings.len()).sum();
+                outputs.push((render_table1(&session.coverage()), warnings));
+            }
+        }
+        for o in &outputs[1..] {
+            assert_eq!(
+                &outputs[0], o,
+                "chain{length} differs by strategy or thread count"
+            );
+        }
+    }
+}
+
+/// Peak-memory gate for the streamed pipeline: events flow through the
+/// `match.streamed_events` counter instead of a materialized log, so a
+/// streamed session finishes with an empty buffer pool, while a buffered
+/// one pools the full-log `Vec` it recorded. (The counter is
+/// process-global and tests run concurrently, so the assertion is a
+/// strict increase, not an exact delta.)
+#[test]
+fn streamed_sessions_materialize_no_log() {
+    let was_on = obs::metrics_enabled();
+    obs::set_metrics_enabled(true);
+
+    let spec = synthetic_chain(3, true);
+    let mut session = DftSession::new(spec.build_design().unwrap()).unwrap();
+    session.set_match_strategy(MatchStrategy::Streamed);
+    let before = obs::MetricsReport::capture().counter("match.streamed_events");
+    session
+        .run_testcase(
+            "TC_stream",
+            spec.build_cluster().unwrap(),
+            SimTime::from_us(50),
+        )
+        .unwrap();
+    let after = obs::MetricsReport::capture().counter("match.streamed_events");
+    assert!(
+        after > before,
+        "every streamed event must tick match.streamed_events ({before} -> {after})"
+    );
+    assert_eq!(
+        session.pool_len(),
+        0,
+        "streamed runs must not materialize a pooled event log"
+    );
+
+    let mut session = DftSession::new(spec.build_design().unwrap()).unwrap();
+    session.set_match_strategy(MatchStrategy::Buffered);
+    session
+        .run_testcase(
+            "TC_buffer",
+            spec.build_cluster().unwrap(),
+            SimTime::from_us(50),
+        )
+        .unwrap();
+    obs::set_metrics_enabled(was_on);
+    assert_eq!(
+        session.pool_len(),
+        1,
+        "the buffered strategy records into (and pools) a full-log Vec"
+    );
 }
