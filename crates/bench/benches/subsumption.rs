@@ -1,0 +1,115 @@
+//! Subsumption-reduced hot-path tracking versus full tracking, on compact
+//! event logs captured from the three case studies (sensor, window
+//! lifter, buck-boost). Both automata produce byte-identical raw results
+//! (asserted before timing); the reduced one tracks only the unsubsumed
+//! frontier per event and reconstructs the dropped bits at finish time.
+//! Throughput is events matched per second.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dft_core::{analyse, Design, MatchAutomaton, MatchMode, Tracking};
+use std::hint::black_box;
+use std::sync::Arc;
+use tdf_sim::{CompactEvent, CompactRecordingSink, Simulator};
+
+use ams_models::{buck_boost, sensor, window_lifter};
+use stimuli::Testcase;
+
+/// One case study: design + the concatenated compact logs of its initial
+/// testsuite iteration, over the design's interner.
+struct Capture {
+    name: &'static str,
+    design: Design,
+    compact: Vec<CompactEvent>,
+}
+
+fn capture<F>(name: &'static str, design: Design, tcs: &[Testcase], build: F) -> Capture
+where
+    F: Fn(&Testcase) -> tdf_sim::Cluster,
+{
+    let interner = Arc::clone(design.interner());
+    let mut compact = Vec::new();
+    for tc in tcs {
+        let mut cluster = build(tc);
+        cluster.set_interner(Arc::clone(&interner));
+        let mut sim = Simulator::new(cluster).unwrap();
+        let mut sink = CompactRecordingSink::new(Arc::clone(&interner));
+        sim.run(tc.duration, &mut sink).unwrap();
+        compact.extend(sink.events);
+    }
+    assert!(!compact.is_empty(), "{name}: no events captured");
+    Capture {
+        name,
+        design,
+        compact,
+    }
+}
+
+fn captures() -> Vec<Capture> {
+    vec![
+        capture(
+            "sensor",
+            sensor::sensor_design(sensor::BUGGY_ADC_FULL_SCALE).unwrap(),
+            &sensor::sensor_testcases(),
+            |tc| {
+                sensor::build_sensor_cluster(tc, sensor::BUGGY_ADC_FULL_SCALE)
+                    .unwrap()
+                    .0
+            },
+        ),
+        capture(
+            "window_lifter",
+            window_lifter::lifter_design().unwrap(),
+            window_lifter::lifter_suite().up_to(0),
+            |tc| window_lifter::build_lifter_cluster(tc).unwrap().0,
+        ),
+        capture(
+            "buck_boost",
+            buck_boost::bb_design().unwrap(),
+            buck_boost::bb_suite().up_to(0),
+            |tc| buck_boost::build_bb_cluster(tc).unwrap().0,
+        ),
+    ]
+}
+
+fn bench_subsumption(c: &mut Criterion) {
+    for cap in captures() {
+        let statics = analyse(&cap.design);
+        let full = MatchAutomaton::with_tracking(&cap.design, &statics, Tracking::Full);
+        let reduced = MatchAutomaton::with_tracking(&cap.design, &statics, Tracking::Reduced);
+        let n = statics.associations.len();
+        let dropped = statics.subsumption.dropped_count();
+        eprintln!(
+            "{}: {} associations, frontier {} ({} dropped), {} events",
+            cap.name,
+            n,
+            n - dropped,
+            dropped,
+            cap.compact.len()
+        );
+        assert!(dropped > 0, "{}: reduction must be non-trivial", cap.name);
+        // Identical raw results on the same log, or the timing is moot.
+        let (rf, bf) = full.analyse_with_coverage(&cap.compact, MatchMode::Lenient);
+        let (rr, br) = reduced.analyse_with_coverage(&cap.compact, MatchMode::Lenient);
+        assert_eq!(rf.exercised, rr.exercised);
+        assert_eq!(bf, br);
+
+        let mut group = c.benchmark_group(format!("subsumption/{}", cap.name));
+        group.throughput(Throughput::Elements(cap.compact.len() as u64));
+        group.bench_function("full", |b| {
+            b.iter(|| {
+                black_box(full.analyse_with_coverage(black_box(&cap.compact), MatchMode::Lenient))
+            })
+        });
+        group.bench_function("reduced", |b| {
+            b.iter(|| {
+                black_box(
+                    reduced.analyse_with_coverage(black_box(&cap.compact), MatchMode::Lenient),
+                )
+            })
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_subsumption);
+criterion_main!(benches);

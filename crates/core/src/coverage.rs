@@ -418,6 +418,7 @@ mod tests {
                 .map(|(assoc, class)| ClassifiedAssoc { assoc, class })
                 .collect(),
             lints: Vec::new(),
+            subsumption: Default::default(),
         }
     }
 

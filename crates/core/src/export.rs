@@ -7,7 +7,7 @@ use crate::coverage::{Coverage, TestcaseResult, UncoveredReason};
 use crate::statics::StaticAnalysis;
 
 fn csv_escape(s: &str) -> String {
-    if s.contains(',') || s.contains('"') || s.contains('\n') {
+    if s.contains(',') || s.contains('"') || s.contains('\n') || s.contains('\r') {
         format!("\"{}\"", s.replace('"', "\"\""))
     } else {
         s.to_owned()
@@ -28,6 +28,36 @@ pub fn associations_to_csv(sa: &StaticAnalysis) -> String {
             csv_escape(&c.assoc.def_model),
             c.assoc.use_line,
             csv_escape(&c.assoc.use_model),
+        );
+    }
+    out
+}
+
+/// Exports the subsumption reduction as CSV:
+/// `class,association,role,implies` — `role` is `tracked` (frontier) or
+/// `dropped` (reconstructed from an implying frontier row), `implies` is
+/// the number of dropped associations a tracked row implies.
+pub fn subsumption_to_csv(sa: &StaticAnalysis) -> String {
+    let mut out = String::from("class,association,role,implies\n");
+    for (i, c) in sa.associations.iter().enumerate() {
+        let role = if sa.subsumption.is_tracked(i) {
+            "tracked"
+        } else {
+            "dropped"
+        };
+        let implies = sa
+            .subsumption
+            .implied_by
+            .iter()
+            .find(|(f, _)| *f as usize == i)
+            .map_or(0, |(_, s)| s.len());
+        let _ = writeln!(
+            out,
+            "{},{},{},{}",
+            c.class,
+            csv_escape(&c.assoc.to_string()),
+            role,
+            implies
         );
     }
     out
@@ -95,6 +125,7 @@ mod tests {
                 },
             ],
             lints: Vec::new(),
+            subsumption: Default::default(),
         }
     }
 
@@ -129,6 +160,63 @@ mod tests {
         assert_eq!(lines[0], "class,association,covered,TC1");
         assert!(lines[1].contains("\"(tmpr, 4, TS, 9, TS)\",1,1"));
         assert!(lines[2].ends_with(",0,0"));
+    }
+
+    /// Minimal RFC-4180 field parser used to prove escaping round-trips.
+    fn csv_unescape(field: &str) -> String {
+        if let Some(inner) = field
+            .strip_prefix('"')
+            .and_then(|rest| rest.strip_suffix('"'))
+        {
+            inner.replace("\"\"", "\"")
+        } else {
+            field.to_owned()
+        }
+    }
+
+    #[test]
+    fn csv_escape_round_trips_control_characters() {
+        for raw in [
+            "plain",
+            "comma,field",
+            "quote\"field",
+            "newline\nfield",
+            "carriage\rreturn",
+            "crlf\r\nfield",
+            "\r",
+        ] {
+            let escaped = csv_escape(raw);
+            if raw.contains('\r') || raw.contains('\n') || raw.contains(',') || raw.contains('"') {
+                assert!(
+                    escaped.starts_with('"') && escaped.ends_with('"'),
+                    "{raw:?} must be quoted, got {escaped:?}"
+                );
+            }
+            assert_eq!(csv_unescape(&escaped), raw, "round-trip of {raw:?}");
+        }
+    }
+
+    #[test]
+    fn subsumption_csv_labels_roles_and_counts() {
+        use crate::statics::SubsumptionInfo;
+        use dataflow::BitSet;
+        let mut st = statics();
+        let mut dropped = BitSet::new(2);
+        dropped.insert(1);
+        let mut implied = BitSet::new(2);
+        implied.insert(1);
+        st.subsumption = SubsumptionInfo {
+            dropped,
+            implied_by: vec![(0, implied)],
+        };
+        let csv = subsumption_to_csv(&st);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "class,association,role,implies");
+        assert!(lines[1].ends_with(",tracked,1"));
+        assert!(lines[2].ends_with(",dropped,0"));
+        // Default (empty) reduction: everything tracked, nothing implied.
+        let csv0 = subsumption_to_csv(&statics());
+        assert!(csv0.lines().skip(1).all(|l| l.ends_with(",tracked,0")));
     }
 
     #[test]

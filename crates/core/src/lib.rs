@@ -51,10 +51,10 @@ pub use dynamic::{
 };
 pub use error::{DftError, Result};
 pub use explain::explain_association;
-pub use export::{associations_to_csv, coverage_to_csv, diagnosis_to_csv};
-pub use matcher::{MatchAutomaton, MatchCursor};
+pub use export::{associations_to_csv, coverage_to_csv, diagnosis_to_csv, subsumption_to_csv};
+pub use matcher::{subsume_enabled, MatchAutomaton, MatchCursor, Tracking};
 pub use obs::{self, MetricsReport, TimerStat};
 pub use par::thread_count;
-pub use report::{render_summary, render_table1, render_table2, Table2Row};
+pub use report::{render_subsumption, render_summary, render_table1, render_table2, Table2Row};
 pub use session::{DftSession, MatchStrategy, TestcaseSpec};
-pub use statics::{analyse, analyse_with_threads, StaticAnalysis, StaticLint};
+pub use statics::{analyse, analyse_with_threads, StaticAnalysis, StaticLint, SubsumptionInfo};

@@ -44,6 +44,38 @@ use crate::dynamic::{DynamicResult, DynamicWarning, MatchMode};
 use crate::fx::{FxHashMap, FxHashSet};
 use crate::statics::StaticAnalysis;
 
+/// Which association rows a [`MatchAutomaton`] tracks on its hot path.
+///
+/// Either way the raw results are byte-identical: with [`Reduced`]
+/// tracking, the bits of subsumed associations are reconstructed exactly
+/// at [`MatchCursor::finish`] by probing the seen-pair set the cursor
+/// maintains for *every* first-seen key — the dynamic probe does not
+/// trust the static subsumption relation, so fault-injected or truncated
+/// logs cannot produce divergent coverage.
+///
+/// [`Reduced`]: Tracking::Reduced
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tracking {
+    /// Every association has a hot-path row (pre-subsumption behaviour).
+    Full,
+    /// Only the unsubsumed frontier is tracked per event; dropped bits
+    /// are reconstructed at finish time.
+    Reduced,
+}
+
+/// Whether subsumption-reduced tracking is enabled (the default).
+/// `DFT_SUBSUME=0` / `false` / `off` opts out, mirroring `DFT_STREAM`.
+pub fn subsume_enabled() -> bool {
+    !matches!(
+        std::env::var("DFT_SUBSUME"),
+        Ok(v) if v == "0" || v.eq_ignore_ascii_case("false") || v.eq_ignore_ascii_case("off")
+    )
+}
+
+/// Fully-interned association key: `(var, def_line, def_model, use_line,
+/// use_model)`.
+type AssocKey = (u32, u32, u32, u32, u32);
+
 /// Sentinel for "this symbol is not a known model".
 const NO_ROW: u32 = u32::MAX;
 
@@ -76,9 +108,13 @@ pub struct MatchAutomaton {
     /// `(row, var_sym, start_line)` seeds for elaboration-initialised
     /// members, in declaration order (later duplicates overwrite).
     member_seeds: Vec<(u32, u32, u32)>,
-    /// Fully-interned association key `(var, def_line, def_model, use_line,
-    /// use_model)` -> indices into [`StaticAnalysis::associations`].
-    assoc_bits: FxHashMap<(u32, u32, u32, u32, u32), Vec<u32>>,
+    /// Fully-interned association key -> indices into
+    /// [`StaticAnalysis::associations`].
+    assoc_bits: FxHashMap<AssocKey, Vec<u32>>,
+    /// Associations left out of `assoc_bits` under [`Tracking::Reduced`]:
+    /// their bits are reconstructed at finish time by probing the
+    /// seen-pair set with the stored key.
+    dropped_keys: Vec<(AssocKey, u32)>,
     n_assocs: usize,
 }
 
@@ -101,15 +137,31 @@ struct LogState {
     warned_vars: FxHashSet<(u32, u32)>,
     /// First-occurrence gates for the materialised outputs.
     seen_def: FxHashSet<(u32, u32, u32)>,
-    seen_pair: FxHashSet<(u32, u32, u32, u32, u32)>,
+    seen_pair: FxHashSet<AssocKey>,
     /// Provenance ids resolved once per log.
     prov_cache: FxHashMap<u32, (Sym, u32, Sym)>,
 }
 
 impl MatchAutomaton {
-    /// Builds the automaton for `design` + `statics`, interning every name
-    /// either can mention and freezing the id space.
+    /// Builds the automaton for `design` + `statics` with the tracking
+    /// policy taken from the environment ([`subsume_enabled`]).
     pub fn new(design: &Design, statics: &StaticAnalysis) -> MatchAutomaton {
+        let tracking = if subsume_enabled() {
+            Tracking::Reduced
+        } else {
+            Tracking::Full
+        };
+        Self::with_tracking(design, statics, tracking)
+    }
+
+    /// Builds the automaton for `design` + `statics` with an explicit
+    /// [`Tracking`] policy, interning every name either can mention and
+    /// freezing the id space.
+    pub fn with_tracking(
+        design: &Design,
+        statics: &StaticAnalysis,
+        tracking: Tracking,
+    ) -> MatchAutomaton {
         let interner = design.interner().clone();
 
         // Defensively intern everything the tables index by, so every
@@ -223,7 +275,8 @@ impl MatchAutomaton {
             }
         }
 
-        let mut assoc_bits: FxHashMap<(u32, u32, u32, u32, u32), Vec<u32>> = FxHashMap::default();
+        let mut assoc_bits: FxHashMap<AssocKey, Vec<u32>> = FxHashMap::default();
+        let mut dropped_keys: Vec<(AssocKey, u32)> = Vec::new();
         for (i, ca) in statics.associations.iter().enumerate() {
             let key = (
                 interner.intern(&ca.assoc.var).0,
@@ -232,7 +285,11 @@ impl MatchAutomaton {
                 ca.assoc.use_line,
                 interner.intern(&ca.assoc.use_model).0,
             );
-            assoc_bits.entry(key).or_default().push(i as u32);
+            if tracking == Tracking::Reduced && statics.subsumption.dropped.contains(i) {
+                dropped_keys.push((key, i as u32));
+            } else {
+                assoc_bits.entry(key).or_default().push(i as u32);
+            }
         }
 
         MatchAutomaton {
@@ -246,6 +303,7 @@ impl MatchAutomaton {
             row_inport,
             member_seeds,
             assoc_bits,
+            dropped_keys,
             n_assocs: statics.associations.len(),
         }
     }
@@ -558,10 +616,19 @@ impl MatchCursor<'_> {
     /// returns the result plus coverage bitset — byte-identical to the
     /// buffered [`MatchAutomaton::analyse_with_coverage`] over the same
     /// event sequence.
-    pub fn finish(self) -> (DynamicResult, BitSet) {
+    pub fn finish(mut self) -> (DynamicResult, BitSet) {
         static EVENTS_MATCHED: obs::Counter = obs::Counter::new("match.events");
         static ASSOC_EXERCISED: obs::Counter = obs::Counter::new("match.associations_exercised");
         static QUARANTINED: obs::Counter = obs::Counter::new("match.quarantined_events");
+        // Reconstruct the bits of associations reduced off the hot path:
+        // the seen-pair set records every first-seen key regardless of
+        // tracking policy, so probing it here is exact on any log — the
+        // static subsumption relation is never trusted for coverage.
+        for &(key, idx) in &self.automaton.dropped_keys {
+            if self.st.seen_pair.contains(&key) {
+                self.bits.insert(idx as usize);
+            }
+        }
         EVENTS_MATCHED.add(self.events);
         ASSOC_EXERCISED.add(self.exercised.len() as u64);
         QUARANTINED.add(self.quarantined);
@@ -795,6 +862,78 @@ mod tests {
         assert_eq!(lenient.quarantined, 1);
         assert!(lenient.exercised.is_empty());
         assert!(bits.is_empty());
+    }
+
+    #[test]
+    fn reduced_tracking_reconstructs_full_coverage_bits() {
+        // Three local pairs where (t,3 -> 5) subsumes both (t,3 -> 4) and
+        // (u,4 -> 5), so the statics drop two rows from the frontier.
+        let src = "void M::processing()\n{\n    double t = ip_x;\n    double u = t;\n    op_y = t + u;\n}";
+        let tu = minic::parse(src).unwrap();
+        let models = vec![TdfModelDef::new(
+            "M",
+            Interface::new().input("ip_x").output("op_y"),
+        )];
+        let netlist = Netlist {
+            cluster: "top".into(),
+            bindings: vec![],
+            modules: vec![ModuleInfo {
+                name: "M".into(),
+                class: ModuleClass::UserCode,
+                in_ports: vec!["ip_x".into()],
+                out_ports: vec!["op_y".into()],
+            }],
+        };
+        let d = Design::new(tu, models, netlist).unwrap();
+        let statics = crate::statics::analyse(&d);
+        assert!(
+            statics.subsumption.dropped_count() >= 1,
+            "fixture must reduce at least one association"
+        );
+        let full = MatchAutomaton::with_tracking(&d, &statics, Tracking::Full);
+        let reduced = MatchAutomaton::with_tracking(&d, &statics, Tracking::Reduced);
+        // A complete activation, and a truncated log that exercises a
+        // *dropped* pair without its subsumer — reconstruction must not
+        // trust the static relation.
+        let complete = vec![
+            def_at("M", "t", 3, 0),
+            use_at("M", "t", 4, 0),
+            def_at("M", "u", 4, 0),
+            use_at("M", "t", 5, 0),
+            use_at("M", "u", 5, 0),
+        ];
+        let truncated = vec![def_at("M", "t", 3, 0), use_at("M", "t", 4, 0)];
+        for events in [&complete, &truncated] {
+            let compact: Vec<CompactEvent> = events
+                .iter()
+                .map(|e| CompactEvent::from_event(e, full.interner()))
+                .collect();
+            for mode in [MatchMode::Strict, MatchMode::Lenient] {
+                let (rf, bf) = full.analyse_with_coverage(&compact, mode);
+                let (rr, br) = reduced.analyse_with_coverage(&compact, mode);
+                assert_eq!(rf.exercised, rr.exercised);
+                assert_eq!(rf.defs_executed, rr.defs_executed);
+                assert_eq!(rf.warnings, rr.warnings);
+                assert_eq!(rf.quarantined, rr.quarantined);
+                assert_eq!(bf, br, "coverage bits must be byte-identical");
+            }
+        }
+        // The truncated log's only pair is a dropped one; its bit is set.
+        let compact: Vec<CompactEvent> = truncated
+            .iter()
+            .map(|e| CompactEvent::from_event(e, full.interner()))
+            .collect();
+        let (_, bits) = reduced.analyse_with_coverage(&compact, MatchMode::Strict);
+        let i = statics
+            .associations
+            .iter()
+            .position(|c| c.assoc == Association::new("t", 3, "M", 4, "M"))
+            .unwrap();
+        assert!(statics.subsumption.dropped.contains(i));
+        assert!(
+            bits.contains(i),
+            "dropped bit reconstructed from seen-pairs"
+        );
     }
 
     #[test]

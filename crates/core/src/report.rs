@@ -1,10 +1,17 @@
 //! Report rendering: the paper's Table I (per-association coverage matrix)
-//! and Table II (case-study iteration summaries) as text tables.
+//! and Table II (case-study iteration summaries) as text tables, plus the
+//! subsumption-reduction summary (raw vs frontier numbers).
+//!
+//! Table I/II always report the *raw* association set — their output is
+//! byte-identical whether the matcher tracked every row or only the
+//! unsubsumed frontier. [`render_subsumption`] is the additive view that
+//! shows how much the frontier reduction saved.
 
 use std::fmt::Write as _;
 
 use crate::assoc::Classification;
 use crate::coverage::Coverage;
+use crate::statics::StaticAnalysis;
 
 /// Renders a Table-I-style matrix: associations grouped by classification,
 /// one column per testcase, `x` = exercised / `-` = not exercised.
@@ -190,12 +197,79 @@ pub fn render_summary(cov: &Coverage) -> String {
     out
 }
 
+/// Renders the subsumption-reduction summary: raw vs frontier association
+/// counts (total and per class) and both coverage views. `cov` must have
+/// been evaluated against the same `statics` (indices align).
+///
+/// The *raw* numbers here equal Table I/II exactly; the *frontier* view
+/// counts only the associations the matcher tracks on its hot path.
+pub fn render_subsumption(statics: &StaticAnalysis, cov: &Coverage) -> String {
+    let sub = &statics.subsumption;
+    let n = statics.associations.len();
+    let tracked = n - sub.dropped_count();
+    let mut out = String::new();
+    let _ = writeln!(out, "subsumption-reduced tracking");
+    let _ = writeln!(out, "  raw associations:     {n}");
+    let reduction = if n > 0 {
+        100.0 * sub.dropped_count() as f64 / n as f64
+    } else {
+        0.0
+    };
+    let _ = writeln!(
+        out,
+        "  frontier (tracked):   {tracked} ({} reduced away, {reduction:.1}%)",
+        sub.dropped_count()
+    );
+    let _ = writeln!(out, "  per class (raw -> frontier):");
+    for class in Classification::ALL {
+        let raw = statics
+            .associations
+            .iter()
+            .filter(|c| c.class == class)
+            .count();
+        if raw == 0 {
+            continue;
+        }
+        let kept = statics
+            .associations
+            .iter()
+            .enumerate()
+            .filter(|(i, c)| c.class == class && sub.is_tracked(*i))
+            .count();
+        let _ = writeln!(out, "    {class:<7} {raw} -> {kept}");
+    }
+    let (c, t) = cov.total_ratio();
+    let frontier_covered = (0..n)
+        .filter(|&i| sub.is_tracked(i) && cov.is_covered(i))
+        .count();
+    let raw_pct = if t > 0 {
+        100.0 * c as f64 / t as f64
+    } else {
+        0.0
+    };
+    let frontier_pct = if tracked > 0 {
+        100.0 * frontier_covered as f64 / tracked as f64
+    } else {
+        0.0
+    };
+    let _ = writeln!(
+        out,
+        "  coverage: raw {c}/{t} ({raw_pct:.1}%), frontier {frontier_covered}/{tracked} ({frontier_pct:.1}%)"
+    );
+    let implied_total: usize = sub.implied_by.iter().map(|(_, s)| s.len()).sum();
+    let _ = writeln!(
+        out,
+        "  implied reconstruction: {implied_total} implication(s) from {} frontier row(s)",
+        sub.implied_by.len()
+    );
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::assoc::{Association, ClassifiedAssoc};
     use crate::coverage::TestcaseResult;
-    use crate::statics::StaticAnalysis;
 
     fn coverage() -> Coverage {
         let st = StaticAnalysis {
@@ -214,6 +288,7 @@ mod tests {
                 },
             ],
             lints: Vec::new(),
+            subsumption: Default::default(),
         };
         let tc1 = TestcaseResult {
             name: "TC1".into(),
@@ -268,6 +343,65 @@ mod tests {
         assert!(text.contains("Static"));
         // Repeated system name suppressed on the second row.
         assert_eq!(text.matches("Sensor System").count(), 1);
+    }
+
+    #[test]
+    fn subsumption_report_shows_raw_and_frontier_views() {
+        use crate::statics::SubsumptionInfo;
+        use dataflow::BitSet;
+        // Same associations as `coverage()`, but pretend index 1 (the
+        // uncovered Firm pair) was reduced away, implied by index 0.
+        let mut st = StaticAnalysis {
+            associations: vec![
+                ClassifiedAssoc {
+                    assoc: Association::new("tmpr", 4, "TS", 9, "TS"),
+                    class: Classification::Strong,
+                },
+                ClassifiedAssoc {
+                    assoc: Association::new("out_tmpr", 5, "TS", 14, "TS"),
+                    class: Classification::Firm,
+                },
+                ClassifiedAssoc {
+                    assoc: Association::new("op_mux_out", 77, "sense_top", 79, "sense_top"),
+                    class: Classification::PWeak,
+                },
+            ],
+            lints: Vec::new(),
+            subsumption: Default::default(),
+        };
+        let mut dropped = BitSet::new(3);
+        dropped.insert(1);
+        let mut implied = BitSet::new(3);
+        implied.insert(1);
+        st.subsumption = SubsumptionInfo {
+            dropped,
+            implied_by: vec![(0, implied)],
+        };
+        let tc = TestcaseResult {
+            name: "TC1".into(),
+            exercised: [Association::new("tmpr", 4, "TS", 9, "TS")]
+                .into_iter()
+                .collect(),
+            ..TestcaseResult::default()
+        };
+        let cov = Coverage::evaluate(&st, &[tc]);
+        let s = render_subsumption(&st, &cov);
+        assert!(s.contains("raw associations:     3"));
+        assert!(s.contains("frontier (tracked):   2 (1 reduced away, 33.3%)"));
+        assert!(s.contains("Strong 1 -> 1"));
+        assert!(s.contains("Firm 1 -> 0"));
+        assert!(s.contains("PWeak 1 -> 1"));
+        assert!(s.contains("coverage: raw 1/3 (33.3%), frontier 1/2 (50.0%)"));
+        assert!(s.contains("1 implication(s) from 1 frontier row(s)"));
+        // A default (empty) reduction renders trivially.
+        let cov0 = coverage();
+        let st0 = StaticAnalysis {
+            associations: cov0.associations().to_vec(),
+            lints: Vec::new(),
+            subsumption: Default::default(),
+        };
+        let s0 = render_subsumption(&st0, &cov0);
+        assert!(s0.contains("frontier (tracked):   3 (0 reduced away, 0.0%)"));
     }
 
     #[test]

@@ -20,7 +20,10 @@
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
-use dataflow::{path_facts, Cfg, DefSite as FlowDef, Liveness, NodeId, ReachingDefs};
+use dataflow::{
+    analyse_subsumption, path_facts, BitSet, Cfg, DefSite as FlowDef, DuPair, Liveness, NodeId,
+    ReachingDefs, SUBSUMPTION_PATH_LIMIT,
+};
 use tdf_interp::VarKind;
 use tdf_sim::{DefSite, ModuleClass, Netlist, PortRef};
 
@@ -68,6 +71,48 @@ pub enum StaticLint {
     },
 }
 
+/// Subsumption reduction over the final association set.
+///
+/// Indices are positions in [`StaticAnalysis::associations`]. An
+/// association is *dropped* when exercising some other (frontier)
+/// association statically guarantees it was exercised too — the matcher
+/// can skip its hot-path row and reconstruct the bit afterwards (see
+/// [`dataflow::analyse_subsumption`] for the relation and its soundness
+/// boundary). Only intra-model pairs whose tuple maps one-to-one onto a
+/// du-pair participate; everything else conservatively stays tracked.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubsumptionInfo {
+    /// Bit `i` set iff association `i` leaves hot-path tracking (it is
+    /// implied by a frontier association). Capacity equals the
+    /// association count — a default (empty) value drops nothing.
+    pub dropped: BitSet,
+    /// `(frontier index, implied dropped indices)` for every frontier
+    /// association that implies at least one dropped one, sorted by
+    /// frontier index.
+    pub implied_by: Vec<(u32, BitSet)>,
+}
+
+impl Default for SubsumptionInfo {
+    fn default() -> Self {
+        SubsumptionInfo {
+            dropped: BitSet::new(0),
+            implied_by: Vec::new(),
+        }
+    }
+}
+
+impl SubsumptionInfo {
+    /// Number of associations reduced away from hot-path tracking.
+    pub fn dropped_count(&self) -> usize {
+        self.dropped.len()
+    }
+
+    /// Whether association `i` is tracked on the hot path (frontier).
+    pub fn is_tracked(&self, i: usize) -> bool {
+        !self.dropped.contains(i)
+    }
+}
+
 /// The result of the static stage.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct StaticAnalysis {
@@ -75,6 +120,8 @@ pub struct StaticAnalysis {
     pub associations: Vec<ClassifiedAssoc>,
     /// Non-association findings.
     pub lints: Vec<StaticLint>,
+    /// Which associations are subsumed by others (tracking reduction).
+    pub subsumption: SubsumptionInfo,
 }
 
 impl StaticAnalysis {
@@ -226,6 +273,20 @@ pub fn analyse_with_threads(design: &Design, threads: usize) -> StaticAnalysis {
         lints.extend(lint);
     }
 
+    // Pre-dedup emission counts: a tuple emitted more than once (member
+    // cross-activation wrap, same-line def collisions, …) does not map
+    // one-to-one onto a du-pair, so the subsumption stage below must
+    // leave it tracked.
+    let mut tuple_count: HashMap<&Association, u32> = HashMap::new();
+    for c in &out {
+        *tuple_count.entry(&c.assoc).or_insert(0) += 1;
+    }
+    let unique_tuples: HashSet<Association> = tuple_count
+        .iter()
+        .filter(|&(_, &n)| n == 1)
+        .map(|(a, _)| (*a).clone())
+        .collect();
+
     // Deduplicate on the tuple, keeping the first (intra-activation)
     // classification, then sort into report order.
     let mut seen: HashSet<Association> = HashSet::new();
@@ -247,9 +308,95 @@ pub fn analyse_with_threads(design: &Design, threads: usize) -> StaticAnalysis {
             ))
     });
 
+    let subsumption = compute_subsumption(design, &flows, &out, &unique_tuples);
+
     StaticAnalysis {
         associations: out,
         lints,
+        subsumption,
+    }
+}
+
+/// Computes the subsumption reduction over the final association set.
+///
+/// Per model (in `design.user_models()` order, so the result is identical
+/// for every worker count), the eligible du-pairs — intra-model locals and
+/// members whose tuple was emitted exactly once, so pair and association
+/// correspond one-to-one — are fed to [`analyse_subsumption`]; local
+/// frontier/dropped indices are then mapped onto global association
+/// indices. Everything ineligible stays tracked conservatively.
+fn compute_subsumption(
+    design: &Design,
+    flows: &HashMap<String, ModelFlow>,
+    associations: &[ClassifiedAssoc],
+    unique_tuples: &HashSet<Association>,
+) -> SubsumptionInfo {
+    let _span = obs::span("static.subsumption");
+    let n = associations.len();
+    let index_of: HashMap<&Association, usize> = associations
+        .iter()
+        .enumerate()
+        .map(|(i, c)| (&c.assoc, i))
+        .collect();
+    let mut dropped = BitSet::new(n);
+    let mut implied_by: Vec<(u32, BitSet)> = Vec::new();
+
+    for model in design.user_models() {
+        let Some(flow) = flows.get(model) else {
+            continue;
+        };
+        let mut eligible: Vec<DuPair> = Vec::new();
+        let mut global: Vec<usize> = Vec::new();
+        for pair in flow.rd.pairs() {
+            match design.kind_of(model, &pair.var) {
+                VarKind::Local | VarKind::Member => {}
+                VarKind::InPort(_) | VarKind::OutPort(_) => continue,
+            }
+            let assoc = Association::new(
+                pair.var.clone(),
+                flow.rd.def(pair.def).line,
+                model,
+                pair.use_line,
+                model,
+            );
+            if !unique_tuples.contains(&assoc) {
+                continue;
+            }
+            let Some(&gi) = index_of.get(&assoc) else {
+                continue;
+            };
+            eligible.push(pair.clone());
+            global.push(gi);
+        }
+        if eligible.len() < 2 {
+            continue;
+        }
+        let g = analyse_subsumption(&flow.cfg, &flow.rd, &eligible, SUBSUMPTION_PATH_LIMIT);
+        for (i, &gi) in global.iter().enumerate() {
+            if !g.frontier.contains(i) {
+                dropped.insert(gi);
+            }
+        }
+        for i in 0..eligible.len() {
+            if !g.frontier.contains(i) {
+                continue;
+            }
+            let mut implied = BitSet::new(n);
+            for j in g.subsumes[i].iter() {
+                if j != i && !g.frontier.contains(j) {
+                    implied.insert(global[j]);
+                }
+            }
+            if !implied.is_empty() {
+                implied_by.push((global[i] as u32, implied));
+            }
+        }
+    }
+
+    implied_by.sort_by_key(|(i, _)| *i);
+    SubsumptionInfo {
+        dropped,
+        implied_by,
     }
 }
 
@@ -976,6 +1123,112 @@ void N::processing() { op_z = ip_x; }";
             assert_eq!(analyse_with_threads(&d, threads), baseline);
         }
         assert_eq!(analyse(&d), baseline, "default path agrees too");
+    }
+
+    #[test]
+    fn subsumption_reduces_nested_local_windows() {
+        // (t,3 -> 5) subsumes (t,3 -> 4) and (u,4 -> 5): both leave the
+        // frontier and appear in its implied set.
+        let src = "\
+void M::processing()
+{
+    double t = ip_in;
+    double u = t;
+    op_y = t + u;
+}";
+        let tu = minic::parse(src).unwrap();
+        let models = vec![TdfModelDef::new(
+            "M",
+            Interface::new().input("ip_in").output("op_y"),
+        )];
+        let netlist = Netlist {
+            cluster: "top".into(),
+            bindings: vec![],
+            modules: vec![user("M", &["ip_in"], &["op_y"])],
+        };
+        let d = Design::new(tu, models, netlist).unwrap();
+        let sa = analyse(&d);
+        let idx = |var: &str, dl: u32, ul: u32| {
+            sa.associations
+                .iter()
+                .position(|c| c.assoc == Association::new(var, dl, "M", ul, "M"))
+                .unwrap()
+        };
+        let t34 = idx("t", 3, 4);
+        let t35 = idx("t", 3, 5);
+        let u45 = idx("u", 4, 5);
+        assert!(sa.subsumption.dropped.contains(t34));
+        assert!(sa.subsumption.dropped.contains(u45));
+        assert!(sa.subsumption.is_tracked(t35));
+        assert_eq!(sa.subsumption.dropped_count(), 2);
+        let (fi, implied) = sa
+            .subsumption
+            .implied_by
+            .iter()
+            .find(|(i, _)| *i as usize == t35)
+            .expect("t35 implies the dropped pairs");
+        assert_eq!(*fi as usize, t35);
+        assert!(implied.contains(t34) && implied.contains(u45));
+        // Port-level associations are never eligible, hence never dropped.
+        for (i, c) in sa.associations.iter().enumerate() {
+            if c.assoc.var.starts_with("ip_") || c.assoc.var.starts_with("op_") {
+                assert!(sa.subsumption.is_tracked(i), "{} stays tracked", c.assoc);
+            }
+        }
+    }
+
+    #[test]
+    fn every_dropped_association_is_implied_by_a_tracked_one() {
+        let sa = analyse(&pfirm_design());
+        for i in 0..sa.associations.len() {
+            if sa.subsumption.is_tracked(i) {
+                continue;
+            }
+            assert!(
+                sa.subsumption
+                    .implied_by
+                    .iter()
+                    .any(|(f, implied)| sa.subsumption.is_tracked(*f as usize)
+                        && implied.contains(i)),
+                "dropped {} has no tracked implier",
+                sa.associations[i].assoc
+            );
+        }
+    }
+
+    #[test]
+    fn member_cross_activation_tuples_stay_tracked() {
+        // m_state tuples are emitted by both the intra-activation and the
+        // cross-activation stage, so the one-to-one guard must keep every
+        // one of them on the frontier.
+        let src = "\
+void M::processing()
+{
+    if (ip_go) {
+        if (m_state == 1) { op_y = 1; m_state = 0; }
+        else { m_state = 1; }
+    }
+}";
+        let tu = minic::parse(src).unwrap();
+        let models = vec![TdfModelDef::new(
+            "M",
+            Interface::new()
+                .input("ip_go")
+                .output("op_y")
+                .member("m_state", 0i64),
+        )];
+        let netlist = Netlist {
+            cluster: "top".into(),
+            bindings: vec![],
+            modules: vec![user("M", &["ip_go"], &["op_y"])],
+        };
+        let d = Design::new(tu, models, netlist).unwrap();
+        let sa = analyse(&d);
+        for (i, c) in sa.associations.iter().enumerate() {
+            if c.assoc.var == "m_state" {
+                assert!(sa.subsumption.is_tracked(i), "{} must stay", c.assoc);
+            }
+        }
     }
 
     #[test]

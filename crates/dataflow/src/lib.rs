@@ -45,6 +45,7 @@ mod dupath;
 mod framework;
 mod liveness;
 mod reaching;
+mod subsumption;
 
 pub use bitset::BitSet;
 pub use cfg::{Cfg, Node, NodeId, NodeKind};
@@ -54,3 +55,6 @@ pub use dupath::{enumerate_du_paths, path_facts, path_facts_uncached, PathFacts,
 pub use framework::{solve, Direction, Meet, Solution, Transfer};
 pub use liveness::Liveness;
 pub use reaching::{DefId, DefSite, DuPair, ReachingDefs};
+pub use subsumption::{
+    analyse_subsumption, can_wrap_activation, SubsumptionGraph, SUBSUMPTION_PATH_LIMIT,
+};

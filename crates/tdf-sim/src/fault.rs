@@ -90,7 +90,10 @@ pub struct FaultPlan {
     /// Maximum number of events the reorder hold can retain at once — the
     /// bound of the streaming pipeline's lookahead ring buffer. Depth 1
     /// (the default) reproduces the historical single-slot behaviour
-    /// bit-for-bit; larger depths displace events further.
+    /// bit-for-bit; larger depths displace events further. A struct-literal
+    /// depth of 0 is treated as 1 everywhere the plan is executed
+    /// ([`FaultSink`], [`FaultyEvents`], [`FaultInjector::corrupt_log`]),
+    /// matching the [`FaultPlan::with_reorder_depth`] clamp.
     pub reorder_depth: usize,
     /// Probability an event's model/variable/timestamp is garbled.
     pub corrupt_events: f64,
@@ -169,6 +172,15 @@ impl FaultPlan {
     /// Sets the +Inf-output probability (builder style).
     pub fn with_inf_outputs(mut self, p: f64) -> Self {
         self.inf_outputs = p;
+        self
+    }
+
+    /// Returns the plan with `reorder_depth` clamped to at least 1, the
+    /// invariant [`FaultPlan::with_reorder_depth`] maintains. Executors
+    /// call this on entry so a struct-literal depth of 0 cannot silently
+    /// disable the reorder hold.
+    fn normalized(mut self) -> Self {
+        self.reorder_depth = self.reorder_depth.max(1);
         self
     }
 }
@@ -262,6 +274,7 @@ pub struct FaultSink<'a> {
 impl<'a> FaultSink<'a> {
     /// Wraps `inner`, seeding the fault RNG from the plan.
     pub fn new(plan: FaultPlan, inner: &'a mut dyn EventSink) -> Self {
+        let plan = plan.normalized();
         let rng = FaultRng::new(plan.seed);
         FaultSink {
             inner,
@@ -293,9 +306,12 @@ pub struct FaultInjector {
 }
 
 impl FaultInjector {
-    /// Creates an injector for `plan`.
+    /// Creates an injector for `plan` (with `reorder_depth` clamped to
+    /// at least 1, as [`FaultPlan::with_reorder_depth`] documents).
     pub fn new(plan: FaultPlan) -> Self {
-        FaultInjector { plan }
+        FaultInjector {
+            plan: plan.normalized(),
+        }
     }
 
     /// The plan this injector executes.
@@ -476,6 +492,7 @@ pub struct FaultyEvents {
 impl FaultyEvents {
     /// Wraps `inner`, seeding the event-fault RNG from the plan.
     pub fn new(inner: Box<dyn TdfModule>, plan: FaultPlan) -> Self {
+        let plan = plan.normalized();
         let rng = FaultRng::new(plan.seed);
         FaultyEvents {
             inner,
@@ -613,6 +630,28 @@ mod tests {
         // ones in arrival order.
         let lines: Vec<u32> = out.iter().map(Event::line).collect();
         assert_eq!(&lines[..5], &[8, 4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn struct_literal_depth_zero_behaves_like_depth_one() {
+        // A public-field struct literal can bypass with_reorder_depth's
+        // clamp; the executors normalize it back to 1, so depth 0 must be
+        // byte-identical to depth 1 — not a silently disabled hold.
+        let zero = FaultPlan {
+            reorder_depth: 0,
+            ..FaultPlan::new().with_seed(11).with_reorder_events(0.7)
+        };
+        let one = zero.clone().with_reorder_depth(1);
+        let log = sample_log(30);
+        let out_zero = FaultInjector::new(zero.clone()).corrupt_log(&log);
+        let out_one = FaultInjector::new(one).corrupt_log(&log);
+        assert_eq!(out_zero, out_one, "depth 0 normalizes to depth 1");
+        assert_eq!(out_zero.len(), log.len(), "the hold still flushes");
+        assert_eq!(
+            FaultInjector::new(zero).plan().reorder_depth,
+            1,
+            "the injector exposes the normalized plan"
+        );
     }
 
     #[test]

@@ -24,28 +24,63 @@ impl SimTime {
     }
 
     /// Creates a time from picoseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the femtosecond count overflows `u64`.
     pub const fn from_ps(ps: u64) -> Self {
-        SimTime(ps * 1_000)
+        match ps.checked_mul(1_000) {
+            Some(fs) => SimTime(fs),
+            None => panic!("SimTime overflow: picosecond count exceeds u64 femtoseconds"),
+        }
     }
 
     /// Creates a time from nanoseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the femtosecond count overflows `u64`.
     pub const fn from_ns(ns: u64) -> Self {
-        SimTime(ns * 1_000_000)
+        match ns.checked_mul(1_000_000) {
+            Some(fs) => SimTime(fs),
+            None => panic!("SimTime overflow: nanosecond count exceeds u64 femtoseconds"),
+        }
     }
 
     /// Creates a time from microseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the femtosecond count overflows `u64`.
     pub const fn from_us(us: u64) -> Self {
-        SimTime(us * 1_000_000_000)
+        match us.checked_mul(1_000_000_000) {
+            Some(fs) => SimTime(fs),
+            None => panic!("SimTime overflow: microsecond count exceeds u64 femtoseconds"),
+        }
     }
 
     /// Creates a time from milliseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the femtosecond count overflows `u64`.
     pub const fn from_ms(ms: u64) -> Self {
-        SimTime(ms * 1_000_000_000_000)
+        match ms.checked_mul(1_000_000_000_000) {
+            Some(fs) => SimTime(fs),
+            None => panic!("SimTime overflow: millisecond count exceeds u64 femtoseconds"),
+        }
     }
 
     /// Creates a time from seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the femtosecond count overflows `u64` (seconds > 18446).
     pub const fn from_secs(s: u64) -> Self {
-        SimTime(s * 1_000_000_000_000_000)
+        match s.checked_mul(1_000_000_000_000_000) {
+            Some(fs) => SimTime(fs),
+            None => panic!("SimTime overflow: second count exceeds u64 femtoseconds"),
+        }
     }
 
     /// The raw femtosecond count.
@@ -61,6 +96,20 @@ impl SimTime {
     /// Whether this is time zero.
     pub const fn is_zero(self) -> bool {
         self.0 == 0
+    }
+
+    /// Checked subtraction; `None` when `rhs` is later than `self`.
+    pub const fn checked_sub(self, rhs: SimTime) -> Option<SimTime> {
+        match self.0.checked_sub(rhs.0) {
+            Some(fs) => Some(SimTime(fs)),
+            None => None,
+        }
+    }
+
+    /// Subtraction clamped at time zero, for callers that genuinely want
+    /// saturation (the `-` operator panics on underflow instead).
+    pub const fn saturating_sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
     }
 
     /// Checked division by an integer count; exact or `None`.
@@ -85,28 +134,52 @@ impl SimTime {
 
 impl Add for SimTime {
     type Output = SimTime;
+    /// # Panics
+    ///
+    /// Panics on `u64` femtosecond overflow (in every profile — the
+    /// release build must not wrap simulation time).
     fn add(self, rhs: SimTime) -> SimTime {
-        SimTime(self.0 + rhs.0)
+        SimTime(
+            self.0
+                .checked_add(rhs.0)
+                .expect("SimTime overflow in addition"),
+        )
     }
 }
 
 impl AddAssign for SimTime {
     fn add_assign(&mut self, rhs: SimTime) {
-        self.0 += rhs.0;
+        *self = *self + rhs;
     }
 }
 
 impl Sub for SimTime {
     type Output = SimTime;
+    /// # Panics
+    ///
+    /// Panics when `rhs` is later than `self` — a backward-time
+    /// subtraction is a logic error, not a clamp-to-zero. Use
+    /// [`SimTime::saturating_sub`] where clamping is intended.
     fn sub(self, rhs: SimTime) -> SimTime {
-        SimTime(self.0.saturating_sub(rhs.0))
+        SimTime(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("SimTime underflow in subtraction: rhs is later than self"),
+        )
     }
 }
 
 impl Mul<u64> for SimTime {
     type Output = SimTime;
+    /// # Panics
+    ///
+    /// Panics on `u64` femtosecond overflow (in every profile).
     fn mul(self, rhs: u64) -> SimTime {
-        SimTime(self.0 * rhs)
+        SimTime(
+            self.0
+                .checked_mul(rhs)
+                .expect("SimTime overflow in multiplication"),
+        )
     }
 }
 
@@ -150,11 +223,78 @@ mod tests {
         let b = SimTime::from_us(4);
         assert_eq!(a + b, SimTime::from_us(14));
         assert_eq!(a - b, SimTime::from_us(6));
-        assert_eq!(b - a, SimTime::ZERO, "subtraction saturates");
         assert_eq!(a * 2, SimTime::from_us(20));
         let mut c = a;
         c += b;
         assert_eq!(c, SimTime::from_us(14));
+    }
+
+    #[test]
+    #[should_panic(expected = "SimTime underflow")]
+    fn subtraction_underflow_panics() {
+        let _ = SimTime::from_us(4) - SimTime::from_us(10);
+    }
+
+    #[test]
+    fn explicit_saturating_and_checked_sub() {
+        let a = SimTime::from_us(10);
+        let b = SimTime::from_us(4);
+        assert_eq!(b.saturating_sub(a), SimTime::ZERO);
+        assert_eq!(a.saturating_sub(b), SimTime::from_us(6));
+        assert_eq!(b.checked_sub(a), None);
+        assert_eq!(a.checked_sub(b), Some(SimTime::from_us(6)));
+    }
+
+    // The overflow regressions below must hold in --release too: before
+    // the checked constructors/operators, `from_secs(20_000)` wrapped
+    // silently there (debug builds caught it via overflow-checks).
+    #[test]
+    #[should_panic(expected = "SimTime overflow")]
+    fn from_secs_overflow_panics() {
+        let _ = SimTime::from_secs(20_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "SimTime overflow")]
+    fn from_ms_overflow_panics() {
+        let _ = SimTime::from_ms(u64::MAX / 1_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "SimTime overflow")]
+    fn from_us_overflow_panics() {
+        let _ = SimTime::from_us(u64::MAX / 1_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "SimTime overflow")]
+    fn from_ns_overflow_panics() {
+        let _ = SimTime::from_ns(u64::MAX / 1_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "SimTime overflow")]
+    fn from_ps_overflow_panics() {
+        let _ = SimTime::from_ps(u64::MAX / 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "SimTime overflow in addition")]
+    fn addition_overflow_panics() {
+        let _ = SimTime::from_fs(u64::MAX) + SimTime::from_fs(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "SimTime overflow in addition")]
+    fn add_assign_overflow_panics() {
+        let mut t = SimTime::from_fs(u64::MAX);
+        t += SimTime::from_fs(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "SimTime overflow in multiplication")]
+    fn multiplication_overflow_panics() {
+        let _ = SimTime::from_fs(u64::MAX / 2) * 3;
     }
 
     #[test]

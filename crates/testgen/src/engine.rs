@@ -196,10 +196,22 @@ impl Generator {
         let session = DftSession::new(design)?;
         let statics = session.static_analysis();
         let n = statics.associations.len();
+        // Fitness targets the unsubsumed frontier: a subsumed association
+        // is exercised for free whenever its frontier implier is, so it
+        // gets the minimum positive weight instead of its class weight.
+        // (Weight 1, not 0: `done()` and the coverage ledger stay raw, and
+        // a candidate that *only* closes subsumed pairs must still score.)
         let weight = statics
             .associations
             .iter()
-            .map(|c| cfg.weights.of(c.class))
+            .enumerate()
+            .map(|(i, c)| {
+                if dft_core::subsume_enabled() && !statics.subsumption.is_tracked(i) {
+                    1
+                } else {
+                    cfg.weights.of(c.class)
+                }
+            })
             .collect();
         let index = statics
             .associations

@@ -16,6 +16,7 @@ use systemc_ams_dft::dft::synth::synthetic_chain;
 use systemc_ams_dft::dft::{
     analyse, analyse_events_with_mode, obs, render_table1, Coverage, Design, DftSession,
     MatchAutomaton, MatchMode, MatchStrategy, StaticAnalysis, TestcaseResult, TestcaseSpec,
+    Tracking,
 };
 use systemc_ams_dft::sim::{
     CompactEvent, Event, FaultInjector, FaultPlan, RecordingSink, RunLimits, SimTime, Simulator,
@@ -27,6 +28,11 @@ struct Fixture {
     design: Design,
     statics: StaticAnalysis,
     automaton: MatchAutomaton,
+    /// Same design/statics with every association row tracked (no
+    /// subsumption reduction), for Full-vs-Reduced equivalence checks.
+    full: MatchAutomaton,
+    /// Explicitly subsumption-reduced twin of `full`.
+    reduced: MatchAutomaton,
     events: Vec<Event>,
 }
 
@@ -43,6 +49,8 @@ fn fixtures() -> &'static Vec<Fixture> {
                 // converted, so fabricated ghost names land above the
                 // freeze — the same situation as a live session.
                 let automaton = MatchAutomaton::new(&design, &statics);
+                let full = MatchAutomaton::with_tracking(&design, &statics, Tracking::Full);
+                let reduced = MatchAutomaton::with_tracking(&design, &statics, Tracking::Reduced);
                 let cluster = spec.build_cluster().unwrap();
                 let mut sim = Simulator::new(cluster).unwrap();
                 let mut sink = RecordingSink::new();
@@ -52,6 +60,8 @@ fn fixtures() -> &'static Vec<Fixture> {
                     design,
                     statics,
                     automaton,
+                    full,
+                    reduced,
                     events: sink.events,
                 }
             })
@@ -148,6 +158,50 @@ proptest! {
         let corrupted = FaultInjector::new(plan).corrupt_log(&fx.events);
         assert_matchers_equivalent(fx, &corrupted, MatchMode::Lenient);
         assert_matchers_equivalent(fx, &corrupted, MatchMode::Strict);
+    }
+
+    /// Subsumption-reduced tracking must reconstruct *byte-identical* raw
+    /// results — exercised set, defs, warnings, quarantine count, coverage
+    /// bitset and rendered Table I — versus full tracking, on
+    /// fault-injected logs in both match modes. Faults matter here: a
+    /// corrupted log can exercise a frontier association while every
+    /// record of a statically-subsumed one was dropped, so the
+    /// reconstruction must come from the dynamic seen-pair set, never from
+    /// the static implication map.
+    #[test]
+    fn reduced_tracking_matches_full_on_injected_faults(
+        which in 0usize..3,
+        plan in arb_plan(),
+    ) {
+        let fx = &fixtures()[which];
+        let corrupted = FaultInjector::new(plan).corrupt_log(&fx.events);
+        let compact: Vec<CompactEvent> = corrupted
+            .iter()
+            .map(|e| CompactEvent::from_event(e, fx.full.interner()))
+            .collect();
+        for mode in [MatchMode::Lenient, MatchMode::Strict] {
+            let (rf, bf) = fx.full.analyse_with_coverage(&compact, mode);
+            let (rr, br) = fx.reduced.analyse_with_coverage(&compact, mode);
+            prop_assert_eq!(&rr.exercised, &rf.exercised);
+            prop_assert_eq!(&rr.defs_executed, &rf.defs_executed);
+            prop_assert_eq!(&rr.warnings, &rf.warnings);
+            prop_assert_eq!(rr.quarantined, rf.quarantined);
+            prop_assert_eq!(&br, &bf, "coverage bitsets differ");
+
+            let run = |r: systemc_ams_dft::dft::DynamicResult, bits| TestcaseResult {
+                name: "TC".into(),
+                exercised: r.exercised,
+                defs_executed: r.defs_executed,
+                warnings: r.warnings,
+                exercised_idx: Some(bits),
+                ..TestcaseResult::default()
+            };
+            prop_assert_eq!(
+                render_table1(&Coverage::evaluate(&fx.statics, &[run(rr, br)])),
+                render_table1(&Coverage::evaluate(&fx.statics, &[run(rf, bf)])),
+                "rendered coverage reports differ"
+            );
+        }
     }
 
     /// Healthy logs are the common case; cover them explicitly too.

@@ -273,6 +273,7 @@ proptest! {
                 })
                 .collect(),
             lints: Vec::new(),
+            subsumption: Default::default(),
         };
         let pick = |hits: &[bool]| -> TestcaseResult {
             TestcaseResult {
