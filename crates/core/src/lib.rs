@@ -56,5 +56,8 @@ pub use matcher::{subsume_enabled, MatchAutomaton, MatchCursor, Tracking};
 pub use obs::{self, MetricsReport, TimerStat};
 pub use par::thread_count;
 pub use report::{render_subsumption, render_summary, render_table1, render_table2, Table2Row};
-pub use session::{DftSession, MatchStrategy, TestcaseSpec};
+pub use session::{
+    DftSession, MatchStrategy, RetryAttempt, RetryPolicy, RetryReport, SessionArtifacts,
+    SessionConfig, TestcaseSpec,
+};
 pub use statics::{analyse, analyse_with_threads, StaticAnalysis, StaticLint, SubsumptionInfo};

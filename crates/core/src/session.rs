@@ -15,7 +15,7 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use obs::MetricsReport;
 use tdf_sim::{
@@ -27,8 +27,8 @@ use crate::coverage::{Coverage, RunOutcome, TestcaseResult};
 use crate::design::Design;
 use crate::dynamic::MatchMode;
 use crate::error::{panic_payload_str, DftError, Result};
-use crate::matcher::{MatchAutomaton, MatchCursor};
-use crate::statics::{analyse, StaticAnalysis};
+use crate::matcher::{subsume_enabled, MatchAutomaton, MatchCursor, Tracking};
+use crate::statics::{analyse_with_threads, StaticAnalysis};
 
 /// How a session turns simulation events into exercised associations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -55,6 +55,253 @@ impl MatchStrategy {
             }
             _ => MatchStrategy::Streamed,
         }
+    }
+}
+
+/// All pipeline knobs of one session, resolved **once** at construction.
+///
+/// The environment variables (`DFT_THREADS`, `DFT_STREAM`, `DFT_SUBSUME`)
+/// are read exactly once, by [`SessionConfig::from_env`]; nothing on a
+/// session's hot path touches the environment afterwards. That makes
+/// per-request runs immune to concurrent `set_var` races and lets a
+/// multi-tenant embedder (e.g. `dft-serve`) give every request its own
+/// knob set over the same shared artifacts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionConfig {
+    /// Worker count for the static-analysis and buffered log-matching
+    /// fan-outs (the `DFT_THREADS` knob; reports are byte-identical for
+    /// every value).
+    pub threads: usize,
+    /// How testcase events are matched (the `DFT_STREAM` knob).
+    pub strategy: MatchStrategy,
+    /// Which association rows the match automaton tracks on its hot path
+    /// (the `DFT_SUBSUME` knob). An **artifact-build-time** knob: it is
+    /// consumed when the [`SessionArtifacts`] are built and ignored by
+    /// [`DftSession::from_artifacts`], which inherits the automaton it is
+    /// given. Raw reports are byte-identical either way.
+    pub tracking: Tracking,
+}
+
+impl SessionConfig {
+    /// Resolves every knob from the environment — the configuration
+    /// [`DftSession::new`] uses.
+    pub fn from_env() -> SessionConfig {
+        SessionConfig {
+            threads: crate::thread_count(),
+            strategy: MatchStrategy::from_env(),
+            tracking: if subsume_enabled() {
+                Tracking::Reduced
+            } else {
+                Tracking::Full
+            },
+        }
+    }
+
+    /// Overrides the worker count (builder style).
+    pub fn with_threads(mut self, threads: usize) -> SessionConfig {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Overrides the match strategy (builder style).
+    pub fn with_strategy(mut self, strategy: MatchStrategy) -> SessionConfig {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Overrides the tracking policy (builder style).
+    pub fn with_tracking(mut self, tracking: Tracking) -> SessionConfig {
+        self.tracking = tracking;
+        self
+    }
+}
+
+impl Default for SessionConfig {
+    /// Defaults to [`SessionConfig::from_env`] — the documented behaviour
+    /// of a plain [`DftSession::new`].
+    fn default() -> SessionConfig {
+        SessionConfig::from_env()
+    }
+}
+
+/// The frozen, immutable product of the static pipeline stage: the
+/// [`Design`] (with its interner), the [`StaticAnalysis`] and the prebuilt
+/// [`MatchAutomaton`]. Everything in here is read-only after construction
+/// and `Sync`, so one `Arc<SessionArtifacts>` can back any number of
+/// concurrent [`DftSession`]s — this is the unit a warm artifact cache
+/// (e.g. `dft-serve`'s content-hash cache) stores, letting repeat analyses
+/// of the same design skip elaboration and static analysis entirely.
+#[derive(Debug)]
+pub struct SessionArtifacts {
+    design: Design,
+    statics: StaticAnalysis,
+    automaton: MatchAutomaton,
+    tracking: Tracking,
+}
+
+impl SessionArtifacts {
+    /// Runs the static stage and freezes the artifacts with the
+    /// environment-resolved configuration.
+    pub fn build(design: Design) -> Arc<SessionArtifacts> {
+        Self::build_with(design, &SessionConfig::from_env())
+    }
+
+    /// Runs the static stage on `config.threads` workers and freezes the
+    /// artifacts with `config.tracking`.
+    pub fn build_with(design: Design, config: &SessionConfig) -> Arc<SessionArtifacts> {
+        let statics = analyse_with_threads(&design, config.threads);
+        let automaton = MatchAutomaton::with_tracking(&design, &statics, config.tracking);
+        Arc::new(SessionArtifacts {
+            design,
+            statics,
+            automaton,
+            tracking: config.tracking,
+        })
+    }
+
+    /// The design under verification.
+    pub fn design(&self) -> &Design {
+        &self.design
+    }
+
+    /// The static-stage result (associations + lints).
+    pub fn static_analysis(&self) -> &StaticAnalysis {
+        &self.statics
+    }
+
+    /// The [`Tracking`] policy the automaton was built with.
+    pub fn tracking(&self) -> Tracking {
+        self.tracking
+    }
+}
+
+/// Exponential-backoff retry policy for the per-testcase supervisor
+/// ([`DftSession::run_testcase_retrying`]): transient failures —
+/// [`RunOutcome::Panicked`] and [`RunOutcome::TimedOut`] — are rerun up to
+/// [`max_retries`] times with escalating budgets, while
+/// [`RunOutcome::Failed`] (a deterministic elaboration/simulation error)
+/// is permanent immediately.
+///
+/// [`max_retries`]: RetryPolicy::max_retries
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Reruns after the first attempt (0 = never retry).
+    pub max_retries: u32,
+    /// Backoff slept before the first retry.
+    pub backoff_base: Duration,
+    /// Backoff multiplier per further retry (`base`, `base·m`, `base·m²`…).
+    pub backoff_multiplier: u32,
+    /// Factor applied to every finite [`RunLimits`] budget (activations,
+    /// events, wall) per retry, so a run that timed out under a tight
+    /// budget gets escalating headroom. Absolute deadlines are *not*
+    /// escalated — a served request's deadline stays authoritative.
+    pub budget_escalation: u32,
+    /// Whether the supervisor actually sleeps its backoffs. Tests disable
+    /// this and assert on the recorded schedule instead.
+    pub sleep: bool,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 2,
+            backoff_base: Duration::from_millis(50),
+            backoff_multiplier: 2,
+            budget_escalation: 2,
+            sleep: true,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Never retries (a single supervised attempt).
+    pub fn none() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 0,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// The backoff slept before retry number `retry` (1-based):
+    /// `base · multiplier^(retry-1)`, saturating.
+    pub fn backoff_before(&self, retry: u32) -> Duration {
+        let factor = self
+            .backoff_multiplier
+            .checked_pow(retry.saturating_sub(1))
+            .unwrap_or(u32::MAX);
+        self.backoff_base.saturating_mul(factor)
+    }
+
+    /// `limits` with every finite budget escalated for attempt number
+    /// `attempt` (0-based): factor `budget_escalation^attempt`, saturating.
+    pub fn escalate(&self, limits: &RunLimits, attempt: u32) -> RunLimits {
+        if attempt == 0 {
+            return *limits;
+        }
+        let factor = self
+            .budget_escalation
+            .checked_pow(attempt)
+            .unwrap_or(u32::MAX);
+        let mut out = *limits;
+        out.max_activations = limits
+            .max_activations
+            .map(|n| n.saturating_mul(u64::from(factor)));
+        out.max_events = limits
+            .max_events
+            .map(|n| n.saturating_mul(u64::from(factor)));
+        out.wall_budget = limits.wall_budget.map(|b| b.saturating_mul(factor));
+        out
+    }
+}
+
+/// One supervised attempt of a retried testcase.
+#[derive(Debug, Clone)]
+pub struct RetryAttempt {
+    /// Attempt number (0 = the initial run).
+    pub attempt: u32,
+    /// How this attempt ended.
+    pub outcome: RunOutcome,
+    /// The (possibly escalated) budgets the attempt ran under.
+    pub limits: RunLimits,
+    /// The backoff scheduled after this attempt — `Some` exactly when a
+    /// further attempt followed.
+    pub backoff: Option<Duration>,
+}
+
+/// What [`DftSession::run_testcase_retrying`] did: every attempt with its
+/// outcome, budgets and backoff. Only the **final** attempt's run is left
+/// in the session — discarded attempts cannot contaminate the batch
+/// report, so a testcase salvaged on retry reports byte-identically to one
+/// that never failed.
+#[derive(Debug, Clone)]
+pub struct RetryReport {
+    /// Testcase name.
+    pub name: String,
+    /// Every attempt, in order; never empty.
+    pub attempts: Vec<RetryAttempt>,
+}
+
+impl RetryReport {
+    /// The outcome of the final (kept) attempt.
+    pub fn final_outcome(&self) -> &RunOutcome {
+        &self.attempts.last().expect("never empty").outcome
+    }
+
+    /// True when earlier attempts degraded but the final one succeeded —
+    /// coverage was salvaged from a flaky run.
+    pub fn salvaged(&self) -> bool {
+        self.attempts.len() > 1 && !self.final_outcome().is_degraded()
+    }
+
+    /// True when every attempt (including the kept one) degraded — the
+    /// failure is classified permanent after the retry budget is spent.
+    pub fn permanent_failure(&self) -> bool {
+        self.final_outcome().is_degraded()
+    }
+
+    /// The backoffs slept between attempts, in order.
+    pub fn backoff_schedule(&self) -> Vec<Duration> {
+        self.attempts.iter().filter_map(|a| a.backoff).collect()
     }
 }
 
@@ -112,12 +359,12 @@ impl TestcaseSpec {
 /// ```
 #[derive(Debug)]
 pub struct DftSession {
-    design: Design,
-    statics: StaticAnalysis,
-    /// Prebuilt matching tables over the design-wide interner (see
-    /// [`MatchAutomaton`]); built once here, shared read-only by every
-    /// log-matching worker.
-    automaton: MatchAutomaton,
+    /// The frozen static-stage artifacts — design (with interner), static
+    /// analysis and prebuilt [`MatchAutomaton`] — possibly shared with
+    /// other sessions through an artifact cache.
+    artifacts: Arc<SessionArtifacts>,
+    /// Per-session knobs, resolved once at construction.
+    config: SessionConfig,
     runs: Vec<TestcaseResult>,
     /// Recycled event buffers for the buffered strategy: testcase
     /// simulations record into a pooled `Vec<CompactEvent>`
@@ -126,45 +373,79 @@ pub struct DftSession {
     /// [`MAX_POOLED_BUFFERS`] / [`MAX_POOLED_EVENTS`]; the streamed
     /// strategy never touches it.
     pool: Vec<Vec<CompactEvent>>,
-    /// How testcase events are matched; defaults to
-    /// [`MatchStrategy::from_env`].
-    strategy: MatchStrategy,
 }
 
 impl DftSession {
-    /// Creates a session and runs the static stage.
+    /// Creates a session and runs the static stage, with every knob
+    /// resolved from the environment ([`SessionConfig::from_env`]).
     pub fn new(design: Design) -> Result<DftSession> {
-        let statics = analyse(&design);
-        let automaton = MatchAutomaton::new(&design, &statics);
-        Ok(DftSession {
-            design,
-            statics,
-            automaton,
+        Self::with_config(design, SessionConfig::from_env())
+    }
+
+    /// Creates a session with explicit knobs: the static stage runs on
+    /// `config.threads` workers and the automaton tracks
+    /// `config.tracking`. Reports are byte-identical for every
+    /// configuration.
+    pub fn with_config(design: Design, config: SessionConfig) -> Result<DftSession> {
+        Ok(Self::from_artifacts(
+            SessionArtifacts::build_with(design, &config),
+            config,
+        ))
+    }
+
+    /// Creates a session over **already-frozen** artifacts — the warm
+    /// path: elaboration and static analysis are skipped entirely, only
+    /// per-session state (runs, pool) is allocated. This is what an
+    /// artifact cache hit costs.
+    ///
+    /// `config.tracking` is ignored in favour of the tracking the shared
+    /// automaton was actually built with (raw reports are byte-identical
+    /// either way).
+    pub fn from_artifacts(artifacts: Arc<SessionArtifacts>, config: SessionConfig) -> DftSession {
+        let config = config.with_tracking(artifacts.tracking());
+        DftSession {
+            artifacts,
+            config,
             runs: Vec::new(),
             pool: Vec::new(),
-            strategy: MatchStrategy::from_env(),
-        })
+        }
+    }
+
+    /// The frozen artifacts backing this session (shareable with further
+    /// sessions via [`DftSession::from_artifacts`]).
+    pub fn artifacts(&self) -> &Arc<SessionArtifacts> {
+        &self.artifacts
+    }
+
+    /// The session's resolved configuration.
+    pub fn config(&self) -> &SessionConfig {
+        &self.config
     }
 
     /// The design under verification.
     pub fn design(&self) -> &Design {
-        &self.design
+        self.artifacts.design()
     }
 
     /// The static-stage result (associations + lints).
     pub fn static_analysis(&self) -> &StaticAnalysis {
-        &self.statics
+        self.artifacts.static_analysis()
+    }
+
+    /// The prebuilt match automaton shared by this session's runs.
+    fn automaton(&self) -> &MatchAutomaton {
+        &self.artifacts.automaton
     }
 
     /// The active [`MatchStrategy`].
     pub fn match_strategy(&self) -> MatchStrategy {
-        self.strategy
+        self.config.strategy
     }
 
     /// Overrides the [`MatchStrategy`] for subsequent testcases (builder
     /// style mutator; both strategies produce byte-identical reports).
     pub fn set_match_strategy(&mut self, strategy: MatchStrategy) {
-        self.strategy = strategy;
+        self.config.strategy = strategy;
     }
 
     /// Number of recycled event buffers currently pooled. The streamed
@@ -205,10 +486,16 @@ impl DftSession {
         cluster: Cluster,
         duration: SimTime,
     ) -> Result<&TestcaseResult> {
-        let (result, bits) = match self.strategy {
+        let (result, bits) = match self.config.strategy {
             MatchStrategy::Streamed => {
-                let mut cursor = self.automaton.cursor(MatchMode::Lenient);
-                stream_testcase(name, cluster, duration, self.design.interner(), &mut cursor)?;
+                let mut cursor = self.automaton().cursor(MatchMode::Lenient);
+                stream_testcase(
+                    name,
+                    cluster,
+                    duration,
+                    self.design().interner(),
+                    &mut cursor,
+                )?;
                 let _span = obs::span("stage.match");
                 cursor.finish()
             }
@@ -218,7 +505,7 @@ impl DftSession {
                     name,
                     cluster,
                     duration,
-                    self.design.interner(),
+                    self.design().interner(),
                     buffer,
                 ) {
                     Ok(events) => events,
@@ -231,7 +518,7 @@ impl DftSession {
                     }
                 };
                 let out = self
-                    .automaton
+                    .automaton()
                     .analyse_with_coverage(&events, MatchMode::Lenient);
                 self.recycle(events);
                 out
@@ -280,7 +567,7 @@ impl DftSession {
         testcases: Vec<TestcaseSpec>,
         limits: RunLimits,
     ) -> &[TestcaseResult] {
-        self.run_testcases_with_threads(testcases, limits, crate::thread_count())
+        self.run_testcases_with_threads(testcases, limits, self.config.threads)
     }
 
     /// [`DftSession::run_testcases_with`] with an explicit worker count
@@ -296,7 +583,7 @@ impl DftSession {
         threads: usize,
     ) -> &[TestcaseResult] {
         static DEGRADED: obs::Counter = obs::Counter::new("testcase.degraded");
-        let entries: Vec<TestcaseResult> = match self.strategy {
+        let entries: Vec<TestcaseResult> = match self.config.strategy {
             MatchStrategy::Streamed => {
                 // Matching already happened inside the simulation pass, so
                 // there is no log-analysis fan-out left to thread; the
@@ -305,14 +592,15 @@ impl DftSession {
                 let _ = threads;
                 let mut entries = Vec::with_capacity(testcases.len());
                 for tc in testcases {
-                    let cell =
-                        Arc::new(Mutex::new(Some(self.automaton.cursor(MatchMode::Lenient))));
+                    let cell = Arc::new(Mutex::new(Some(
+                        self.automaton().cursor(MatchMode::Lenient),
+                    )));
                     let outcome = stream_testcase_isolated(
                         &tc.name,
                         tc.cluster,
                         tc.duration,
                         limits,
-                        self.design.interner(),
+                        self.design().interner(),
                         &cell,
                     );
                     if outcome.is_degraded() {
@@ -349,7 +637,7 @@ impl DftSession {
                         tc.cluster,
                         tc.duration,
                         limits,
-                        self.design.interner(),
+                        self.design().interner(),
                         buffer,
                     );
                     if outcome.is_degraded() {
@@ -359,7 +647,7 @@ impl DftSession {
                     outcomes.push(outcome);
                     events.push(log);
                 }
-                let automaton = &self.automaton;
+                let automaton = self.automaton();
                 let results = crate::par::par_map(&events, threads, |log| {
                     automaton.analyse_with_coverage(log, MatchMode::Lenient)
                 });
@@ -386,6 +674,100 @@ impl DftSession {
         &self.runs[start..]
     }
 
+    /// Runs one testcase under a retry supervisor: transient failures
+    /// ([`RunOutcome::Panicked`] / [`RunOutcome::TimedOut`]) are rerun up
+    /// to `policy.max_retries` times with exponential backoff and
+    /// escalating budgets, salvaging full coverage from flaky runs, while
+    /// deterministic failures ([`RunOutcome::Failed`]) are permanent
+    /// immediately.
+    ///
+    /// `build_cluster` is invoked once per attempt (clusters are consumed
+    /// by elaboration) with the 0-based attempt number. Failure isolation
+    /// is the same as [`DftSession::run_testcases_with`] — a panicking or
+    /// stalling module degrades the attempt, never the session.
+    ///
+    /// Exactly one run is appended to the session: the final attempt's.
+    /// Discarded attempts leave no trace in the batch report, so a
+    /// salvaged testcase reports byte-identically to one that never
+    /// failed; when the retry budget is spent, the last degraded run (and
+    /// its partial coverage) is kept.
+    pub fn run_testcase_retrying(
+        &mut self,
+        name: &str,
+        mut build_cluster: impl FnMut(u32) -> Result<Cluster>,
+        duration: SimTime,
+        limits: RunLimits,
+        policy: &RetryPolicy,
+    ) -> RetryReport {
+        static RETRIES: obs::Counter = obs::Counter::new("retry.reruns");
+        static SALVAGED: obs::Counter = obs::Counter::new("retry.salvaged");
+        static PERMANENT: obs::Counter = obs::Counter::new("retry.permanent_failures");
+        let mut attempts = Vec::new();
+        let mut attempt = 0u32;
+        loop {
+            let eff = policy.escalate(&limits, attempt);
+            let outcome = match build_cluster(attempt) {
+                Ok(cluster) => {
+                    let spec = TestcaseSpec::new(name, cluster, duration);
+                    self.run_testcases_with(vec![spec], eff);
+                    self.runs.last().expect("batch of one").outcome.clone()
+                }
+                Err(e) => {
+                    // Nothing simulated, so nothing was appended: record a
+                    // placeholder run so the batch report names the failure.
+                    let outcome = RunOutcome::Failed {
+                        error: e.to_string(),
+                    };
+                    self.runs.push(TestcaseResult {
+                        name: name.to_owned(),
+                        outcome: outcome.clone(),
+                        ..TestcaseResult::default()
+                    });
+                    outcome
+                }
+            };
+            let transient = matches!(
+                outcome,
+                RunOutcome::Panicked { .. } | RunOutcome::TimedOut { .. }
+            );
+            if transient && attempt < policy.max_retries {
+                // Drop the degraded run: its partial coverage (and the
+                // degradation footer) must not survive a later success.
+                self.runs.truncate(self.runs.len() - 1);
+                let backoff = policy.backoff_before(attempt + 1);
+                attempts.push(RetryAttempt {
+                    attempt,
+                    outcome,
+                    limits: eff,
+                    backoff: Some(backoff),
+                });
+                RETRIES.add(1);
+                if policy.sleep && backoff > Duration::ZERO {
+                    std::thread::sleep(backoff);
+                }
+                attempt += 1;
+                continue;
+            }
+            attempts.push(RetryAttempt {
+                attempt,
+                outcome,
+                limits: eff,
+                backoff: None,
+            });
+            break;
+        }
+        let report = RetryReport {
+            name: name.to_owned(),
+            attempts,
+        };
+        if report.salvaged() {
+            SALVAGED.add(1);
+        } else if report.attempts.len() > 1 && report.permanent_failure() {
+            PERMANENT.add(1);
+        }
+        report
+    }
+
     /// All testcase results so far.
     pub fn runs(&self) -> &[TestcaseResult] {
         &self.runs
@@ -393,7 +775,7 @@ impl DftSession {
 
     /// Evaluates coverage over all testcases run so far.
     pub fn coverage(&self) -> Coverage {
-        Coverage::evaluate(&self.statics, &self.runs)
+        Coverage::evaluate(self.static_analysis(), &self.runs)
     }
 
     /// Drops all recorded runs (e.g. to replay a reduced testsuite).

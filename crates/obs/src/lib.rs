@@ -136,13 +136,23 @@ fn registry() -> &'static Registry {
     REG.get_or_init(Registry::default)
 }
 
+/// Recovers a poisoned registry guard: the maps are only ever mutated by
+/// inserting interned entries (never left torn), so a panic elsewhere while
+/// holding the lock cannot corrupt them — recording must keep working in
+/// panic-isolating embedders instead of cascading the poison.
+fn recover<'a, T>(
+    r: std::sync::LockResult<std::sync::MutexGuard<'a, T>>,
+) -> std::sync::MutexGuard<'a, T> {
+    r.unwrap_or_else(|p| p.into_inner())
+}
+
 fn intern_counter(name: &str) -> Arc<AtomicU64> {
-    let mut map = registry().counters.lock().expect("obs counter registry");
+    let mut map = recover(registry().counters.lock());
     map.entry(name.to_owned()).or_default().clone()
 }
 
 fn intern_timer(name: &str) -> Arc<TimerCell> {
-    let mut map = registry().timers.lock().expect("obs timer registry");
+    let mut map = recover(registry().timers.lock());
     map.entry(name.to_owned())
         .or_insert_with(|| Arc::new(TimerCell::new()))
         .clone()
@@ -151,10 +161,10 @@ fn intern_timer(name: &str) -> Arc<TimerCell> {
 /// Zeroes every registered counter and timer (entries stay registered, so
 /// `static` [`Counter`] handles remain valid). Intended for tests.
 pub fn reset() {
-    for c in registry().counters.lock().expect("obs").values() {
+    for c in recover(registry().counters.lock()).values() {
         c.store(0, Ordering::Relaxed);
     }
-    for t in registry().timers.lock().expect("obs").values() {
+    for t in recover(registry().timers.lock()).values() {
         t.zero();
     }
 }
@@ -314,18 +324,12 @@ impl MetricsReport {
     /// Snapshots the global registry. Entries that never recorded anything
     /// (e.g. after [`reset`]) are omitted.
     pub fn capture() -> MetricsReport {
-        let counters = registry()
-            .counters
-            .lock()
-            .expect("obs")
+        let counters = recover(registry().counters.lock())
             .iter()
             .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
             .filter(|&(_, v)| v != 0)
             .collect();
-        let timers = registry()
-            .timers
-            .lock()
-            .expect("obs")
+        let timers = recover(registry().timers.lock())
             .iter()
             .filter_map(|(k, t)| {
                 let count = t.count.load(Ordering::Relaxed);
@@ -351,6 +355,50 @@ impl MetricsReport {
     /// Whether nothing was recorded (knobs off, or nothing ran).
     pub fn is_empty(&self) -> bool {
         self.counters.is_empty() && self.timers.is_empty()
+    }
+
+    /// What happened **between** `earlier` and `self` (two snapshots of
+    /// the same process-global registry, `earlier` taken first): counters
+    /// and timer counts/totals/histograms subtract entry-wise, with
+    /// all-zero entries dropped. This is how a multi-request embedder
+    /// scopes the global registry to one request — snapshot before,
+    /// snapshot after, report the delta — without cross-request
+    /// contamination.
+    ///
+    /// `min_ns`/`max_ns` are not derivable from two cumulative snapshots;
+    /// the delta keeps the later snapshot's values, so treat them as
+    /// process-lifetime extremes, not per-window ones.
+    pub fn delta(&self, earlier: &MetricsReport) -> MetricsReport {
+        let counters = self
+            .counters
+            .iter()
+            .map(|(k, &v)| (k.clone(), v.saturating_sub(earlier.counter(k))))
+            .filter(|&(_, v)| v != 0)
+            .collect();
+        let timers = self
+            .timers
+            .iter()
+            .filter_map(|(k, t)| {
+                let base = earlier.timer(k);
+                let count = t.count.saturating_sub(base.map_or(0, |b| b.count));
+                if count == 0 {
+                    return None;
+                }
+                Some((
+                    k.clone(),
+                    TimerStat {
+                        count,
+                        total_ns: t.total_ns.saturating_sub(base.map_or(0, |b| b.total_ns)),
+                        min_ns: t.min_ns,
+                        max_ns: t.max_ns,
+                        buckets: std::array::from_fn(|i| {
+                            t.buckets[i].saturating_sub(base.map_or(0, |b| b.buckets[i]))
+                        }),
+                    },
+                ))
+            })
+            .collect();
+        MetricsReport { counters, timers }
     }
 
     /// The value of counter `name` (0 when absent).
@@ -609,6 +657,43 @@ mod tests {
         assert_eq!(format_ns(1_500), "1.5 µs");
         assert_eq!(format_ns(2_500_000), "2.5 ms");
         assert_eq!(format_ns(3_210_000_000), "3.21 s");
+    }
+
+    #[test]
+    fn delta_isolates_one_window() {
+        with_clean_registry(|| {
+            counter_add("test.delta_c", 5);
+            observe_duration("test.delta_t", Duration::from_micros(10));
+            let before = MetricsReport::capture();
+            counter_add("test.delta_c", 7);
+            counter_add("test.delta_fresh", 1);
+            observe_duration("test.delta_t", Duration::from_micros(30));
+            let after = MetricsReport::capture();
+            let d = after.delta(&before);
+            assert_eq!(d.counter("test.delta_c"), 7);
+            assert_eq!(d.counter("test.delta_fresh"), 1);
+            let t = d.timer("test.delta_t").expect("timer advanced");
+            assert_eq!(t.count, 1);
+            assert_eq!(t.total_ns, 30_000);
+            assert_eq!(t.buckets.iter().sum::<u64>(), 1);
+            // An idle window deltas to empty.
+            assert!(after.delta(&after).is_empty());
+        });
+    }
+
+    #[test]
+    fn delta_drops_untouched_entries() {
+        with_clean_registry(|| {
+            counter_add("test.deltad_idle", 3);
+            observe_duration("test.deltad_idle_t", Duration::from_micros(1));
+            let before = MetricsReport::capture();
+            counter_add("test.deltad_hot", 2);
+            let d = MetricsReport::capture().delta(&before);
+            assert_eq!(d.counter("test.deltad_hot"), 2);
+            assert_eq!(d.counter("test.deltad_idle"), 0);
+            assert!(!d.counters.contains_key("test.deltad_idle"));
+            assert!(d.timer("test.deltad_idle_t").is_none());
+        });
     }
 
     #[test]

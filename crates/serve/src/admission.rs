@@ -1,0 +1,308 @@
+//! Admission control: a bounded job queue with per-tenant in-flight caps,
+//! backpressure hints and a graceful drain protocol.
+//!
+//! The server enqueues every `analyse` request here; a fixed worker pool
+//! pops jobs. When the queue is full, a tenant exceeds its cap, or the
+//! server is draining, the request is **rejected immediately** with a
+//! machine-readable reason and a `retry_after_ms` hint derived from an
+//! EWMA of recent service times — a loaded server answers "try later in
+//! about this long" in microseconds instead of timing the client out.
+//!
+//! Drain protocol (SIGTERM or a `shutdown` request): [`Queue::begin_drain`]
+//! flips the draining flag, after which every new push is rejected;
+//! workers keep popping until the queue is empty, then [`Queue::pop`]
+//! returns `None` and they exit; [`Queue::await_drained`] blocks until
+//! queued and executing both reach zero, at which point in-flight work has
+//! been answered and the listener can close.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// Admission knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct AdmissionConfig {
+    /// Most jobs waiting to execute (excess is rejected, not buffered).
+    pub queue_capacity: usize,
+    /// Most jobs one tenant may have queued + executing at once.
+    pub per_tenant_in_flight: usize,
+    /// Worker-pool size, used to scale the retry-after estimate.
+    pub workers: usize,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> AdmissionConfig {
+        AdmissionConfig {
+            queue_capacity: 32,
+            per_tenant_in_flight: 4,
+            workers: 2,
+        }
+    }
+}
+
+/// Why a job was turned away.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The global queue is at capacity.
+    QueueFull,
+    /// The tenant is at its in-flight cap.
+    TenantBusy,
+    /// The server is draining; it will not take new work.
+    Draining,
+}
+
+impl RejectReason {
+    /// Wire-stable reason string.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RejectReason::QueueFull => "queue-full",
+            RejectReason::TenantBusy => "tenant-busy",
+            RejectReason::Draining => "draining",
+        }
+    }
+}
+
+/// A rejected push: the reason plus a backoff hint for the client.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Rejection {
+    /// Why the job was rejected.
+    pub reason: RejectReason,
+    /// Suggested client backoff before retrying. Zero when retrying is
+    /// pointless (draining).
+    pub retry_after_ms: u64,
+}
+
+struct State<T> {
+    queued: VecDeque<(String, T)>,
+    /// Per-tenant queued + executing counts (entries removed at zero).
+    tenants: HashMap<String, usize>,
+    executing: usize,
+    draining: bool,
+    /// Exponentially weighted moving average of job service time.
+    ewma_service_ms: f64,
+}
+
+/// The bounded admission queue (generic so tests can enqueue plain
+/// values; the server enqueues its job structs).
+pub struct Queue<T> {
+    state: Mutex<State<T>>,
+    /// Signalled when work arrives or drain begins (workers wait here).
+    ready: Condvar,
+    /// Signalled when a job completes (drain waiter sleeps here).
+    idle: Condvar,
+    config: AdmissionConfig,
+}
+
+impl<T> Queue<T> {
+    /// Creates an empty queue.
+    pub fn new(config: AdmissionConfig) -> Queue<T> {
+        Queue {
+            state: Mutex::new(State {
+                queued: VecDeque::new(),
+                tenants: HashMap::new(),
+                executing: 0,
+                draining: false,
+                // Seed: a request with a cold cache costs a few hundred
+                // ms; refined by the first completions.
+                ewma_service_ms: 200.0,
+            }),
+            ready: Condvar::new(),
+            idle: Condvar::new(),
+            config,
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, State<T>> {
+        self.state.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Estimated wait until capacity frees up, given `backlog` jobs ahead.
+    fn retry_hint(&self, ewma_ms: f64, backlog: usize) -> u64 {
+        let per_worker = backlog as f64 / self.config.workers.max(1) as f64;
+        // At least one service-time quantum, floored to something humane.
+        (ewma_ms * (per_worker + 1.0)).ceil().max(25.0) as u64
+    }
+
+    /// Offers a job for `tenant`. Never blocks: either the job is queued
+    /// or a [`Rejection`] with a retry hint comes back immediately.
+    pub fn push(&self, tenant: &str, job: T) -> Result<(), Rejection> {
+        let mut st = self.lock();
+        if st.draining {
+            return Err(Rejection {
+                reason: RejectReason::Draining,
+                retry_after_ms: 0,
+            });
+        }
+        if st.queued.len() >= self.config.queue_capacity {
+            let hint = self.retry_hint(st.ewma_service_ms, st.queued.len() + st.executing);
+            return Err(Rejection {
+                reason: RejectReason::QueueFull,
+                retry_after_ms: hint,
+            });
+        }
+        let inflight = st.tenants.get(tenant).copied().unwrap_or(0);
+        if inflight >= self.config.per_tenant_in_flight {
+            let hint = self.retry_hint(st.ewma_service_ms, inflight);
+            return Err(Rejection {
+                reason: RejectReason::TenantBusy,
+                retry_after_ms: hint,
+            });
+        }
+        *st.tenants.entry(tenant.to_owned()).or_insert(0) += 1;
+        st.queued.push_back((tenant.to_owned(), job));
+        drop(st);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocks for the next job; `None` once the queue is draining *and*
+    /// empty (the worker should exit). Each returned job must be matched
+    /// by exactly one [`Queue::complete`] call.
+    pub fn pop(&self) -> Option<(String, T)> {
+        let mut st = self.lock();
+        loop {
+            if let Some((tenant, job)) = st.queued.pop_front() {
+                st.executing += 1;
+                return Some((tenant, job));
+            }
+            if st.draining {
+                return None;
+            }
+            st = self.ready.wait(st).unwrap_or_else(|p| p.into_inner());
+        }
+    }
+
+    /// Records a job completion: frees the tenant slot, folds the service
+    /// time into the EWMA, and wakes the drain waiter.
+    pub fn complete(&self, tenant: &str, service: Duration) {
+        let mut st = self.lock();
+        st.executing = st.executing.saturating_sub(1);
+        if let Some(n) = st.tenants.get_mut(tenant) {
+            *n = n.saturating_sub(1);
+            if *n == 0 {
+                st.tenants.remove(tenant);
+            }
+        }
+        let ms = service.as_secs_f64() * 1e3;
+        st.ewma_service_ms = 0.8 * st.ewma_service_ms + 0.2 * ms;
+        drop(st);
+        self.idle.notify_all();
+    }
+
+    /// Flips the queue into draining mode: every subsequent push is
+    /// rejected, and workers exit once the backlog is consumed.
+    pub fn begin_drain(&self) {
+        let mut st = self.lock();
+        st.draining = true;
+        drop(st);
+        // Wake every blocked worker so it can observe the flag...
+        self.ready.notify_all();
+        // ...and the drain waiter, in case the queue was already idle.
+        self.idle.notify_all();
+    }
+
+    /// True once [`Queue::begin_drain`] has run.
+    pub fn is_draining(&self) -> bool {
+        self.lock().draining
+    }
+
+    /// Blocks until draining *and* fully idle (no queued or executing
+    /// jobs) — i.e. every admitted request has been answered.
+    pub fn await_drained(&self) {
+        let mut st = self.lock();
+        while !(st.draining && st.queued.is_empty() && st.executing == 0) {
+            st = self.idle.wait(st).unwrap_or_else(|p| p.into_inner());
+        }
+    }
+
+    /// `(queued, executing)` — for metrics and tests.
+    pub fn depth(&self) -> (usize, usize) {
+        let st = self.lock();
+        (st.queued.len(), st.executing)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn config(capacity: usize, per_tenant: usize) -> AdmissionConfig {
+        AdmissionConfig {
+            queue_capacity: capacity,
+            per_tenant_in_flight: per_tenant,
+            workers: 2,
+        }
+    }
+
+    #[test]
+    fn queue_full_rejects_with_hint() {
+        let q: Queue<u32> = Queue::new(config(2, 10));
+        q.push("a", 1).unwrap();
+        q.push("a", 2).unwrap();
+        let rej = q.push("a", 3).unwrap_err();
+        assert_eq!(rej.reason, RejectReason::QueueFull);
+        assert!(rej.retry_after_ms >= 25, "{rej:?}");
+    }
+
+    #[test]
+    fn tenant_cap_is_per_tenant() {
+        let q: Queue<u32> = Queue::new(config(10, 1));
+        q.push("a", 1).unwrap();
+        let rej = q.push("a", 2).unwrap_err();
+        assert_eq!(rej.reason, RejectReason::TenantBusy);
+        // A different tenant is unaffected.
+        q.push("b", 3).unwrap();
+        // Completing the job frees the slot only after pop + complete.
+        let (tenant, _) = q.pop().unwrap();
+        q.complete(&tenant, Duration::from_millis(5));
+        q.push("a", 4).unwrap();
+    }
+
+    #[test]
+    fn drain_rejects_new_work_and_unblocks_workers() {
+        let q: Arc<Queue<u32>> = Arc::new(Queue::new(config(10, 10)));
+        q.push("a", 1).unwrap();
+        q.begin_drain();
+        let rej = q.push("a", 2).unwrap_err();
+        assert_eq!(rej.reason, RejectReason::Draining);
+        // Backlog still served.
+        let (tenant, job) = q.pop().unwrap();
+        assert_eq!(job, 1);
+        q.complete(&tenant, Duration::from_millis(1));
+        // Then workers are released.
+        assert!(q.pop().is_none());
+        q.await_drained(); // returns because queued == executing == 0
+    }
+
+    #[test]
+    fn await_drained_waits_for_executing_jobs() {
+        let q: Arc<Queue<u32>> = Arc::new(Queue::new(config(10, 10)));
+        q.push("a", 1).unwrap();
+        let (tenant, _) = q.pop().unwrap();
+        q.begin_drain();
+        let waiter = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.await_drained())
+        };
+        // The waiter cannot finish while the job executes.
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(!waiter.is_finished(), "drain must wait for in-flight work");
+        q.complete(&tenant, Duration::from_millis(1));
+        waiter.join().unwrap();
+    }
+
+    #[test]
+    fn ewma_tracks_service_time() {
+        let q: Queue<u32> = Queue::new(config(1, 10));
+        for _ in 0..50 {
+            q.push("a", 1).unwrap();
+            let (t, _) = q.pop().unwrap();
+            q.complete(&t, Duration::from_millis(1000));
+        }
+        q.push("a", 1).unwrap();
+        let rej = q.push("a", 2).unwrap_err();
+        // Hint converged towards the 1 s service time.
+        assert!(rej.retry_after_ms > 500, "{rej:?}");
+    }
+}

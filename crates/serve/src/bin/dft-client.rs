@@ -1,0 +1,70 @@
+//! A minimal line-protocol client: sends each CLI argument (or stdin
+//! line) as one request line to a running `dft-serve`, printing each
+//! response line to stdout.
+//!
+//! ```text
+//! dft-client 127.0.0.1:4870 '{"op":"ping"}' '{"op":"analyse","design":"sensor"}'
+//! echo '{"op":"metrics"}' | dft-client 127.0.0.1:4870
+//! ```
+//!
+//! Exit status: 0 when every response has `"status":"ok"`, 2 when any
+//! response was degraded/rejected/error, 1 on connection failures.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let Some(addr) = args.next() else {
+        eprintln!("usage: dft-client <addr> [request-json ...]");
+        std::process::exit(1);
+    };
+    let requests: Vec<String> = args.collect();
+    let stream = match TcpStream::connect(&addr) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("dft-client: connect {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let mut writer = stream.try_clone().expect("clone stream");
+    let mut reader = BufReader::new(stream);
+    let mut all_ok = true;
+    let mut roundtrip = |request: &str| -> bool {
+        if writeln!(writer, "{request}").is_err() {
+            return false;
+        }
+        let mut response = String::new();
+        match reader.read_line(&mut response) {
+            Ok(0) | Err(_) => false,
+            Ok(_) => {
+                print!("{response}");
+                // Cheap status sniff; the response is a single JSON obj.
+                if !response.contains("\"status\":\"ok\"") {
+                    all_ok = false;
+                }
+                true
+            }
+        }
+    };
+    if requests.is_empty() {
+        for line in std::io::stdin().lock().lines() {
+            let Ok(line) = line else { break };
+            if line.trim().is_empty() {
+                continue;
+            }
+            if !roundtrip(&line) {
+                eprintln!("dft-client: connection closed");
+                std::process::exit(1);
+            }
+        }
+    } else {
+        for request in &requests {
+            if !roundtrip(request) {
+                eprintln!("dft-client: connection closed");
+                std::process::exit(1);
+            }
+        }
+    }
+    std::process::exit(if all_ok { 0 } else { 2 });
+}

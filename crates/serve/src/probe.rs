@@ -1,0 +1,134 @@
+//! The built-in **probe** design: a minimal producer/consumer TDF cluster
+//! whose producer can be wrapped in a fault saboteur per request. The
+//! soak tests drive panics, stalls and event corruption through the whole
+//! server path against this design, so a misbehaving module exercises
+//! worker isolation, retries and degraded responses without touching the
+//! case studies.
+
+use std::time::Duration;
+
+use crate::proto::FaultSpec;
+use dft_core::{Design, Result as DftResult};
+use stimuli::{Signal, Testcase};
+use tdf_interp::{Interface, InterpModule, TdfModelDef};
+use tdf_sim::{Cluster, FaultPlan, FaultyEvents, PanicAfter, SimTime, StallAfter, TdfModule};
+
+/// The probe's minic source (two models, one def-use chain each).
+pub const PROBE_SRC: &str = "\
+void producer::processing()
+{
+    double v = ip_in;
+    double o = v * 2;
+    op_y = o;
+}
+void consumer::processing()
+{
+    double got = ip_x;
+    op_z = got + 1;
+}";
+
+/// The stimulus channel probe testcases drive.
+pub const PROBE_CHANNEL: &str = "level";
+
+const PROBE_TIMESTEP: SimTime = SimTime::from_us(5);
+
+fn probe_defs() -> Vec<TdfModelDef> {
+    vec![
+        TdfModelDef::new(
+            "producer",
+            Interface::new()
+                .input("ip_in")
+                .output("op_y")
+                .timestep(PROBE_TIMESTEP),
+        ),
+        TdfModelDef::new("consumer", Interface::new().input("ip_x").output("op_z")),
+    ]
+}
+
+/// Builds the probe cluster for one testcase, wrapping the producer in
+/// the requested saboteur (if any).
+pub fn probe_cluster(tc: &Testcase, fault: Option<&FaultSpec>) -> DftResult<Cluster> {
+    let tu = minic::parse(PROBE_SRC)?;
+    let mut cluster = Cluster::new("probe");
+    let src = cluster.add_module(Box::new(
+        tc.signal(PROBE_CHANNEL).into_source("stim", PROBE_TIMESTEP),
+    ))?;
+    let defs = probe_defs();
+    let producer: Box<dyn TdfModule> = Box::new(InterpModule::new(
+        &tu,
+        "producer",
+        defs[0].interface.clone(),
+    )?);
+    let producer: Box<dyn TdfModule> = match fault {
+        None => producer,
+        Some(FaultSpec::PanicAfter { after }) => Box::new(PanicAfter::new(producer, *after)),
+        Some(FaultSpec::Stall { after, stall_ms }) => Box::new(StallAfter::new(
+            producer,
+            *after,
+            Duration::from_millis(*stall_ms),
+        )),
+        Some(FaultSpec::CorruptEvents { seed, rate }) => Box::new(FaultyEvents::new(
+            producer,
+            FaultPlan::new().with_seed(*seed).with_corrupt_events(*rate),
+        )),
+    };
+    let p = cluster.add_module(producer)?;
+    let c = cluster.add_module(Box::new(InterpModule::new(
+        &tu,
+        "consumer",
+        defs[1].interface.clone(),
+    )?))?;
+    cluster.connect(src, "op_out", p, "ip_in")?;
+    cluster.connect(p, "op_y", c, "ip_x")?;
+    Ok(cluster)
+}
+
+/// Elaborates the probe design for static analysis.
+pub fn probe_design() -> DftResult<Design> {
+    // The netlist needs a (fault-free) reference cluster.
+    let reference = probe_cluster(&probe_testcases()[0], None)?;
+    Design::new(minic::parse(PROBE_SRC)?, probe_defs(), reference.netlist())
+}
+
+/// The probe's tiny named suite (two constant-level testcases).
+pub fn probe_testcases() -> Vec<Testcase> {
+    let dur = SimTime::from_us(40); // 8 producer activations
+    vec![
+        Testcase::new("P1", dur).with(PROBE_CHANNEL, Signal::Constant(1.0)),
+        Testcase::new("P2", dur).with(PROBE_CHANNEL, Signal::Constant(2.0)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dft_core::{DftSession, RunOutcome};
+
+    #[test]
+    fn probe_pipeline_runs_clean() {
+        let mut session = DftSession::new(probe_design().unwrap()).unwrap();
+        for tc in probe_testcases() {
+            let cluster = probe_cluster(&tc, None).unwrap();
+            session
+                .run_testcase(&tc.name, cluster, tc.duration)
+                .unwrap();
+        }
+        let cov = session.coverage();
+        assert!(cov.exercised_count() > 0, "probe exercises associations");
+        assert!(session.runs().iter().all(|r| r.outcome == RunOutcome::Ok));
+    }
+
+    #[test]
+    fn sabotaged_probe_degrades_not_dies() {
+        let mut session = DftSession::new(probe_design().unwrap()).unwrap();
+        let tc = &probe_testcases()[0];
+        let fault = FaultSpec::PanicAfter { after: 2 };
+        let cluster = probe_cluster(tc, Some(&fault)).unwrap();
+        let spec = dft_core::TestcaseSpec::new(&tc.name, cluster, tc.duration);
+        session.run_testcases_with(vec![spec], tdf_sim::RunLimits::none());
+        assert!(matches!(
+            session.runs()[0].outcome,
+            RunOutcome::Panicked { .. }
+        ));
+    }
+}

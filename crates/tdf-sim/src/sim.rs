@@ -45,6 +45,12 @@ pub struct RunLimits {
     pub max_events: Option<u64>,
     /// Abort once the run has consumed this much wall-clock time.
     pub wall_budget: Option<Duration>,
+    /// Abort once wall clock passes this absolute instant — the
+    /// cancellation hook for callers that share one deadline across many
+    /// runs (a served request maps its deadline here, so a runaway
+    /// testcase hands its worker back instead of occupying it). Checked
+    /// cooperatively between module activations, like `wall_budget`.
+    pub deadline: Option<Instant>,
 }
 
 impl RunLimits {
@@ -71,9 +77,21 @@ impl RunLimits {
         self
     }
 
+    /// Cancels the run once wall clock reaches `deadline` (builder style).
+    /// Unlike [`RunLimits::with_wall_budget`], the bound is absolute, so
+    /// the same limits value enforces one shared deadline across a whole
+    /// batch of runs.
+    pub fn with_deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
     /// True when no bound is set (the zero-cost fast path applies).
     pub fn is_unlimited(&self) -> bool {
-        self.max_activations.is_none() && self.max_events.is_none() && self.wall_budget.is_none()
+        self.max_activations.is_none()
+            && self.max_events.is_none()
+            && self.wall_budget.is_none()
+            && self.deadline.is_none()
     }
 }
 
@@ -304,7 +322,18 @@ impl Simulator {
         }
         let _span = obs::span("sim.run");
         let before = self.stats;
-        let deadline = limits.wall_budget.map(|b| (Instant::now() + b, b));
+        let started = Instant::now();
+        // Relative budget and absolute deadline collapse into one check:
+        // whichever instant comes first wins, and the error reports the
+        // effective wall budget that produced it.
+        let relative = limits.wall_budget.map(|b| (started + b, b));
+        let absolute = limits
+            .deadline
+            .map(|at| (at, at.saturating_duration_since(started)));
+        let deadline = match (relative, absolute) {
+            (Some(r), Some(a)) => Some(if r.0 <= a.0 { r } else { a }),
+            (r, a) => r.or(a),
+        };
         let mut counting = CountingSink {
             inner: sink,
             recorded: 0,
@@ -932,6 +961,53 @@ mod tests {
             .unwrap_err();
         assert_eq!(err, TdfError::EventLimit { limit: 4 });
         assert_eq!(sink.events.len(), 4, "recorded events survive the abort");
+    }
+
+    #[test]
+    fn absolute_deadline_cancels_a_run() {
+        struct Slow;
+        impl TdfModule for Slow {
+            fn name(&self) -> &str {
+                "slow"
+            }
+            fn spec(&self) -> ModuleSpec {
+                ModuleSpec::new()
+                    .output(PortSpec::new("op_y"))
+                    .with_timestep(SimTime::from_us(1))
+            }
+            fn processing(&mut self, ctx: &mut ProcessingCtx<'_>) {
+                std::thread::sleep(Duration::from_millis(5));
+                ctx.write(0, Sample::new(0.0));
+            }
+        }
+        let mut c = Cluster::new("top");
+        c.add_module(Box::new(Slow)).unwrap();
+        let mut sim = Simulator::new(c).unwrap();
+        // A deadline already in the near past cancels at the first firing
+        // boundary; the reported budget saturates to zero.
+        let limits = RunLimits::none().with_deadline(Instant::now());
+        assert!(!limits.is_unlimited());
+        let err = sim
+            .run_with_limits(SimTime::from_us(1000), &mut NullSink, &limits)
+            .unwrap_err();
+        assert!(matches!(err, TdfError::DeadlineExceeded { .. }));
+        // The tighter of budget and deadline wins.
+        let mut sim2 = Simulator::new({
+            let mut c = Cluster::new("top");
+            c.add_module(Box::new(Slow)).unwrap();
+            c
+        })
+        .unwrap();
+        let limits = RunLimits::none()
+            .with_wall_budget(Duration::from_secs(3600))
+            .with_deadline(Instant::now() + Duration::from_millis(2));
+        let err = sim2
+            .run_with_limits(SimTime::from_us(1000), &mut NullSink, &limits)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            TdfError::DeadlineExceeded { budget } if budget < Duration::from_secs(3600)
+        ));
     }
 
     #[test]

@@ -14,6 +14,7 @@
 //! | [`signals`] | `stimuli` | test input signals, testcases, testsuites |
 //! | [`models`] | `ams-models` | the sensor system (Fig. 2), window lifter, buck-boost VPs |
 //! | [`gen`] | `testgen` | coverage-guided testcase generation (the refinement loop as search) |
+//! | [`serve`] | `dft-serve` | resilient multi-tenant analysis server (admission control, deadlines, retries) |
 //!
 //! ## Quick start
 //!
@@ -39,6 +40,7 @@
 pub use ams_models as models;
 pub use dataflow as flow;
 pub use dft_core as dft;
+pub use dft_serve as serve;
 pub use minic as lang;
 pub use stimuli as signals;
 pub use tdf_interp as interp;
