@@ -1,0 +1,81 @@
+//! Streaming assertion-monitor overhead (E12): the PID loop end to end
+//! through `DftSession::run_testcase` with 0, 1 and 8 monitored
+//! assertions, plus the raw `MonitorBank::observe` hot path in samples
+//! per second.
+//!
+//! With zero assertions the kernel's sample tap is off
+//! (`wants_samples() == false`), so the 0-assertion row is the pre-PR
+//! pipeline — the 1- and 8-assertion rows price the tap plus the
+//! per-sample automata.
+
+use ams_models::pid::{build_pid_cluster, pid_assertions, pid_design, PidTuning, PID_TARGET};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dft_core::{AssertionExpr, AssertionSpec, DftSession, MonitorBank};
+use std::hint::black_box;
+use stimuli::{Signal, Testcase};
+use tdf_sim::{Interner, Sample, SimTime, Value};
+
+/// 0, 1 or 8 properties over the loop's two streams.
+fn assertion_set(n: usize) -> Vec<AssertionSpec> {
+    let mut specs = pid_assertions();
+    for i in 0..8 {
+        let level = 30.0 + i as f64;
+        specs.push(AssertionSpec::new(
+            format!("aux_{i}"),
+            AssertionExpr::never_above("plant.op_y", level),
+        ));
+    }
+    specs.truncate(n);
+    specs
+}
+
+fn bench_session_overhead(c: &mut Criterion) {
+    let tc = Testcase::new("bench", SimTime::from_ms(100))
+        .with(ams_models::pid::REF, Signal::Constant(PID_TARGET));
+    let mut group = c.benchmark_group("monitor/pid_session");
+    for n in [0usize, 1, 8] {
+        let mut session = DftSession::new(pid_design().unwrap())
+            .unwrap()
+            .with_assertions(assertion_set(n));
+        group.bench_function(format!("assertions_{n}"), |b| {
+            b.iter(|| {
+                session.clear_runs();
+                let (cluster, _) = build_pid_cluster(&tc, PidTuning::nominal()).unwrap();
+                black_box(
+                    session
+                        .run_testcase(&tc.name, cluster, tc.duration)
+                        .unwrap(),
+                );
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_bank_throughput(c: &mut Criterion) {
+    const SAMPLES: u64 = 100_000;
+    let interner = Interner::default();
+    let sym = interner.intern("plant.op_y");
+    let mut group = c.benchmark_group("monitor/bank_observe");
+    group.throughput(Throughput::Elements(SAMPLES));
+    for n in [1usize, 8] {
+        let mut bank = MonitorBank::compile(&assertion_set(n), &interner);
+        group.bench_function(format!("assertions_{n}"), |b| {
+            b.iter(|| {
+                for k in 0..SAMPLES {
+                    let v = (k % 23) as f64;
+                    bank.observe(
+                        SimTime::from_fs(k * 100_000_000),
+                        sym,
+                        &Sample::new(Value::Double(v)),
+                    );
+                }
+                black_box(bank.samples_observed())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_session_overhead, bench_bank_throughput);
+criterion_main!(benches);

@@ -9,6 +9,7 @@
 use std::collections::HashSet;
 
 use dataflow::BitSet;
+use dft_monitor::AssertionVerdict;
 
 use crate::assoc::{Association, Classification, ClassifiedAssoc};
 use crate::dynamic::DynamicWarning;
@@ -117,6 +118,13 @@ pub struct TestcaseResult {
     /// uses it to skip the per-association hash probes. `None` (e.g. a
     /// hand-built result) falls back to probing `exercised`.
     pub exercised_idx: Option<BitSet>,
+    /// Per-assertion verdicts, in spec order, when the session ran with
+    /// assertions attached ([`DftSession::with_assertions`]); empty
+    /// otherwise. Degraded runs keep observed `Fails` verdicts but report
+    /// everything else `Inconclusive`.
+    ///
+    /// [`DftSession::with_assertions`]: crate::DftSession::with_assertions
+    pub verdicts: Vec<AssertionVerdict>,
 }
 
 /// Why an uncovered association was missed (see

@@ -107,6 +107,36 @@ pub fn diagnosis_to_csv(cov: &Coverage, runs: &[TestcaseResult]) -> String {
     out
 }
 
+/// Exports per-testcase assertion verdicts as CSV:
+/// `testcase,assertion,verdict,first_violation_fs` — the violation column
+/// is empty for non-failing verdicts. Runs without verdicts contribute no
+/// rows; with no verdicts anywhere the output is just the header.
+pub fn verdicts_to_csv(runs: &[TestcaseResult]) -> String {
+    use dft_monitor::Verdict;
+    let mut out = String::from("testcase,assertion,verdict,first_violation_fs\n");
+    for run in runs {
+        for v in &run.verdicts {
+            let (verdict, first) = match v.verdict {
+                Verdict::Holds => ("holds", String::new()),
+                Verdict::Fails {
+                    first_violation_time,
+                } => ("fails", first_violation_time.as_fs().to_string()),
+                Verdict::Vacuous => ("vacuous", String::new()),
+                Verdict::Inconclusive => ("inconclusive", String::new()),
+            };
+            let _ = writeln!(
+                out,
+                "{},{},{},{}",
+                csv_escape(&run.name),
+                csv_escape(&v.name),
+                verdict,
+                first
+            );
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -160,6 +190,31 @@ mod tests {
         assert_eq!(lines[0], "class,association,covered,TC1");
         assert!(lines[1].contains("\"(tmpr, 4, TS, 9, TS)\",1,1"));
         assert!(lines[2].ends_with(",0,0"));
+    }
+
+    #[test]
+    fn verdicts_csv_rows_per_assertion() {
+        use dft_monitor::{AssertionVerdict, Verdict};
+        use tdf_sim::SimTime;
+        let mut run = run_with(&[], &[]);
+        run.verdicts = vec![
+            AssertionVerdict {
+                name: "overshoot".into(),
+                verdict: Verdict::Fails {
+                    first_violation_time: SimTime::from_us(7),
+                },
+            },
+            AssertionVerdict {
+                name: "settle, fast".into(),
+                verdict: Verdict::Holds,
+            },
+        ];
+        let csv = verdicts_to_csv(&[run, run_with(&[], &[])]);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "testcase,assertion,verdict,first_violation_fs");
+        assert_eq!(lines[1], "TC1,overshoot,fails,7000000000");
+        assert_eq!(lines[2], "TC1,\"settle, fast\",holds,");
+        assert_eq!(lines.len(), 3, "verdict-free runs contribute no rows");
     }
 
     /// Minimal RFC-4180 field parser used to prove escaping round-trips.

@@ -45,17 +45,25 @@ pub use classical::classical_pairs;
 pub use coverage::{Coverage, Criterion, RunOutcome, TestcaseResult, UncoveredReason};
 pub use dataflow::BitSet;
 pub use design::Design;
+pub use dft_monitor::{
+    AssertionExpr, AssertionSpec, AssertionVerdict, CountBound, MonitorBank, MonitorSink,
+    SignalPred, ThresholdKind, Verdict,
+};
 pub use dynamic::{
     analyse_events, analyse_events_batch, analyse_events_batch_with_mode, analyse_events_with_mode,
     DynamicResult, DynamicWarning, MatchMode,
 };
 pub use error::{DftError, Result};
 pub use explain::explain_association;
-pub use export::{associations_to_csv, coverage_to_csv, diagnosis_to_csv, subsumption_to_csv};
+pub use export::{
+    associations_to_csv, coverage_to_csv, diagnosis_to_csv, subsumption_to_csv, verdicts_to_csv,
+};
 pub use matcher::{subsume_enabled, MatchAutomaton, MatchCursor, Tracking};
 pub use obs::{self, MetricsReport, TimerStat};
 pub use par::thread_count;
-pub use report::{render_subsumption, render_summary, render_table1, render_table2, Table2Row};
+pub use report::{
+    render_subsumption, render_summary, render_table1, render_table2, render_verdicts, Table2Row,
+};
 pub use session::{
     DftSession, MatchStrategy, RetryAttempt, RetryPolicy, RetryReport, SessionArtifacts,
     SessionConfig, TestcaseSpec,

@@ -10,7 +10,7 @@
 use std::fmt::Write as _;
 
 use crate::assoc::Classification;
-use crate::coverage::Coverage;
+use crate::coverage::{Coverage, TestcaseResult};
 use crate::statics::StaticAnalysis;
 
 /// Renders a Table-I-style matrix: associations grouped by classification,
@@ -193,6 +193,43 @@ pub fn render_summary(cov: &Coverage) -> String {
             "NOT satisfied"
         };
         let _ = writeln!(out, "  {crit:<13} {verdict}");
+    }
+    out
+}
+
+/// Renders the per-testcase assertion-verdict table:
+///
+/// ```text
+/// Assertion verdicts
+///   TC1
+///     overshoot   holds
+///     settle      FAILS @ 1.2ms
+/// ```
+///
+/// Returns the empty string when no run carries verdicts, so a session
+/// without assertions renders byte-identically to one predating monitor
+/// support.
+pub fn render_verdicts(runs: &[TestcaseResult]) -> String {
+    if runs.iter().all(|r| r.verdicts.is_empty()) {
+        return String::new();
+    }
+    let width = runs
+        .iter()
+        .flat_map(|r| r.verdicts.iter())
+        .map(|v| v.name.len())
+        .max()
+        .unwrap_or(0)
+        + 2;
+    let mut out = String::new();
+    let _ = writeln!(out, "Assertion verdicts");
+    for run in runs {
+        if run.verdicts.is_empty() {
+            continue;
+        }
+        let _ = writeln!(out, "  {}", run.name);
+        for v in &run.verdicts {
+            let _ = writeln!(out, "    {:<width$} {}", v.name, v.verdict);
+        }
     }
     out
 }

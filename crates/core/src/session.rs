@@ -17,6 +17,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+use dft_monitor::{AssertionSpec, AssertionVerdict, MonitorBank, MonitorSink};
 use obs::MetricsReport;
 use tdf_sim::{
     Cluster, CompactConsumer, CompactEvent, CompactRecordingSink, Event, EventSink, Interner,
@@ -373,7 +374,14 @@ pub struct DftSession {
     /// [`MAX_POOLED_BUFFERS`] / [`MAX_POOLED_EVENTS`]; the streamed
     /// strategy never touches it.
     pool: Vec<Vec<CompactEvent>>,
+    /// Assertions monitored alongside matching. Empty (the default) keeps
+    /// the sample tap off and every run/report byte-identical to a
+    /// session without monitor support.
+    assertions: Vec<AssertionSpec>,
 }
+
+/// A monitor bank shared with the (possibly panicking) simulation pass.
+type SharedBank = Arc<Mutex<MonitorBank>>;
 
 impl DftSession {
     /// Creates a session and runs the static stage, with every knob
@@ -408,7 +416,44 @@ impl DftSession {
             config,
             runs: Vec::new(),
             pool: Vec::new(),
+            assertions: Vec::new(),
         }
+    }
+
+    /// Attaches assertions to be monitored alongside matching (builder
+    /// style): every subsequent testcase evaluates them over its sample
+    /// streams in the same simulation pass and carries the per-assertion
+    /// verdicts in [`TestcaseResult::verdicts`], in spec order. Verdicts
+    /// are byte-identical across `DFT_THREADS` and [`MatchStrategy`]
+    /// (simulation is sequential either way); with no assertions the
+    /// sample tap stays off and reports are byte-identical to a session
+    /// without monitor support.
+    pub fn with_assertions(mut self, assertions: Vec<AssertionSpec>) -> DftSession {
+        self.assertions = assertions;
+        self
+    }
+
+    /// Replaces the monitored assertions for subsequent testcases (the
+    /// mutator twin of [`DftSession::with_assertions`]).
+    pub fn set_assertions(&mut self, assertions: Vec<AssertionSpec>) {
+        self.assertions = assertions;
+    }
+
+    /// The assertions currently monitored.
+    pub fn assertions(&self) -> &[AssertionSpec] {
+        &self.assertions
+    }
+
+    /// A fresh per-testcase monitor bank, `None` when no assertions are
+    /// attached (keeping the kernel's sample tap disabled).
+    fn monitor_bank(&self) -> Option<SharedBank> {
+        if self.assertions.is_empty() {
+            return None;
+        }
+        Some(Arc::new(Mutex::new(MonitorBank::compile(
+            &self.assertions,
+            self.design().interner(),
+        ))))
     }
 
     /// The frozen artifacts backing this session (shareable with further
@@ -486,6 +531,7 @@ impl DftSession {
         cluster: Cluster,
         duration: SimTime,
     ) -> Result<&TestcaseResult> {
+        let monitor = self.monitor_bank();
         let (result, bits) = match self.config.strategy {
             MatchStrategy::Streamed => {
                 let mut cursor = self.automaton().cursor(MatchMode::Lenient);
@@ -495,6 +541,7 @@ impl DftSession {
                     duration,
                     self.design().interner(),
                     &mut cursor,
+                    monitor.as_ref(),
                 )?;
                 let _span = obs::span("stage.match");
                 cursor.finish()
@@ -507,6 +554,7 @@ impl DftSession {
                     duration,
                     self.design().interner(),
                     buffer,
+                    monitor.as_ref(),
                 ) {
                     Ok(events) => events,
                     Err((error, buffer)) => {
@@ -531,6 +579,7 @@ impl DftSession {
             warnings: result.warnings,
             outcome: RunOutcome::Ok,
             exercised_idx: Some(bits),
+            verdicts: finalize_bank(monitor, duration, false),
         });
         Ok(self.runs.last().expect("just pushed"))
     }
@@ -592,6 +641,7 @@ impl DftSession {
                 let _ = threads;
                 let mut entries = Vec::with_capacity(testcases.len());
                 for tc in testcases {
+                    let monitor = self.monitor_bank();
                     let cell = Arc::new(Mutex::new(Some(
                         self.automaton().cursor(MatchMode::Lenient),
                     )));
@@ -602,6 +652,7 @@ impl DftSession {
                         limits,
                         self.design().interner(),
                         &cell,
+                        monitor.clone(),
                     );
                     if outcome.is_degraded() {
                         DEGRADED.add(1);
@@ -615,6 +666,7 @@ impl DftSession {
                         let _span = obs::span("stage.match");
                         cursor.finish()
                     };
+                    let verdicts = finalize_bank(monitor, tc.duration, outcome.is_degraded());
                     entries.push(TestcaseResult {
                         name: tc.name,
                         exercised: r.exercised,
@@ -622,6 +674,7 @@ impl DftSession {
                         warnings: r.warnings,
                         outcome,
                         exercised_idx: Some(bits),
+                        verdicts,
                     });
                 }
                 entries
@@ -630,7 +683,9 @@ impl DftSession {
                 let mut names = Vec::with_capacity(testcases.len());
                 let mut outcomes = Vec::with_capacity(testcases.len());
                 let mut events = Vec::with_capacity(testcases.len());
+                let mut verdicts = Vec::with_capacity(testcases.len());
                 for tc in testcases {
+                    let monitor = self.monitor_bank();
                     let buffer = self.pool.pop().unwrap_or_default();
                     let (log, outcome) = simulate_testcase_isolated(
                         &tc.name,
@@ -639,10 +694,16 @@ impl DftSession {
                         limits,
                         self.design().interner(),
                         buffer,
+                        monitor.clone(),
                     );
                     if outcome.is_degraded() {
                         DEGRADED.add(1);
                     }
+                    // Verdicts come straight off the simulation pass —
+                    // they never depend on the deferred log matching, so
+                    // finalize here, per testcase, exactly as the
+                    // streamed branch does.
+                    verdicts.push(finalize_bank(monitor, tc.duration, outcome.is_degraded()));
                     names.push(tc.name);
                     outcomes.push(outcome);
                     events.push(log);
@@ -658,13 +719,15 @@ impl DftSession {
                     .into_iter()
                     .zip(outcomes)
                     .zip(results)
-                    .map(|((name, outcome), (r, bits))| TestcaseResult {
+                    .zip(verdicts)
+                    .map(|(((name, outcome), (r, bits)), verdicts)| TestcaseResult {
                         name,
                         exercised: r.exercised,
                         defs_executed: r.defs_executed,
                         warnings: r.warnings,
                         outcome,
                         exercised_idx: Some(bits),
+                        verdicts,
                     })
                     .collect()
             }
@@ -825,6 +888,22 @@ fn recycled(mut buffer: Vec<CompactEvent>) -> Vec<CompactEvent> {
     buffer
 }
 
+/// Resolves a testcase's monitor bank into verdicts: `end` is the
+/// requested run duration, `degraded` whether the simulation actually
+/// reached it (a truncated trace keeps observed violations but never
+/// reports a pass). `None` — no assertions attached — yields no verdicts.
+fn finalize_bank(bank: Option<SharedBank>, end: SimTime, degraded: bool) -> Vec<AssertionVerdict> {
+    match bank {
+        Some(bank) => {
+            let _span = obs::span("stage.monitor");
+            bank.lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .finalize(end, degraded)
+        }
+        None => Vec::new(),
+    }
+}
+
 /// Elaborates and simulates one testcase with instrumentation enabled,
 /// recording its event count and wall time under `testcase.<name>.*`. The
 /// cluster is re-keyed onto the design-wide `interner` so the recorded
@@ -838,6 +917,7 @@ fn simulate_testcase(
     duration: SimTime,
     interner: &Arc<Interner>,
     buffer: Vec<CompactEvent>,
+    monitor: Option<&SharedBank>,
 ) -> std::result::Result<Vec<CompactEvent>, (DftError, Vec<CompactEvent>)> {
     let started = obs::metrics_enabled().then(Instant::now);
     cluster.set_interner(Arc::clone(interner));
@@ -848,7 +928,13 @@ fn simulate_testcase(
     };
     let run = {
         let _span = obs::span("stage.simulate");
-        sim.run(duration, &mut sink)
+        match monitor {
+            Some(bank) => {
+                let mut monitored = MonitorSink::new(&mut sink, Arc::clone(bank));
+                sim.run(duration, &mut monitored)
+            }
+            None => sim.run(duration, &mut sink),
+        }
     };
     if let Some(t0) = started {
         obs::counter_add(&format!("testcase.{name}.events"), sink.events.len() as u64);
@@ -870,6 +956,7 @@ fn stream_testcase(
     duration: SimTime,
     interner: &Arc<Interner>,
     cursor: &mut MatchCursor<'_>,
+    monitor: Option<&SharedBank>,
 ) -> Result<()> {
     let started = obs::metrics_enabled().then(Instant::now);
     cluster.set_interner(Arc::clone(interner));
@@ -877,7 +964,15 @@ fn stream_testcase(
     {
         let mut sink = MatchingSink::new(cursor, Arc::clone(interner));
         let _span = obs::span("stage.simulate");
-        sim.run(duration, &mut sink)?;
+        match monitor {
+            Some(bank) => {
+                let mut monitored = MonitorSink::new(&mut sink, Arc::clone(bank));
+                sim.run(duration, &mut monitored)?;
+            }
+            None => {
+                sim.run(duration, &mut sink)?;
+            }
+        }
     }
     if let Some(t0) = started {
         obs::counter_add(&format!("testcase.{name}.events"), cursor.events_fed());
@@ -923,6 +1018,7 @@ fn stream_testcase_isolated<'a>(
     limits: RunLimits,
     interner: &Arc<Interner>,
     cell: &Arc<Mutex<Option<MatchCursor<'a>>>>,
+    monitor: Option<SharedBank>,
 ) -> RunOutcome {
     let started = obs::metrics_enabled().then(Instant::now);
     cluster.set_interner(Arc::clone(interner));
@@ -934,7 +1030,19 @@ fn stream_testcase_isolated<'a>(
         let mut sim = Simulator::new(cluster)?;
         let mut sink = MatchingSink::new(&mut consumer, sink_interner);
         let _span = obs::span("stage.simulate");
-        sim.run_with_limits(duration, &mut sink, &limits)?;
+        // The bank crosses the unwind boundary the same way the cursor
+        // does: fed one sample at a time under its mutex, so a panic can
+        // at worst lose the tail of the stream — and a panicked run is
+        // finalized as degraded anyway.
+        match monitor {
+            Some(bank) => {
+                let mut monitored = MonitorSink::new(&mut sink, bank);
+                sim.run_with_limits(duration, &mut monitored, &limits)?;
+            }
+            None => {
+                sim.run_with_limits(duration, &mut sink, &limits)?;
+            }
+        }
         Ok::<(), DftError>(())
     }));
     let outcome = outcome_of(run);
@@ -1024,6 +1132,7 @@ fn simulate_testcase_isolated(
     limits: RunLimits,
     interner: &Arc<Interner>,
     buffer: Vec<CompactEvent>,
+    monitor: Option<SharedBank>,
 ) -> (Vec<CompactEvent>, RunOutcome) {
     let started = obs::metrics_enabled().then(Instant::now);
     cluster.set_interner(Arc::clone(interner));
@@ -1036,7 +1145,15 @@ fn simulate_testcase_isolated(
         let mut sim = Simulator::new(cluster)?;
         let mut sink = shared;
         let _span = obs::span("stage.simulate");
-        sim.run_with_limits(duration, &mut sink, &limits)?;
+        match monitor {
+            Some(bank) => {
+                let mut monitored = MonitorSink::new(&mut sink, bank);
+                sim.run_with_limits(duration, &mut monitored, &limits)?;
+            }
+            None => {
+                sim.run_with_limits(duration, &mut sink, &limits)?;
+            }
+        }
         Ok::<(), DftError>(())
     }));
     let outcome = outcome_of(run);
@@ -1237,6 +1354,85 @@ void B::processing()
         assert_eq!(tail.len(), 1);
         assert_eq!(session.runs().len(), 1);
         assert_eq!(session.runs()[0].name, "TC1");
+    }
+
+    #[test]
+    fn assertions_evaluate_in_one_pass_across_strategies() {
+        use dft_monitor::{AssertionExpr, Verdict};
+        // level 0.1 -> t = 100 > 30 -> op_y = 100 from the first activation.
+        let specs = vec![
+            AssertionSpec::new("cap", AssertionExpr::never_above("A.op_y", 50.0)),
+            AssertionSpec::new("floor", AssertionExpr::never_below("A.op_y", -1.0)),
+        ];
+        let mut per_strategy = Vec::new();
+        for strategy in [MatchStrategy::Streamed, MatchStrategy::Buffered] {
+            let (cluster, design) = build_cluster(0.1);
+            let mut session = DftSession::new(design)
+                .unwrap()
+                .with_assertions(specs.clone());
+            session.set_match_strategy(strategy);
+            session
+                .run_testcase("TC1", cluster, SimTime::from_us(3))
+                .unwrap();
+            // Coverage and verdicts both came out of the same run.
+            assert!(!session.runs()[0].exercised.is_empty());
+            per_strategy.push(session.runs()[0].verdicts.clone());
+        }
+        assert_eq!(per_strategy[0], per_strategy[1], "strategies agree");
+        assert_eq!(per_strategy[0][0].name, "cap");
+        assert_eq!(
+            per_strategy[0][0].verdict,
+            Verdict::Fails {
+                first_violation_time: SimTime::ZERO
+            },
+            "op_y jumps to 100 at the very first activation"
+        );
+        assert_eq!(per_strategy[0][1].verdict, Verdict::Holds);
+    }
+
+    #[test]
+    fn batch_verdicts_match_single_runs_and_degrade_to_inconclusive() {
+        use dft_monitor::{AssertionExpr, Verdict};
+        let specs = vec![
+            AssertionSpec::new("cap", AssertionExpr::never_above("A.op_y", 50.0)),
+            AssertionSpec::new("floor", AssertionExpr::never_below("A.op_y", -1.0)),
+        ];
+        let (c1, design) = build_cluster(0.1);
+        let mut single = DftSession::new(design)
+            .unwrap()
+            .with_assertions(specs.clone());
+        single.run_testcase("TC1", c1, SimTime::from_us(3)).unwrap();
+
+        let (b1, design) = build_cluster(0.1);
+        let mut batch = DftSession::new(design)
+            .unwrap()
+            .with_assertions(specs.clone());
+        let _ = batch.run_testcases(vec![TestcaseSpec::new("TC1", b1, SimTime::from_us(3))]);
+        assert_eq!(single.runs()[0].verdicts, batch.runs()[0].verdicts);
+
+        // A tripped activation budget degrades the run: the latched
+        // violation survives, the would-be pass is forced inconclusive.
+        let (c2, design) = build_cluster(0.1);
+        let mut degraded = DftSession::new(design).unwrap().with_assertions(specs);
+        degraded.run_testcases_with(
+            vec![TestcaseSpec::new("TC1", c2, SimTime::from_us(3))],
+            RunLimits::none().with_max_activations(2),
+        );
+        let run = &degraded.runs()[0];
+        assert!(run.outcome.is_degraded());
+        assert!(run.verdicts[0].verdict.is_fail());
+        assert_eq!(run.verdicts[1].verdict, Verdict::Inconclusive);
+    }
+
+    #[test]
+    fn sessions_without_assertions_carry_no_verdicts() {
+        let (cluster, design) = build_cluster(0.1);
+        let mut session = DftSession::new(design).unwrap();
+        session
+            .run_testcase("TC1", cluster, SimTime::from_us(3))
+            .unwrap();
+        assert!(session.runs()[0].verdicts.is_empty());
+        assert_eq!(crate::render_verdicts(session.runs()), "");
     }
 
     #[test]

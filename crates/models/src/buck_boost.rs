@@ -556,6 +556,39 @@ mod tests {
     }
 
     #[test]
+    fn ovp_stress_falsifies_an_output_bound_at_a_pinned_instant() {
+        use dft_core::{AssertionExpr, AssertionSpec, Verdict};
+        // The ovp_stress case programs a 45 V target, so the output blows
+        // through a 30 V ceiling; the streaming monitor must report the
+        // exact sample where it first does.
+        let t = tc("ovp", 100, Signal::Constant(12.0), Signal::Constant(45.0));
+        let (cluster, probes) = build_bb_cluster(&t).unwrap();
+        let mut session = DftSession::new(bb_design().unwrap())
+            .unwrap()
+            .with_assertions(vec![AssertionSpec::new(
+                "vout_ceiling",
+                AssertionExpr::never_above("plant.op_vout", 30.0),
+            )]);
+        session.run_testcase(&t.name, cluster, t.duration).unwrap();
+        // Oracle: the probe buffer records the same samples the monitor
+        // streamed, so the first >30 V sample pins the violation time.
+        let expected = probes
+            .vout
+            .samples()
+            .into_iter()
+            .find(|(_, v)| v.as_f64() > 30.0)
+            .map(|(time, _)| time)
+            .expect("stress case crosses 30 V");
+        assert!(expected > SimTime::ZERO);
+        assert_eq!(
+            session.runs()[0].verdicts[0].verdict,
+            Verdict::Fails {
+                first_violation_time: expected
+            }
+        );
+    }
+
+    #[test]
     fn coverage_grows_over_iterations() {
         let design = bb_design().unwrap();
         let suite = bb_suite();

@@ -10,7 +10,10 @@
 //!   detector, microcontroller) with its 17→26-testcase suite;
 //! * [`buck_boost`] — the **buck-boost converter** (power stage, mode
 //!   controller, PWM generator, sense filter) with its 10→24-testcase
-//!   suite.
+//!   suite;
+//! * [`pid`] — a PID-regulated first-order plant with hand-written
+//!   runtime assertions (settling time, overshoot, control effort) for
+//!   the streaming monitor, plus a detuned fault-injection variant.
 //!
 //! Each module exposes `*_design()` (for static analysis), a
 //! `build_*_cluster(testcase)` factory (for simulation), and the paper's
@@ -19,5 +22,6 @@
 #![warn(missing_docs)]
 
 pub mod buck_boost;
+pub mod pid;
 pub mod sensor;
 pub mod window_lifter;

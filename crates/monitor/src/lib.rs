@@ -1,0 +1,56 @@
+//! Streaming AMS assertion monitors over TDF sample streams.
+//!
+//! The simulation kernel taps every produced output sample (see
+//! `EventSink::record_sample` in `tdf-sim`); this crate turns a list of
+//! declarative [`AssertionSpec`]s into a compiled [`MonitorBank`] of
+//! `Sym`-indexed per-signal automata that consume that tap in the same
+//! pass as def/use matching — coverage *and* property verdicts from one
+//! simulation run, with O(1) monitor state per assertion and zero extra
+//! buffering.
+//!
+//! Operators (dense-time, per Sanyal et al.'s AMS assertion catalogue):
+//!
+//! * [`AssertionExpr::Threshold`] — "never above / never below", with an
+//!   optional hysteresis re-arm band;
+//! * [`AssertionExpr::SettlingTime`] — the signal enters `target ± ε` and
+//!   stays for a window, optionally by a deadline;
+//! * [`AssertionExpr::RecurrenceWindow`] — an event recurs at least / at
+//!   most N times per window;
+//! * [`AssertionExpr::Within`] — bounded response: trigger ⇒ response
+//!   within Δt;
+//! * [`AssertionExpr::AllOf`] / [`AssertionExpr::AnyOf`] /
+//!   [`AssertionExpr::Not`] — boolean combinators over verdicts.
+//!
+//! Each assertion resolves to a four-valued [`Verdict`]: `Holds`,
+//! `Fails { first_violation_time }`, `Vacuous` (never triggered) or
+//! `Inconclusive` (not enough trace). Degraded runs (budget trips,
+//! panics) keep observed violations but never report a pass.
+//!
+//! ```
+//! use dft_monitor::{AssertionExpr, AssertionSpec, MonitorBank, Verdict};
+//! use tdf_sim::{Interner, Sample, SimTime};
+//!
+//! let interner = Interner::new();
+//! let specs = [AssertionSpec::new(
+//!     "overshoot",
+//!     AssertionExpr::never_above("plant.op_y", 1.2),
+//! )];
+//! let mut bank = MonitorBank::compile(&specs, &interner);
+//! let y = interner.intern("plant.op_y");
+//! bank.observe(SimTime::from_us(1), y, &Sample::new(1.5));
+//! let verdicts = bank.finalize(SimTime::from_us(2), false);
+//! assert_eq!(
+//!     verdicts[0].verdict,
+//!     Verdict::Fails { first_violation_time: SimTime::from_us(1) }
+//! );
+//! ```
+
+#![warn(missing_docs)]
+
+mod bank;
+mod sink;
+mod spec;
+
+pub use bank::{AssertionVerdict, MonitorBank, Verdict};
+pub use sink::MonitorSink;
+pub use spec::{AssertionExpr, AssertionSpec, CountBound, SignalPred, ThresholdKind};

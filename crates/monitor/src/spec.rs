@@ -1,0 +1,334 @@
+//! The assertion AST: what users write. Signals are referred to by their
+//! `"{module}.{port}"` name (the kernel's sample-tap naming); the
+//! [`MonitorBank`](crate::MonitorBank) interns them at compile time.
+
+use tdf_sim::SimTime;
+
+/// Which direction of a [`AssertionExpr::Threshold`] crossing counts as a
+/// violation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ThresholdKind {
+    /// The signal violates by rising **above** the level (the assertion is
+    /// "never above").
+    Above,
+    /// The signal violates by falling **below** the level (the assertion
+    /// is "never below").
+    Below,
+}
+
+/// A recurrence count bound per window (the Sanyal et al. recurrence
+/// operators: an event recurs at least / at most N times per window).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CountBound {
+    /// Every full trailing window must contain at least this many events.
+    AtLeast(u32),
+    /// No window may contain more than this many events.
+    AtMost(u32),
+}
+
+/// A pointwise predicate over one signal sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SignalPred {
+    /// True when the sample is strictly above the level.
+    Above(f64),
+    /// True when the sample is strictly below the level.
+    Below(f64),
+    /// True when the sample is within `center ± epsilon`.
+    InBand {
+        /// Band center.
+        center: f64,
+        /// Half-width of the band.
+        epsilon: f64,
+    },
+}
+
+impl SignalPred {
+    /// Evaluates the predicate on one sample value.
+    pub fn eval(&self, v: f64) -> bool {
+        match *self {
+            SignalPred::Above(level) => v > level,
+            SignalPred::Below(level) => v < level,
+            SignalPred::InBand { center, epsilon } => (v - center).abs() <= epsilon,
+        }
+    }
+}
+
+/// A dense-time assertion over the sample streams of a simulation run.
+///
+/// Undefined samples (open inputs, never-written ports) carry no value and
+/// are skipped by every operator; they can therefore never satisfy a
+/// predicate nor violate a threshold, only delay a verdict.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AssertionExpr {
+    /// The signal never crosses `level` in the violating direction. The
+    /// first violating sample latches `Fails{first_violation_time}`;
+    /// further violations are only counted again after the signal re-arms
+    /// by returning past `level ∓ hysteresis`.
+    Threshold {
+        /// Monitored signal (`"{module}.{port}"`).
+        signal: String,
+        /// Violating direction.
+        kind: ThresholdKind,
+        /// The level the signal must respect.
+        level: f64,
+        /// Re-arm band width (0.0 = re-arm as soon as the level is
+        /// respected again). Only affects the violation *count*, never the
+        /// first violation time.
+        hysteresis: f64,
+    },
+    /// The signal enters `target ± epsilon` and stays there continuously
+    /// for `window`. With a `deadline`, settling must complete (the full
+    /// window elapsed in band) no later than the deadline; without one, it
+    /// must complete by the end of the run.
+    SettlingTime {
+        /// Monitored signal.
+        signal: String,
+        /// Settling target.
+        target: f64,
+        /// Half-width of the settling band.
+        epsilon: f64,
+        /// How long the signal must remain in band.
+        window: SimTime,
+        /// Latest time the window may complete; `None` = end of run.
+        deadline: Option<SimTime>,
+    },
+    /// Rising edges of `pred` recur per `window` according to `bound`
+    /// (at-least bounds are checked on every full trailing window,
+    /// at-most bounds on every edge).
+    RecurrenceWindow {
+        /// Monitored signal.
+        signal: String,
+        /// The event predicate whose rising edges are counted.
+        pred: SignalPred,
+        /// Window length.
+        window: SimTime,
+        /// Required recurrence count per window.
+        bound: CountBound,
+    },
+    /// Bounded response: every sample satisfying `trigger` must be
+    /// answered by a sample of `response_signal` satisfying `response`
+    /// within `within`. Never triggered ⇒ `Vacuous`; an obligation still
+    /// open when the run ends (but not yet overdue) ⇒ `Inconclusive`.
+    Within {
+        /// Signal whose samples can trigger the obligation.
+        trigger_signal: String,
+        /// Trigger predicate.
+        trigger: SignalPred,
+        /// Signal whose samples can discharge the obligation.
+        response_signal: String,
+        /// Response predicate.
+        response: SignalPred,
+        /// Response deadline, relative to the trigger.
+        within: SimTime,
+    },
+    /// Conjunction: fails if any operand fails (earliest violation time
+    /// wins), holds only when no operand is inconclusive.
+    AllOf(Vec<AssertionExpr>),
+    /// Disjunction: holds if any operand holds; vacuous operands are
+    /// neutral.
+    AnyOf(Vec<AssertionExpr>),
+    /// Negation (vacuous and inconclusive operands stay as they are).
+    Not(Box<AssertionExpr>),
+}
+
+impl AssertionExpr {
+    /// "The signal never rises above `level`" (zero hysteresis).
+    pub fn never_above(signal: impl Into<String>, level: f64) -> AssertionExpr {
+        AssertionExpr::Threshold {
+            signal: signal.into(),
+            kind: ThresholdKind::Above,
+            level,
+            hysteresis: 0.0,
+        }
+    }
+
+    /// "The signal never falls below `level`" (zero hysteresis).
+    pub fn never_below(signal: impl Into<String>, level: f64) -> AssertionExpr {
+        AssertionExpr::Threshold {
+            signal: signal.into(),
+            kind: ThresholdKind::Below,
+            level,
+            hysteresis: 0.0,
+        }
+    }
+
+    /// Sets the hysteresis band of a [`AssertionExpr::Threshold`] (builder
+    /// style); any other operator is returned unchanged.
+    pub fn with_hysteresis(mut self, h: f64) -> AssertionExpr {
+        if let AssertionExpr::Threshold { hysteresis, .. } = &mut self {
+            *hysteresis = h;
+        }
+        self
+    }
+
+    /// "The signal settles into `target ± epsilon` for `window`, by the
+    /// end of the run."
+    pub fn settles(
+        signal: impl Into<String>,
+        target: f64,
+        epsilon: f64,
+        window: SimTime,
+    ) -> AssertionExpr {
+        AssertionExpr::SettlingTime {
+            signal: signal.into(),
+            target,
+            epsilon,
+            window,
+            deadline: None,
+        }
+    }
+
+    /// [`AssertionExpr::settles`] with a hard deadline for the window to
+    /// complete.
+    pub fn settles_by(
+        signal: impl Into<String>,
+        target: f64,
+        epsilon: f64,
+        window: SimTime,
+        deadline: SimTime,
+    ) -> AssertionExpr {
+        AssertionExpr::SettlingTime {
+            signal: signal.into(),
+            target,
+            epsilon,
+            window,
+            deadline: Some(deadline),
+        }
+    }
+
+    /// "Rising edges of `pred` occur at least `n` times in every full
+    /// trailing window."
+    pub fn recurs_at_least(
+        signal: impl Into<String>,
+        pred: SignalPred,
+        n: u32,
+        window: SimTime,
+    ) -> AssertionExpr {
+        AssertionExpr::RecurrenceWindow {
+            signal: signal.into(),
+            pred,
+            window,
+            bound: CountBound::AtLeast(n),
+        }
+    }
+
+    /// "Rising edges of `pred` occur at most `n` times in any window."
+    pub fn recurs_at_most(
+        signal: impl Into<String>,
+        pred: SignalPred,
+        n: u32,
+        window: SimTime,
+    ) -> AssertionExpr {
+        AssertionExpr::RecurrenceWindow {
+            signal: signal.into(),
+            pred,
+            window,
+            bound: CountBound::AtMost(n),
+        }
+    }
+
+    /// Bounded response: `trigger` on `trigger_signal` ⇒ `response` on
+    /// `response_signal` within `within`.
+    pub fn responds_within(
+        trigger_signal: impl Into<String>,
+        trigger: SignalPred,
+        response_signal: impl Into<String>,
+        response: SignalPred,
+        within: SimTime,
+    ) -> AssertionExpr {
+        AssertionExpr::Within {
+            trigger_signal: trigger_signal.into(),
+            trigger,
+            response_signal: response_signal.into(),
+            response,
+            within,
+        }
+    }
+
+    /// Conjunction of `exprs`.
+    pub fn all_of(exprs: Vec<AssertionExpr>) -> AssertionExpr {
+        AssertionExpr::AllOf(exprs)
+    }
+
+    /// Disjunction of `exprs`.
+    pub fn any_of(exprs: Vec<AssertionExpr>) -> AssertionExpr {
+        AssertionExpr::AnyOf(exprs)
+    }
+
+    /// Negation of `expr`.
+    pub fn negate(expr: AssertionExpr) -> AssertionExpr {
+        AssertionExpr::Not(Box::new(expr))
+    }
+}
+
+/// One named assertion: what a report row, a CSV line and a serve-protocol
+/// verdict entry are keyed by.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AssertionSpec {
+    /// Report name of the assertion (unique within a spec list by
+    /// convention; duplicates are evaluated independently).
+    pub name: String,
+    /// The monitored property.
+    pub expr: AssertionExpr,
+}
+
+impl AssertionSpec {
+    /// Names an assertion.
+    pub fn new(name: impl Into<String>, expr: AssertionExpr) -> AssertionSpec {
+        AssertionSpec {
+            name: name.into(),
+            expr,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preds_evaluate_pointwise() {
+        assert!(SignalPred::Above(1.0).eval(1.5));
+        assert!(!SignalPred::Above(1.0).eval(1.0));
+        assert!(SignalPred::Below(0.0).eval(-0.1));
+        assert!(SignalPred::InBand {
+            center: 5.0,
+            epsilon: 0.5
+        }
+        .eval(5.5));
+        assert!(!SignalPred::InBand {
+            center: 5.0,
+            epsilon: 0.5
+        }
+        .eval(5.6));
+    }
+
+    #[test]
+    fn builders_construct_the_expected_variants() {
+        let t = AssertionExpr::never_above("m.op_y", 2.0).with_hysteresis(0.1);
+        assert!(matches!(
+            t,
+            AssertionExpr::Threshold {
+                kind: ThresholdKind::Above,
+                hysteresis,
+                ..
+            } if hysteresis == 0.1
+        ));
+        let s = AssertionExpr::settles_by(
+            "m.op_y",
+            1.0,
+            0.05,
+            SimTime::from_us(10),
+            SimTime::from_us(50),
+        );
+        assert!(matches!(
+            s,
+            AssertionExpr::SettlingTime {
+                deadline: Some(_),
+                ..
+            }
+        ));
+        let spec = AssertionSpec::new("A1", AssertionExpr::negate(t));
+        assert_eq!(spec.name, "A1");
+    }
+}

@@ -14,7 +14,9 @@
 
 use crate::json::Json;
 use ams_models::{buck_boost, sensor, window_lifter};
-use dft_core::{Design, MatchStrategy, Result as DftResult};
+use dft_core::{
+    AssertionExpr, AssertionSpec, Design, MatchStrategy, Result as DftResult, SignalPred,
+};
 use stimuli::{Signal, Testcase};
 use tdf_sim::{Cluster, SimTime};
 
@@ -381,6 +383,189 @@ pub struct AnalyseRequest {
     pub tables: bool,
     /// Saboteur for the probe design (requires the `fault-inject` build).
     pub fault: Option<FaultSpec>,
+    /// Assertions monitored alongside matching; the response carries a
+    /// `verdicts` array exactly when this is non-empty.
+    pub assertions: Vec<AssertionSpec>,
+}
+
+/// Most deeply nested combinator tree an assertion may carry; requests
+/// past it are rejected (totality: no unbounded recursion on hostile
+/// input).
+const MAX_ASSERTION_DEPTH: usize = 16;
+
+/// Parses one signal predicate, e.g. `{"kind":"above","level":1.2}` or
+/// `{"kind":"in_band","center":5,"epsilon":0.1}`.
+fn parse_pred(v: &Json) -> Result<SignalPred, ProtoError> {
+    let kind = v
+        .get("kind")
+        .and_then(Json::as_str)
+        .ok_or_else(|| bad("predicate missing \"kind\""))?;
+    let num = |k: &str| {
+        v.get(k)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| bad(format!("predicate missing number \"{k}\"")))
+    };
+    match kind {
+        "above" => Ok(SignalPred::Above(num("level")?)),
+        "below" => Ok(SignalPred::Below(num("level")?)),
+        "in_band" => Ok(SignalPred::InBand {
+            center: num("center")?,
+            epsilon: num("epsilon")?,
+        }),
+        other => Err(bad(format!("unknown predicate kind {other:?}"))),
+    }
+}
+
+/// Parses one assertion operator tree (see the crate docs of
+/// `dft-monitor` for semantics). Dense times come in as `*_us` integers,
+/// like the stimulus signal specs.
+fn parse_assertion_expr(v: &Json, depth: usize) -> Result<AssertionExpr, ProtoError> {
+    if depth > MAX_ASSERTION_DEPTH {
+        return Err(bad("assertion nests too deeply"));
+    }
+    let op = v
+        .get("op")
+        .and_then(Json::as_str)
+        .ok_or_else(|| bad("assertion missing \"op\""))?;
+    let signal = |k: &str| {
+        v.get(k)
+            .and_then(Json::as_str)
+            .map(str::to_owned)
+            .ok_or_else(|| bad(format!("assertion missing string \"{k}\"")))
+    };
+    let num = |k: &str| {
+        v.get(k)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| bad(format!("assertion missing number \"{k}\"")))
+    };
+    let time_us = |k: &str| {
+        v.get(k)
+            .and_then(Json::as_u64)
+            .map(SimTime::from_us)
+            .ok_or_else(|| bad(format!("assertion missing integer \"{k}\"")))
+    };
+    match op {
+        "never_above" | "never_below" => {
+            let expr = if op == "never_above" {
+                AssertionExpr::never_above(signal("signal")?, num("level")?)
+            } else {
+                AssertionExpr::never_below(signal("signal")?, num("level")?)
+            };
+            match v.get("hysteresis") {
+                None | Some(Json::Null) => Ok(expr),
+                Some(j) => {
+                    let h = j
+                        .as_f64()
+                        .ok_or_else(|| bad("\"hysteresis\" must be a number"))?;
+                    Ok(expr.with_hysteresis(h))
+                }
+            }
+        }
+        "settles" => {
+            let base = (
+                signal("signal")?,
+                num("target")?,
+                num("epsilon")?,
+                time_us("window_us")?,
+            );
+            match v.get("deadline_us") {
+                None | Some(Json::Null) => {
+                    Ok(AssertionExpr::settles(base.0, base.1, base.2, base.3))
+                }
+                Some(_) => Ok(AssertionExpr::settles_by(
+                    base.0,
+                    base.1,
+                    base.2,
+                    base.3,
+                    time_us("deadline_us")?,
+                )),
+            }
+        }
+        "recurs" => {
+            let pred = parse_pred(
+                v.get("pred")
+                    .ok_or_else(|| bad("assertion missing \"pred\""))?,
+            )?;
+            let count = v
+                .get("count")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| bad("assertion missing integer \"count\""))?;
+            let count = u32::try_from(count).map_err(|_| bad("\"count\" too large"))?;
+            let window = time_us("window_us")?;
+            match v.get("bound").and_then(Json::as_str) {
+                Some("at_least") => Ok(AssertionExpr::recurs_at_least(
+                    signal("signal")?,
+                    pred,
+                    count,
+                    window,
+                )),
+                Some("at_most") => Ok(AssertionExpr::recurs_at_most(
+                    signal("signal")?,
+                    pred,
+                    count,
+                    window,
+                )),
+                _ => Err(bad("\"bound\" must be \"at_least\" or \"at_most\"")),
+            }
+        }
+        "within" => Ok(AssertionExpr::responds_within(
+            signal("trigger_signal")?,
+            parse_pred(
+                v.get("trigger")
+                    .ok_or_else(|| bad("assertion missing \"trigger\""))?,
+            )?,
+            signal("response_signal")?,
+            parse_pred(
+                v.get("response")
+                    .ok_or_else(|| bad("assertion missing \"response\""))?,
+            )?,
+            time_us("within_us")?,
+        )),
+        "all_of" | "any_of" => {
+            let items = match v.get("of") {
+                Some(Json::Arr(items)) => items,
+                _ => return Err(bad("assertion missing array \"of\"")),
+            };
+            let parsed = items
+                .iter()
+                .map(|j| parse_assertion_expr(j, depth + 1))
+                .collect::<Result<Vec<_>, _>>()?;
+            if op == "all_of" {
+                Ok(AssertionExpr::all_of(parsed))
+            } else {
+                Ok(AssertionExpr::any_of(parsed))
+            }
+        }
+        "not" => Ok(AssertionExpr::negate(parse_assertion_expr(
+            v.get("of").ok_or_else(|| bad("assertion missing \"of\""))?,
+            depth + 1,
+        )?)),
+        other => Err(bad(format!("unknown assertion op {other:?}"))),
+    }
+}
+
+/// Parses the optional `assertions` array of an analyse request.
+fn parse_assertions(v: &Json) -> Result<Vec<AssertionSpec>, ProtoError> {
+    let items = match v.get("assertions") {
+        None | Some(Json::Null) => return Ok(Vec::new()),
+        Some(Json::Arr(items)) => items,
+        Some(_) => return Err(bad("\"assertions\" must be an array")),
+    };
+    items
+        .iter()
+        .map(|item| {
+            let name = item
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or_else(|| bad("assertion missing \"name\""))?;
+            let expr = parse_assertion_expr(
+                item.get("assert")
+                    .ok_or_else(|| bad("assertion missing \"assert\""))?,
+                0,
+            )?;
+            Ok(AssertionSpec::new(name, expr))
+        })
+        .collect()
 }
 
 impl AnalyseRequest {
@@ -443,6 +628,7 @@ impl AnalyseRequest {
             strategy,
             tables: v.get("tables").and_then(Json::as_bool).unwrap_or(true),
             fault,
+            assertions: parse_assertions(v)?,
         })
     }
 }

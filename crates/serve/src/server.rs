@@ -31,7 +31,7 @@ use crate::json::Json;
 use crate::proto::{AnalyseRequest, Request, TestcaseSel};
 use dft_core::{
     obs, render_table1, render_table2, DftSession, MetricsReport, RetryPolicy, RetryReport,
-    RunOutcome, SessionArtifacts, SessionConfig, Table2Row, TestcaseResult,
+    RunOutcome, SessionArtifacts, SessionConfig, Table2Row, TestcaseResult, Verdict,
 };
 use tdf_sim::RunLimits;
 
@@ -418,6 +418,49 @@ fn testcase_json(result: &TestcaseResult, retry: Option<&RetryReport>) -> Json {
     ])
 }
 
+/// One testcase's assertion verdicts. Femtosecond violation times are
+/// serialized as strings — they exceed the integers JSON numbers carry
+/// exactly (2^53 fs is nine simulated seconds); `first_violation_us` is
+/// the lossy numeric convenience.
+fn verdicts_json(result: &TestcaseResult) -> Json {
+    Json::obj([
+        ("testcase", Json::str(result.name.clone())),
+        (
+            "verdicts",
+            Json::Arr(
+                result
+                    .verdicts
+                    .iter()
+                    .map(|v| {
+                        let mut fields = vec![("name", Json::str(v.name.clone()))];
+                        match v.verdict {
+                            Verdict::Holds => fields.push(("verdict", Json::str("holds"))),
+                            Verdict::Vacuous => fields.push(("verdict", Json::str("vacuous"))),
+                            Verdict::Inconclusive => {
+                                fields.push(("verdict", Json::str("inconclusive")))
+                            }
+                            Verdict::Fails {
+                                first_violation_time,
+                            } => {
+                                fields.push(("verdict", Json::str("fails")));
+                                fields.push((
+                                    "first_violation_fs",
+                                    Json::str(first_violation_time.as_fs().to_string()),
+                                ));
+                                fields.push((
+                                    "first_violation_us",
+                                    Json::num(first_violation_time.as_fs() as f64 / 1e9),
+                                ));
+                            }
+                        }
+                        Json::obj(fields)
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
 /// Runs one `analyse` request to completion and renders its response.
 fn handle_analyse(shared: &Arc<Shared>, request: &AnalyseRequest) -> String {
     static REQUESTS: obs::Counter = obs::Counter::new("serve.requests");
@@ -459,6 +502,9 @@ fn handle_analyse(shared: &Arc<Shared>, request: &AnalyseRequest) -> String {
     };
     let elaborate_ms = elaborate_started.elapsed().as_secs_f64() * 1e3;
     let mut session = DftSession::from_artifacts(artifacts, session_config);
+    if !request.assertions.is_empty() {
+        session.set_assertions(request.assertions.clone());
+    }
 
     // Resolve the batch (empty selector = the design's full suite).
     let suite = request.design.suite();
@@ -568,6 +614,14 @@ fn handle_analyse(shared: &Arc<Shared>, request: &AnalyseRequest) -> String {
         let row = Table2Row::from_coverage(&request.design.label(), 0, runs.len(), &coverage);
         response.push(("table1", Json::str(render_table1(&coverage))));
         response.push(("table2", Json::str(render_table2(&[row]))));
+    }
+    // Verdicts ride along exactly when the request monitored assertions,
+    // so assertion-free responses stay byte-identical to earlier builds.
+    if !request.assertions.is_empty() {
+        response.push((
+            "verdicts",
+            Json::Arr(runs.iter().map(verdicts_json).collect()),
+        ));
     }
     // Per-request observability: the registry delta over this request
     // (empty unless the server runs with DFT_METRICS=1).

@@ -225,6 +225,57 @@ fn concurrent_responses_equal_sequential_warm_and_cold() {
     handle.wait();
 }
 
+/// Tentpole: assertions ride the analyse request and verdicts ride the
+/// response — evaluated in the same simulation pass as coverage. The
+/// probe's producer doubles its input, so P1 (level 1.0) drives
+/// `producer.op_y` to 2.0 from the very first activation.
+#[test]
+fn analyse_with_assertions_returns_verdicts() {
+    let handle = start(test_config()).unwrap();
+    let mut client = Client::connect(&handle);
+    let resp = client.roundtrip(
+        r#"{"op":"analyse","id":"a1","design":"probe","testcases":["P1"],"assertions":[{"name":"bounded","assert":{"op":"never_above","signal":"producer.op_y","level":10.0}},{"name":"small","assert":{"op":"never_above","signal":"producer.op_y","level":1.5}}]}"#,
+    );
+    assert_eq!(status(&resp), "ok", "{resp:?}");
+    let verdicts = resp
+        .get("verdicts")
+        .and_then(Json::as_arr)
+        .expect("verdicts");
+    assert_eq!(verdicts.len(), 1, "one entry per testcase");
+    let tc = &verdicts[0];
+    assert_eq!(tc.get("testcase").and_then(Json::as_str), Some("P1"));
+    let vs = tc.get("verdicts").and_then(Json::as_arr).unwrap();
+    assert_eq!(vs.len(), 2, "spec order, one verdict per assertion");
+    assert_eq!(vs[0].get("name").and_then(Json::as_str), Some("bounded"));
+    assert_eq!(vs[0].get("verdict").and_then(Json::as_str), Some("holds"));
+    assert_eq!(vs[1].get("name").and_then(Json::as_str), Some("small"));
+    assert_eq!(vs[1].get("verdict").and_then(Json::as_str), Some("fails"));
+    // Lossless femtosecond time comes back as a string; op_y first
+    // exceeds 1.5 at the producer's very first activation (t = 0).
+    assert_eq!(
+        vs[1].get("first_violation_fs").and_then(Json::as_str),
+        Some("0")
+    );
+
+    // An assertion-free request carries no verdicts key at all, so
+    // pre-existing clients see byte-identical responses.
+    let plain =
+        client.roundtrip(r#"{"op":"analyse","id":"a2","design":"probe","testcases":["P1"]}"#);
+    assert_eq!(status(&plain), "ok");
+    assert!(
+        plain.get("verdicts").is_none(),
+        "no assertions, no verdicts"
+    );
+
+    // Malformed assertion specs are protocol errors, not crashes.
+    let bad = client.roundtrip(
+        r#"{"op":"analyse","id":"a3","design":"probe","assertions":[{"name":"x","assert":{"op":"sometime"}}]}"#,
+    );
+    assert_eq!(status(&bad), "error", "{bad:?}");
+    handle.begin_shutdown();
+    handle.wait();
+}
+
 /// A probe testcase that simulates far longer than any test deadline.
 fn runaway_request(id: &str, deadline_ms: u64, retries: u32) -> String {
     format!(

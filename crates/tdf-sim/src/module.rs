@@ -5,7 +5,7 @@
 use std::fmt;
 use std::sync::Arc;
 
-use crate::intern::{CompactEvent, Interner};
+use crate::intern::{CompactEvent, Interner, Sym};
 use crate::time::SimTime;
 use crate::value::{Provenance, Sample, Value};
 
@@ -208,6 +208,27 @@ pub trait EventSink {
     /// ([`CompactRecordingSink`], [`NullSink`]) override it.
     fn record_compact(&mut self, event: CompactEvent, interner: &Interner) {
         self.record(event.to_event(interner));
+    }
+
+    /// Whether this sink wants per-sample signal observations
+    /// ([`EventSink::record_sample`]). The kernel checks this per output
+    /// port before formatting anything, so sinks that return `false` (the
+    /// default — every sink except a monitor sink) pay one virtual call
+    /// per port and nothing else; runs without monitors are byte-identical
+    /// to runs before the tap existed.
+    fn wants_samples(&self) -> bool {
+        false
+    }
+
+    /// Observes one produced output sample. `signal` is the interned
+    /// `"{module}.{port}"` name of the producing out port, `time` the
+    /// sample's dense-time stamp (activation time plus the in-activation
+    /// sub-step for rates > 1). Only called when
+    /// [`EventSink::wants_samples`] returns `true`; samples are *not*
+    /// instrumentation events — they never count toward
+    /// [`RunLimits::max_events`](crate::RunLimits::max_events).
+    fn record_sample(&mut self, time: SimTime, signal: Sym, sample: &Sample) {
+        let _ = (time, signal, sample);
     }
 }
 

@@ -115,6 +115,18 @@ impl EventSink for CountingSink<'_> {
         self.recorded += 1;
         self.inner.record_compact(event, interner);
     }
+
+    // Sample observations are forwarded *uncounted*: they are monitor
+    // input, not instrumentation events, so attaching monitors must not
+    // change when `max_events` trips (degradation behaviour stays
+    // byte-identical with and without assertions).
+    fn wants_samples(&self) -> bool {
+        self.inner.wants_samples()
+    }
+
+    fn record_sample(&mut self, time: SimTime, signal: crate::Sym, sample: &Sample) {
+        self.inner.record_sample(time, signal, sample);
+    }
 }
 
 /// An elaborated, executable TDF cluster.
@@ -135,6 +147,10 @@ pub struct Simulator {
     module_time: Vec<SimTime>,
     /// Pending dynamic-TDF timestep requests per module.
     requests: Vec<Option<SimTime>>,
+    /// Interned `"{module}.{port}"` signal names per (module, out port),
+    /// filled lazily on the first sample observation of each port — runs
+    /// whose sink never wants samples intern nothing.
+    port_syms: Vec<Vec<Option<crate::Sym>>>,
     now: SimTime,
     stats: SimStats,
 }
@@ -169,7 +185,12 @@ impl Simulator {
         let buffers = Self::fresh_buffers(&cluster);
         let n = cluster.module_count();
         let original_timesteps = cluster.entries.iter().map(|e| e.spec.timestep).collect();
-        let last_out = cluster
+        let last_out: Vec<Vec<Option<Sample>>> = cluster
+            .entries
+            .iter()
+            .map(|e| vec![None; e.spec.out_ports.len()])
+            .collect();
+        let port_syms = cluster
             .entries
             .iter()
             .map(|e| vec![None; e.spec.out_ports.len()])
@@ -185,6 +206,7 @@ impl Simulator {
             last_out,
             module_time: vec![SimTime::ZERO; n],
             requests: vec![None; n],
+            port_syms,
             now: SimTime::ZERO,
             stats: SimStats::default(),
         })
@@ -509,6 +531,31 @@ impl Simulator {
                         .clone()
                         .unwrap_or_else(Sample::undefined),
                 );
+            }
+            // Monitor tap: one observation per produced sample per port,
+            // independent of fan-out (unconnected ports are observable
+            // too). Sample k of a rate-r activation at time t is stamped
+            // t + k·(timestep/r); the u128 widening keeps the sub-step
+            // exact and overflow-free for any representable timestep.
+            if sink.wants_samples() {
+                let sym = match self.port_syms[m][p] {
+                    Some(sym) => sym,
+                    None => {
+                        let name = format!(
+                            "{}.{}",
+                            self.cluster.module_name(mid),
+                            self.cluster.module_spec(mid).out_ports[p].name
+                        );
+                        let sym = self.cluster.interner.intern(&name);
+                        self.port_syms[m][p] = Some(sym);
+                        sym
+                    }
+                };
+                let ts_fs = timestep.as_fs() as u128;
+                for (k, s) in produced.iter().enumerate() {
+                    let offset = ((ts_fs * k as u128) / rate as u128) as u64;
+                    sink.record_sample(time.saturating_add(SimTime::from_fs(offset)), sym, s);
+                }
             }
             let conn_ids: Vec<usize> = self
                 .cluster
@@ -1008,6 +1055,102 @@ mod tests {
             err,
             TdfError::DeadlineExceeded { budget } if budget < Duration::from_secs(3600)
         ));
+    }
+
+    /// Buffers every sample observation the kernel taps out.
+    struct SampleTap {
+        seen: Vec<(SimTime, crate::Sym, f64, bool)>,
+    }
+    impl EventSink for SampleTap {
+        fn record(&mut self, _event: Event) {}
+        fn wants_samples(&self) -> bool {
+            true
+        }
+        fn record_sample(&mut self, time: SimTime, signal: crate::Sym, sample: &Sample) {
+            self.seen
+                .push((time, signal, sample.value.as_f64(), sample.defined));
+        }
+    }
+
+    #[test]
+    fn sample_tap_observes_every_out_port_sample() {
+        // A rate-2 producer: samples land at t and t + timestep/2, and the
+        // tap sees them even though the port also fans out normally.
+        struct Two;
+        impl TdfModule for Two {
+            fn name(&self) -> &str {
+                "two"
+            }
+            fn spec(&self) -> ModuleSpec {
+                ModuleSpec::new()
+                    .output(PortSpec::new("op_y").with_rate(2))
+                    .with_timestep(SimTime::from_us(2))
+            }
+            fn processing(&mut self, ctx: &mut ProcessingCtx<'_>) {
+                ctx.write(0, Sample::new(10.0));
+                ctx.write(0, Sample::new(20.0));
+            }
+        }
+        let mut c = Cluster::new("top");
+        let a = c.add_module(Box::new(Two)).unwrap();
+        let (col, _) = collector("dst");
+        let b = c.add_module(col).unwrap();
+        c.connect(a, "op_y", b, "ip_x").unwrap();
+        let mut sim = Simulator::new(c).unwrap();
+        let mut tap = SampleTap { seen: Vec::new() };
+        sim.run_periods(2, &mut tap).unwrap();
+        let producer: Vec<_> = tap.seen.iter().filter(|(_, _, v, _)| *v >= 10.0).collect();
+        assert_eq!(producer.len(), 4, "2 samples x 2 periods");
+        assert_eq!(producer[0].0, SimTime::ZERO);
+        assert_eq!(producer[1].0, SimTime::from_us(1), "sub-step of rate 2");
+        assert_eq!(producer[2].0, SimTime::from_us(2));
+        assert_eq!(producer[0].2, 10.0);
+        assert_eq!(producer[1].2, 20.0);
+        // Every observation names the producing port.
+        let sym = producer[0].1;
+        assert!(producer.iter().all(|(_, s, _, _)| *s == sym));
+    }
+
+    #[test]
+    fn sample_observations_do_not_count_toward_event_limits() {
+        struct Noisy2;
+        impl TdfModule for Noisy2 {
+            fn name(&self) -> &str {
+                "noisy"
+            }
+            fn spec(&self) -> ModuleSpec {
+                ModuleSpec::new()
+                    .output(PortSpec::new("op_y"))
+                    .with_timestep(SimTime::from_us(1))
+            }
+            fn processing(&mut self, ctx: &mut ProcessingCtx<'_>) {
+                ctx.emit(Event::Def {
+                    time: ctx.time(),
+                    model: "noisy".into(),
+                    var: "x".into(),
+                    line: 1,
+                });
+                ctx.write(0, Sample::new(0.0));
+            }
+        }
+        let mut c = Cluster::new("top");
+        c.add_module(Box::new(Noisy2)).unwrap();
+        let mut sim = Simulator::new(c).unwrap();
+        let mut tap = SampleTap { seen: Vec::new() };
+        let limits = RunLimits::none().with_max_events(4);
+        let err = sim
+            .run_with_limits(SimTime::from_us(100), &mut tap, &limits)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            TdfError::EventLimit { limit: 4 },
+            "the budget trips on instrumentation events exactly as without a tap"
+        );
+        assert_eq!(
+            tap.seen.len(),
+            4,
+            "one tapped sample per activation that ran"
+        );
     }
 
     #[test]

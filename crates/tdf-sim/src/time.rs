@@ -98,6 +98,23 @@ impl SimTime {
         self.0 == 0
     }
 
+    /// Checked addition; `None` on `u64` femtosecond overflow. Monitor
+    /// window arithmetic (`trigger + Δt`, `deadline + window`) uses this so
+    /// an assertion near the end of representable time saturates to
+    /// "never reached" instead of panicking mid-simulation.
+    pub const fn checked_add(self, rhs: SimTime) -> Option<SimTime> {
+        match self.0.checked_add(rhs.0) {
+            Some(fs) => Some(SimTime(fs)),
+            None => None,
+        }
+    }
+
+    /// Addition clamped at the maximum representable time, for callers
+    /// that genuinely want saturation (the `+` operator panics instead).
+    pub const fn saturating_add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+
     /// Checked subtraction; `None` when `rhs` is later than `self`.
     pub const fn checked_sub(self, rhs: SimTime) -> Option<SimTime> {
         match self.0.checked_sub(rhs.0) {
@@ -233,6 +250,24 @@ mod tests {
     #[should_panic(expected = "SimTime underflow")]
     fn subtraction_underflow_panics() {
         let _ = SimTime::from_us(4) - SimTime::from_us(10);
+    }
+
+    #[test]
+    fn explicit_saturating_and_checked_add() {
+        let near_max = SimTime::from_fs(u64::MAX - 1);
+        assert_eq!(near_max.checked_add(SimTime::from_fs(2)), None);
+        assert_eq!(
+            near_max.checked_add(SimTime::from_fs(1)),
+            Some(SimTime::from_fs(u64::MAX))
+        );
+        assert_eq!(
+            near_max.saturating_add(SimTime::from_fs(100)),
+            SimTime::from_fs(u64::MAX)
+        );
+        assert_eq!(
+            SimTime::from_us(1).saturating_add(SimTime::from_us(2)),
+            SimTime::from_us(3)
+        );
     }
 
     #[test]

@@ -16,10 +16,11 @@
 //! matching) merges by input index. A fixed `(seed, config)` therefore
 //! produces byte-identical suites and reports at any thread count.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use dft_core::{
-    Classification, Coverage, Design, DftSession, Result, TestcaseResult, TestcaseSpec,
+    AssertionSpec, Classification, Coverage, Design, DftSession, Result, TestcaseResult,
+    TestcaseSpec,
 };
 use stimuli::{Testcase, Testsuite};
 use tdf_sim::{Cluster, RunLimits, SimTime};
@@ -96,6 +97,11 @@ pub struct GenConfig {
     /// Optional early-exit target: stop once this many distinct static
     /// associations are exercised (e.g. a hand-suite baseline to match).
     pub target_exercised: Option<usize>,
+    /// Fitness bonus per assertion a candidate is the *first* to falsify
+    /// (see [`Generator::with_assertions`]). Integer, like the class
+    /// weights, so scoring stays byte-deterministic; 0 disables
+    /// assertion-guided search even with assertions attached.
+    pub assertion_weight: u64,
 }
 
 impl Default for GenConfig {
@@ -111,6 +117,7 @@ impl Default for GenConfig {
             weights: ClassWeights::default(),
             threads: 0,
             target_exercised: None,
+            assertion_weight: 16,
         }
     }
 }
@@ -175,6 +182,10 @@ pub struct Generator {
     suite: Testsuite,
     rows: Vec<GenIterationRow>,
     candidate_counter: usize,
+    /// Assertion names already falsified by an accepted candidate; later
+    /// falsifications of the same assertion score nothing (one witness
+    /// per property is enough).
+    falsified: HashSet<String>,
 }
 
 impl Generator {
@@ -235,7 +246,25 @@ impl Generator {
             suite,
             rows: Vec::new(),
             candidate_counter: 0,
+            falsified: HashSet::new(),
         })
+    }
+
+    /// Attaches assertions to the underlying session (builder style):
+    /// every candidate is monitored while it simulates, and a candidate
+    /// that is the first to **falsify** an assertion earns
+    /// [`GenConfig::assertion_weight`] on top of its coverage score — the
+    /// search chases property violations as first-class targets alongside
+    /// uncovered associations. Degraded candidates can still earn the
+    /// bonus (a witnessed violation is real no matter how the run ended).
+    pub fn with_assertions(mut self, assertions: Vec<AssertionSpec>) -> Generator {
+        self.session.set_assertions(assertions);
+        self
+    }
+
+    /// Assertion names falsified by accepted candidates so far.
+    pub fn falsified(&self) -> &HashSet<String> {
+        &self.falsified
     }
 
     /// Names the generated suite (and report) after the system under
@@ -256,6 +285,11 @@ impl Generator {
         for (case, exercised, run) in evaluated {
             for &i in &exercised {
                 self.covered[i] = true;
+            }
+            for v in &run.verdicts {
+                if v.verdict.is_fail() {
+                    self.falsified.insert(v.name.clone());
+                }
             }
             self.session.push_run(run);
             self.accepted.push(Accepted {
@@ -418,15 +452,29 @@ impl Generator {
     /// candidate adds anything. Accepted cases are renamed `G1, G2, …`
     /// in acceptance order and appended to the suite and the session.
     fn accept_greedily(&mut self, mut pool: Vec<(Testcase, Vec<usize>, TestcaseResult)>) -> usize {
+        static GEN_FALSIFIED: obs::Counter = obs::Counter::new("gen.assertions_falsified");
         let mut iteration_cases = Vec::new();
         loop {
             let mut best: Option<(usize, u64)> = None;
-            for (i, (_, exercised, _)) in pool.iter().enumerate() {
-                let score: u64 = exercised
+            for (i, (_, exercised, run)) in pool.iter().enumerate() {
+                let coverage_score: u64 = exercised
                     .iter()
                     .filter(|&&idx| !self.covered[idx])
                     .map(|&idx| self.weight[idx])
                     .sum();
+                // A candidate that is the first to falsify an assertion
+                // is a finding in itself (a stimulus witnessing a
+                // property violation), so it earns weight even when it
+                // adds no new coverage. Verdicts are iterated in spec
+                // order and the bonus is an integer sum, keeping the
+                // score byte-deterministic.
+                let falsify_score: u64 = run
+                    .verdicts
+                    .iter()
+                    .filter(|v| v.verdict.is_fail() && !self.falsified.contains(&v.name))
+                    .count() as u64
+                    * self.cfg.assertion_weight;
+                let score = coverage_score + falsify_score;
                 if score > 0 && best.is_none_or(|(_, s)| score > s) {
                     best = Some((i, score));
                 }
@@ -438,6 +486,11 @@ impl Generator {
             run.name = gname;
             for &idx in &exercised {
                 self.covered[idx] = true;
+            }
+            for v in &run.verdicts {
+                if v.verdict.is_fail() && self.falsified.insert(v.name.clone()) {
+                    GEN_FALSIFIED.add(1);
+                }
             }
             self.session.push_run(run);
             self.accepted.push(Accepted {

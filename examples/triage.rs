@@ -16,16 +16,34 @@ use std::fs;
 use std::time::Duration;
 
 use systemc_ams_dft::dft::{
-    coverage_to_csv, diagnosis_to_csv, DftSession, TestcaseSpec, UncoveredReason,
+    coverage_to_csv, diagnosis_to_csv, render_verdicts, AssertionExpr, AssertionSpec, DftSession,
+    TestcaseSpec, UncoveredReason, Verdict,
 };
 use systemc_ams_dft::models::sensor::{
     build_sensor_cluster, sensor_design, sensor_testcases, BUGGY_ADC_FULL_SCALE,
 };
 use systemc_ams_dft::sim::{write_vcd, NullSink, RunLimits, Simulator};
 
+/// Runtime properties of the (buggy) sensor: the ADC's saturation bug
+/// shows up as an assertion violation in the same pass that computes
+/// coverage — `adc_headroom` expects readings to stay under 400 LSB, but
+/// the mis-scaled converter clips at 511.
+fn sensor_assertions() -> Vec<AssertionSpec> {
+    vec![
+        AssertionSpec::new(
+            "adc_in_range",
+            AssertionExpr::never_above("adc.op_adc_out", 520.0),
+        ),
+        AssertionSpec::new(
+            "adc_headroom",
+            AssertionExpr::never_above("adc.op_adc_out", 400.0),
+        ),
+    ]
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let design = sensor_design(BUGGY_ADC_FULL_SCALE)?;
-    let mut session = DftSession::new(design)?;
+    let mut session = DftSession::new(design)?.with_assertions(sensor_assertions());
     // Batch run with a generous per-testcase wall budget: a runaway or
     // panicking testcase degrades (and is reported below) instead of
     // killing the whole triage run.
@@ -50,6 +68,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "  ({} degraded — coverage below is a lower bound)",
             degraded.len()
         );
+    }
+
+    println!("\n=== assertion verdicts (same simulation pass) ===");
+    println!("\n{}", render_verdicts(session.runs()));
+
+    // Degraded runs never report Holds: rerun TC1 under an activation
+    // budget far too small to finish. A latched violation would survive,
+    // but an unviolated property is Inconclusive — the tail of the trace
+    // was never seen, so "holds" would be unsound.
+    let tc1 = &sensor_testcases()[0];
+    let (cluster, _) = build_sensor_cluster(tc1, BUGGY_ADC_FULL_SCALE)?;
+    let mut partial =
+        DftSession::new(sensor_design(BUGGY_ADC_FULL_SCALE)?)?.with_assertions(sensor_assertions());
+    partial.run_testcases_with(
+        vec![TestcaseSpec::new(&tc1.name, cluster, tc1.duration)],
+        RunLimits::none().with_max_activations(4),
+    );
+    let partial_run = &partial.runs()[0];
+    println!("degraded rerun ({}):", partial_run.outcome);
+    for v in &partial_run.verdicts {
+        assert_ne!(v.verdict, Verdict::Holds, "degraded runs never hold");
+        println!("  {:<14} {}", v.name, v.verdict);
     }
 
     println!("\n=== uncovered-association triage ===\n");

@@ -40,6 +40,7 @@
 pub use ams_models as models;
 pub use dataflow as flow;
 pub use dft_core as dft;
+pub use dft_monitor as monitor;
 pub use dft_serve as serve;
 pub use minic as lang;
 pub use stimuli as signals;
