@@ -68,4 +68,6 @@ pub use session::{
     DftSession, MatchStrategy, RetryAttempt, RetryPolicy, RetryReport, SessionArtifacts,
     SessionConfig, TestcaseSpec,
 };
-pub use statics::{analyse, analyse_with_threads, StaticAnalysis, StaticLint, SubsumptionInfo};
+pub use statics::{
+    analyse, analyse_with_threads, incremental_enabled, StaticAnalysis, StaticLint, SubsumptionInfo,
+};

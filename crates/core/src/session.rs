@@ -29,7 +29,9 @@ use crate::design::Design;
 use crate::dynamic::MatchMode;
 use crate::error::{panic_payload_str, DftError, Result};
 use crate::matcher::{subsume_enabled, MatchAutomaton, MatchCursor, Tracking};
-use crate::statics::{analyse_with_threads, StaticAnalysis};
+use crate::statics::{
+    analyse_build, incremental_enabled, ModelArtifactCache, StaticAnalysis, StaticBuild,
+};
 
 /// How a session turns simulation events into exercised associations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -81,6 +83,13 @@ pub struct SessionConfig {
     /// [`DftSession::from_artifacts`], which inherits the automaton it is
     /// given. Raw reports are byte-identical either way.
     pub tracking: Tracking,
+    /// Whether the static stage may memoize per-model artifacts (the
+    /// `DFT_INCR` knob): unchanged models resolve from the process-wide
+    /// model-artifact cache — and, on
+    /// [`SessionArtifacts::build_incremental`], from the previous build —
+    /// instead of recomputing. Another artifact-build-time knob; reports
+    /// are byte-identical either way, `false` is the exact cold path.
+    pub incremental: bool,
 }
 
 impl SessionConfig {
@@ -95,6 +104,7 @@ impl SessionConfig {
             } else {
                 Tracking::Full
             },
+            incremental: incremental_enabled(),
         }
     }
 
@@ -113,6 +123,12 @@ impl SessionConfig {
     /// Overrides the tracking policy (builder style).
     pub fn with_tracking(mut self, tracking: Tracking) -> SessionConfig {
         self.tracking = tracking;
+        self
+    }
+
+    /// Overrides the incremental-memoization policy (builder style).
+    pub fn with_incremental(mut self, incremental: bool) -> SessionConfig {
+        self.incremental = incremental;
         self
     }
 }
@@ -138,6 +154,11 @@ pub struct SessionArtifacts {
     statics: StaticAnalysis,
     automaton: MatchAutomaton,
     tracking: Tracking,
+    /// Per-model decomposition of the static stage, retained so a later
+    /// [`SessionArtifacts::build_incremental`] can splice every unchanged
+    /// model instead of recomputing it.
+    static_build: StaticBuild,
+    models_rebuilt: usize,
 }
 
 impl SessionArtifacts {
@@ -150,13 +171,46 @@ impl SessionArtifacts {
     /// Runs the static stage on `config.threads` workers and freezes the
     /// artifacts with `config.tracking`.
     pub fn build_with(design: Design, config: &SessionConfig) -> Arc<SessionArtifacts> {
-        let statics = analyse_with_threads(&design, config.threads);
-        let automaton = MatchAutomaton::with_tracking(&design, &statics, config.tracking);
+        Self::assemble(design, None, config)
+    }
+
+    /// Like [`SessionArtifacts::build_with`], but diffs `design`'s
+    /// per-model content hashes against `prev` (a frozen build of an
+    /// earlier revision, typically of the same design family) and splices
+    /// every unchanged model's static artifact — and every cluster unit
+    /// whose inputs are unchanged — into the fresh [`StaticAnalysis`] and
+    /// [`MatchAutomaton`]. The result is byte-identical to a cold
+    /// [`SessionArtifacts::build_with`] of the same design; only the work
+    /// spent differs. With `config.incremental == false` this *is* the
+    /// cold build.
+    pub fn build_incremental(
+        design: Design,
+        prev: &SessionArtifacts,
+        config: &SessionConfig,
+    ) -> Arc<SessionArtifacts> {
+        Self::assemble(design, Some(prev), config)
+    }
+
+    fn assemble(
+        design: Design,
+        prev: Option<&SessionArtifacts>,
+        config: &SessionConfig,
+    ) -> Arc<SessionArtifacts> {
+        let cache = config.incremental.then(ModelArtifactCache::global);
+        let prev_build = if config.incremental {
+            prev.map(|p| &p.static_build)
+        } else {
+            None
+        };
+        let outcome = analyse_build(&design, config.threads, cache, prev_build);
+        let automaton = MatchAutomaton::with_tracking(&design, &outcome.analysis, config.tracking);
         Arc::new(SessionArtifacts {
             design,
-            statics,
+            statics: outcome.analysis,
             automaton,
             tracking: config.tracking,
+            static_build: outcome.build,
+            models_rebuilt: outcome.models_rebuilt,
         })
     }
 
@@ -173,6 +227,33 @@ impl SessionArtifacts {
     /// The [`Tracking`] policy the automaton was built with.
     pub fn tracking(&self) -> Tracking {
         self.tracking
+    }
+
+    /// How many user models the static stage actually recomputed when
+    /// these artifacts were built (the rest were spliced from the
+    /// process-wide model cache or a previous build).
+    pub fn models_rebuilt(&self) -> usize {
+        self.models_rebuilt
+    }
+
+    /// Number of user models in the design.
+    pub fn model_count(&self) -> usize {
+        self.static_build.model_count()
+    }
+
+    /// Re-runs only the static stage of an edited `design` against these
+    /// artifacts, without building a match automaton. Returns the fresh
+    /// analysis and how many models were actually recomputed. This is the
+    /// measurement target for the incremental-vs-cold benchmark: it
+    /// isolates exactly the work [`build_incremental`] saves, independent
+    /// of design construction and automaton cost.
+    ///
+    /// [`build_incremental`]: SessionArtifacts::build_incremental
+    pub fn reanalyse(&self, design: &Design, config: &SessionConfig) -> (StaticAnalysis, usize) {
+        let cache = config.incremental.then(ModelArtifactCache::global);
+        let prev_build = config.incremental.then_some(&self.static_build);
+        let outcome = analyse_build(design, config.threads, cache, prev_build);
+        (outcome.analysis, outcome.models_rebuilt)
     }
 }
 
@@ -1461,7 +1542,13 @@ void B::processing()
         obs::set_metrics_enabled(true);
 
         let (cluster, design) = build_cluster(0.1);
-        let mut session = DftSession::new(design).unwrap();
+        // Force a cold static build: with memoization on, another test's
+        // build of the same design could leave the model artifacts (and
+        // their warmed reachability caches) resident, and the
+        // reach-cache-miss assertion below would race test order.
+        let config = SessionConfig::from_env().with_incremental(false);
+        let artifacts = SessionArtifacts::build_with(design, &config);
+        let mut session = DftSession::from_artifacts(artifacts, config);
         session
             .run_testcase("TC_metrics_probe", cluster, SimTime::from_us(3))
             .unwrap();

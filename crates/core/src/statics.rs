@@ -17,12 +17,14 @@
 //!   start line (§V: "input ports are assigned the start location of their
 //!   TDF model"), e.g. `(ip_signal_in, 1, TS, 3, TS)`.
 
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
+use std::hash::{BuildHasherDefault, Hash, Hasher};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex, OnceLock};
 
 use dataflow::{
     analyse_subsumption, path_facts, BitSet, Cfg, DefSite as FlowDef, DuPair, Liveness, NodeId,
-    ReachingDefs, SUBSUMPTION_PATH_LIMIT,
+    ReachingDefs, SubsumptionGraph, SUBSUMPTION_PATH_LIMIT,
 };
 use tdf_interp::VarKind;
 use tdf_sim::{DefSite, ModuleClass, Netlist, PortRef};
@@ -145,6 +147,7 @@ impl StaticAnalysis {
 }
 
 /// Per-model analysis artefacts, cached for reuse.
+#[derive(Debug)]
 struct ModelFlow {
     cfg: Cfg,
     rd: ReachingDefs,
@@ -183,6 +186,267 @@ impl ModelFlow {
     }
 }
 
+/// Whether per-model artifact memoization is enabled: the `DFT_INCR`
+/// environment variable; `0` / `false` / `off` opt out to the exact
+/// non-memoized analysis path (no cache consultation, no splicing from a
+/// previous build). Reports are byte-identical either way — the knob only
+/// trades recomputation for memory.
+pub fn incremental_enabled() -> bool {
+    !matches!(
+        std::env::var("DFT_INCR"),
+        Ok(v) if v == "0" || v.eq_ignore_ascii_case("false") || v.eq_ignore_ascii_case("off")
+    )
+}
+
+/// FNV-1a accumulator — the same zero-dependency hash the interner and
+/// `dft-serve`'s artifact cache use. Implements [`Hasher`] so fingerprints
+/// stream `#[derive(Hash)]` AST/interface/netlist structure directly
+/// instead of hashing their `Debug` renderings (an order of magnitude
+/// cheaper, and it is also the `BuildHasherDefault` backing the merge-stage
+/// maps below).
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Fnv {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl Default for Fnv {
+    fn default() -> Fnv {
+        Fnv::new()
+    }
+}
+
+impl Hasher for Fnv {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // FNV-1a over 8-byte lanes (remainder byte-wise): same mixing
+        // shape, one multiply per word instead of per byte. Keys are
+        // process-internal, so the exact function only has to be
+        // deterministic within one run.
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.0 ^= u64::from_le_bytes(c.try_into().expect("8-byte chunk"));
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        for &b in chunks.remainder() {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+}
+
+/// FNV-backed hash map for the merge stage: the keys are association
+/// tuples (or their pre-computed keys) hashed many times per build, where
+/// SipHash dominates.
+type FnvMap<K, V> = HashMap<K, V, BuildHasherDefault<Fnv>>;
+
+/// Content key of one model: everything `compute_model_artifact` reads.
+///
+/// * the model's functions, hashed **with spans** — association tuples
+///   embed absolute source lines, so an edit that only shifts the model's
+///   code must change the key;
+/// * its [`Interface`](tdf_interp::Interface) (ports with rates/delays,
+///   members with initial values, timestep);
+/// * per input port, whether its upstream origin resolves external — the
+///   one netlist-dependent fact the pseudo-def stage consumes.
+fn model_fingerprint(design: &Design, model: &str) -> u64 {
+    let mut h = Fnv::new();
+    model.hash(&mut h);
+    for f in &design.tu().functions {
+        if f.model == model {
+            f.hash(&mut h);
+        }
+    }
+    0x1fu8.hash(&mut h);
+    if let Some(iface) = design.interface(model) {
+        iface.hash(&mut h);
+        for p in &iface.inputs {
+            p.name.hash(&mut h);
+            match upstream_origin(design.netlist(), model, &p.name) {
+                Origin::UserModel => 1u8.hash(&mut h),
+                Origin::External => 2u8.hash(&mut h),
+            }
+        }
+    }
+    h.finish()
+}
+
+/// Content key of the cluster binding information (the cluster-stage
+/// traversal reads the whole netlist).
+fn netlist_fingerprint(design: &Design) -> u64 {
+    let mut h = Fnv::new();
+    design.netlist().hash(&mut h);
+    h.finish()
+}
+
+/// Pre-computed merge key of one association tuple. Stored next to every
+/// emitted association at artifact/unit build time, so the merge's
+/// count / dedup / index maps hash one `u64` per lookup instead of
+/// re-hashing the tuple's strings on every build — cached artifacts carry
+/// their keys along. Key equality is always confirmed by a tuple equality
+/// check before it affects the output, so a 64-bit collision can never
+/// change a report.
+fn assoc_key(a: &Association) -> u64 {
+    let mut h = Fnv::new();
+    a.hash(&mut h);
+    h.finish()
+}
+
+/// Subsumption candidates of one model, frozen at artifact-build time.
+///
+/// `candidates` are the Local/Member du-pairs whose association tuple was
+/// emitted exactly once by *this model's own* stages — a superset of the
+/// globally eligible set (another model or the cluster stage can still
+/// collide on the tuple design-wide). The merge checks global uniqueness
+/// and reuses `graph` when nothing collided, which is the overwhelmingly
+/// common case.
+#[derive(Debug)]
+struct ModelSub {
+    /// `(du-pair, its association tuple, the tuple's [`assoc_key`])` in
+    /// `rd.pairs()` order.
+    candidates: Vec<(DuPair, Association, u64)>,
+    /// Subsumption graph over all `candidates` (`None` when fewer than 2).
+    graph: Option<SubsumptionGraph>,
+}
+
+/// Everything the static stage derives from one model's keyed material:
+/// flow (CFG + reaching definitions + warmed reachability cache),
+/// intra-model associations in emission order, lints, and the per-model
+/// subsumption candidates. Immutable once built and `Sync`, so one
+/// `Arc<ModelArtifact>` is shared between the process-wide
+/// [`ModelArtifactCache`], retained [`StaticBuild`]s and in-flight merges.
+#[derive(Debug)]
+pub(crate) struct ModelArtifact {
+    /// `None` when classifying the model panicked — the artifact then
+    /// carries the [`StaticLint::AnalysisPanicked`] lint instead.
+    flow: Option<ModelFlow>,
+    /// Intra-model + cross-activation + pseudo-def associations, in the
+    /// exact order the worker emitted them (dedup keeps the first).
+    assocs: Vec<ClassifiedAssoc>,
+    /// [`assoc_key`] of each entry of `assocs`, same order.
+    assoc_keys: Vec<u64>,
+    lints: Vec<StaticLint>,
+    /// `None` iff `flow` is `None`.
+    sub: Option<ModelSub>,
+}
+
+/// Capacity of the process-wide model-artifact cache. Artifacts are small
+/// (one CFG + reaching-defs + association vector per model); this bounds
+/// residency far above any realistic concurrent design set.
+const MODEL_CACHE_CAPACITY: usize = 1024;
+
+/// A bounded, thread-safe, LRU cache of [`ModelArtifact`]s keyed by
+/// [`model_fingerprint`] — same zero-dependency style as `dft-serve`'s
+/// whole-design `ArtifactCache`, one level below it: `analyse_with_threads`
+/// consults the process-wide instance so re-analysing a design in which a
+/// model is unchanged pays a hash lookup instead of a CFG + reaching-defs
+/// + classification rebuild for that model.
+pub(crate) struct ModelArtifactCache {
+    entries: Mutex<VecDeque<(u64, Arc<ModelArtifact>)>>,
+    capacity: usize,
+}
+
+impl ModelArtifactCache {
+    /// Creates a cache holding at most `capacity` model artifacts (min 1).
+    pub(crate) fn new(capacity: usize) -> ModelArtifactCache {
+        ModelArtifactCache {
+            entries: Mutex::new(VecDeque::new()),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The process-wide instance consulted by [`analyse_with_threads`].
+    pub(crate) fn global() -> &'static ModelArtifactCache {
+        static GLOBAL: OnceLock<ModelArtifactCache> = OnceLock::new();
+        GLOBAL.get_or_init(|| ModelArtifactCache::new(MODEL_CACHE_CAPACITY))
+    }
+
+    /// Looks up `key`, promoting a hit to most-recently-used.
+    fn lookup(&self, key: u64) -> Option<Arc<ModelArtifact>> {
+        let mut entries = self.entries.lock().unwrap_or_else(|p| p.into_inner());
+        let pos = entries.iter().position(|(k, _)| *k == key)?;
+        let entry = entries.remove(pos).expect("position came from this deque");
+        let found = Arc::clone(&entry.1);
+        entries.push_back(entry);
+        Some(found)
+    }
+
+    /// Inserts (or refreshes) `key`, evicting least-recently-used entries
+    /// beyond capacity.
+    fn insert(&self, key: u64, artifact: &Arc<ModelArtifact>) {
+        let mut entries = self.entries.lock().unwrap_or_else(|p| p.into_inner());
+        if let Some(pos) = entries.iter().position(|(k, _)| *k == key) {
+            let entry = entries.remove(pos).expect("position came from this deque");
+            entries.push_back(entry);
+            return;
+        }
+        while entries.len() >= self.capacity {
+            entries.pop_front();
+        }
+        entries.push_back((key, Arc::clone(artifact)));
+    }
+
+    /// Number of resident artifacts.
+    #[cfg(test)]
+    fn len(&self) -> usize {
+        self.entries.lock().unwrap_or_else(|p| p.into_inner()).len()
+    }
+}
+
+/// Cluster-stage result of one model within a [`StaticBuild`].
+#[derive(Debug, Clone)]
+struct ClusterUnit {
+    /// Cluster-level associations emitted from this model's output ports.
+    assocs: Vec<ClassifiedAssoc>,
+    /// [`assoc_key`] of each entry of `assocs`, same order.
+    assoc_keys: Vec<u64>,
+    /// The panic lint when the traversal panicked (assocs then empty).
+    lint: Option<StaticLint>,
+    /// Destination models whose flows the emission consulted; reuse of
+    /// this unit requires each of their fingerprints unchanged.
+    deps: Vec<String>,
+}
+
+/// One model's slot in a [`StaticBuild`].
+#[derive(Debug)]
+struct PerModelBuild {
+    name: String,
+    key: u64,
+    artifact: Arc<ModelArtifact>,
+    cluster: ClusterUnit,
+}
+
+/// The per-model decomposition of one finished static analysis, retained
+/// inside `SessionArtifacts` so a later build of an *edited* design can
+/// splice every unchanged model's artifact — and every cluster unit whose
+/// inputs (netlist, own model, destination models) are unchanged — instead
+/// of recomputing them.
+#[derive(Debug)]
+pub(crate) struct StaticBuild {
+    netlist_key: u64,
+    models: Vec<PerModelBuild>,
+}
+
+impl StaticBuild {
+    /// Number of user models this analysis covered.
+    pub(crate) fn model_count(&self) -> usize {
+        self.models.len()
+    }
+}
+
+/// A finished static stage: the analysis plus its per-model decomposition
+/// and how many models actually had to be recomputed.
+pub(crate) struct StaticOutcome {
+    pub(crate) analysis: StaticAnalysis,
+    pub(crate) build: StaticBuild,
+    pub(crate) models_rebuilt: usize,
+}
+
 /// Runs the full static analysis over `design`, fanning the per-model work
 /// out across [`crate::thread_count`] workers.
 pub fn analyse(design: &Design) -> StaticAnalysis {
@@ -193,105 +457,339 @@ pub fn analyse(design: &Design) -> StaticAnalysis {
 ///
 /// The result is byte-identical for every `threads` value: workers only
 /// compute per-model artefacts, and the merge walks models in
-/// `design.user_models()` order, exactly like the sequential loop.
+/// `design.user_models()` order, exactly like the sequential loop. Unless
+/// `DFT_INCR=0`, unchanged models resolve from the process-wide
+/// [`ModelArtifactCache`] instead of recomputing — with byte-identical
+/// output either way.
 pub fn analyse_with_threads(design: &Design, threads: usize) -> StaticAnalysis {
+    let cache = incremental_enabled().then(ModelArtifactCache::global);
+    analyse_build(design, threads, cache, None).analysis
+}
+
+/// Computes one model's full artifact (the per-model worker body).
+///
+/// The work is isolated with `catch_unwind`: a panic while classifying one
+/// model (an internal invariant tripping on its source) degrades to a
+/// `StaticLint::AnalysisPanicked` instead of tearing down the whole
+/// analysis. Workers only *read* the shared `&Design`, so an unwind cannot
+/// leave shared state torn — `AssertUnwindSafe` is sound.
+fn compute_model_artifact(design: &Design, model: &str) -> ModelArtifact {
+    let _span = obs::span("static.model_classify");
+    let isolated = catch_unwind(AssertUnwindSafe(|| {
+        let flow = ModelFlow::compute(design, model);
+        let mut assocs = Vec::new();
+        let mut lints = Vec::new();
+        intra_model(design, model, &flow, &mut assocs);
+        member_cross_activation(design, model, &flow, &mut assocs);
+        input_port_pseudo_defs(design, model, &flow, &mut assocs);
+        lint_model(design, model, &flow, &mut lints);
+        let sub = model_subsumption(design, model, &flow, &assocs);
+        (flow, assocs, lints, sub)
+    }));
+    match isolated {
+        Ok((flow, assocs, lints, sub)) => {
+            let assoc_keys = assocs.iter().map(|c| assoc_key(&c.assoc)).collect();
+            ModelArtifact {
+                flow: Some(flow),
+                assocs,
+                assoc_keys,
+                lints,
+                sub: Some(sub),
+            }
+        }
+        Err(payload) => ModelArtifact {
+            flow: None,
+            assocs: Vec::new(),
+            assoc_keys: Vec::new(),
+            lints: vec![StaticLint::AnalysisPanicked {
+                model: model.to_owned(),
+                payload: panic_payload_str(payload),
+            }],
+            sub: None,
+        },
+    }
+}
+
+/// Collects the model's subsumption candidates and pre-computes their
+/// graph (moving that work off the merge thread and into the cacheable
+/// per-model unit).
+fn model_subsumption(
+    design: &Design,
+    model: &str,
+    flow: &ModelFlow,
+    own_emissions: &[ClassifiedAssoc],
+) -> ModelSub {
+    let mut count: HashMap<&Association, u32> = HashMap::new();
+    for c in own_emissions {
+        *count.entry(&c.assoc).or_insert(0) += 1;
+    }
+    let mut candidates: Vec<(DuPair, Association, u64)> = Vec::new();
+    for pair in flow.rd.pairs() {
+        match design.kind_of(model, &pair.var) {
+            VarKind::Local | VarKind::Member => {}
+            VarKind::InPort(_) | VarKind::OutPort(_) => continue,
+        }
+        let assoc = Association::new(
+            pair.var.clone(),
+            flow.rd.def(pair.def).line,
+            model,
+            pair.use_line,
+            model,
+        );
+        if count.get(&assoc) != Some(&1) {
+            continue;
+        }
+        let key = assoc_key(&assoc);
+        candidates.push((pair.clone(), assoc, key));
+    }
+    let graph = (candidates.len() >= 2).then(|| {
+        let pairs: Vec<DuPair> = candidates.iter().map(|(p, _, _)| p.clone()).collect();
+        analyse_subsumption(&flow.cfg, &flow.rd, &pairs, SUBSUMPTION_PATH_LIMIT)
+    });
+    ModelSub { candidates, graph }
+}
+
+/// The full static stage with explicit memoization inputs: an optional
+/// process-wide [`ModelArtifactCache`] and an optional previous
+/// [`StaticBuild`] to splice unchanged models (and unchanged cluster
+/// units) from. Both `None` is the exact cold path.
+///
+/// The merge is byte-identical to the historical single-pass analysis for
+/// every combination of inputs: per-model association blocks concatenate
+/// in `design.user_models()` order, then cluster blocks in the same order,
+/// then the historical dedup / sort / subsumption mapping runs over the
+/// concatenation.
+pub(crate) fn analyse_build(
+    design: &Design,
+    threads: usize,
+    cache: Option<&ModelArtifactCache>,
+    prev: Option<&StaticBuild>,
+) -> StaticOutcome {
     let _stage = obs::span("stage.static");
     static MODELS_ANALYSED: obs::Counter = obs::Counter::new("static.models_analysed");
+    static MODEL_HIT: obs::Counter = obs::Counter::new("static.model_cache.hit");
+    static MODEL_MISS: obs::Counter = obs::Counter::new("static.model_cache.miss");
+    static REBUILT: obs::Counter = obs::Counter::new("incremental.models_rebuilt");
     let models = design.user_models();
     MODELS_ANALYSED.add(models.len() as u64);
+    // Keys only matter when there is something to look them up in or a
+    // build to splice from; the pure-cold path (DFT_INCR=0) skips the
+    // fingerprint pass entirely. A build stored with zero keys can never
+    // match a real fingerprint later, so splicing from it is a safe no-op.
+    let keyed = cache.is_some() || prev.is_some();
+    let (keys, netlist_key) = if keyed {
+        let _span = obs::span("static.fingerprint");
+        let keys: Vec<u64> = models
+            .iter()
+            .map(|&m| model_fingerprint(design, m))
+            .collect();
+        (keys, netlist_fingerprint(design))
+    } else {
+        (vec![0; models.len()], 0)
+    };
 
-    // Per-model flow construction + intra-model classification fan out;
-    // each worker also warms the model's reachability cache, which the
-    // cluster stage below reuses.
-    // Each work item is isolated with `catch_unwind`: a panic while
-    // classifying one model (an internal invariant tripping on its source)
-    // degrades to a `StaticLint::AnalysisPanicked` instead of tearing down
-    // the whole analysis. Workers only *read* the shared `&Design`, so an
-    // unwind cannot leave shared state torn — `AssertUnwindSafe` is sound.
-    let per_model: Vec<(Vec<ClassifiedAssoc>, Vec<StaticLint>, Option<ModelFlow>)> =
-        crate::par::par_map(&models, threads, |&model| {
-            let _span = obs::span("static.model_classify");
-            let isolated = catch_unwind(AssertUnwindSafe(|| {
-                let flow = ModelFlow::compute(design, model);
-                let mut assocs = Vec::new();
-                let mut lints = Vec::new();
-                intra_model(design, model, &flow, &mut assocs);
-                member_cross_activation(design, model, &flow, &mut assocs);
-                input_port_pseudo_defs(design, model, &flow, &mut assocs);
-                lint_model(design, model, &flow, &mut lints);
-                (assocs, lints, flow)
-            }));
-            match isolated {
-                Ok((assocs, lints, flow)) => (assocs, lints, Some(flow)),
-                Err(payload) => (
-                    Vec::new(),
-                    vec![StaticLint::AnalysisPanicked {
-                        model: model.to_owned(),
-                        payload: panic_payload_str(payload),
-                    }],
-                    None,
-                ),
+    // Resolve per-model artifacts: the previous build first (no lock, no
+    // eviction pressure), then the shared cache; whatever is left fans out
+    // to workers exactly like the cold path.
+    let mut artifacts: Vec<Option<Arc<ModelArtifact>>> = vec![None; models.len()];
+    if keyed {
+        for (slot, (&model, &key)) in artifacts.iter_mut().zip(models.iter().zip(&keys)) {
+            let found = prev
+                .and_then(|p| p.models.iter().find(|m| m.name == model && m.key == key))
+                .map(|m| Arc::clone(&m.artifact))
+                .or_else(|| cache.and_then(|c| c.lookup(key)));
+            match found {
+                Some(art) => {
+                    MODEL_HIT.add(1);
+                    *slot = Some(art);
+                }
+                None => MODEL_MISS.add(1),
             }
-        });
+        }
+    }
+    let missing: Vec<usize> = (0..models.len())
+        .filter(|&i| artifacts[i].is_none())
+        .collect();
+    let models_rebuilt = missing.len();
+    REBUILT.add(models_rebuilt as u64);
+    let rebuilt: Vec<Arc<ModelArtifact>> = crate::par::par_map(&missing, threads, |&i| {
+        Arc::new(compute_model_artifact(design, models[i]))
+    });
+    for (&i, art) in missing.iter().zip(&rebuilt) {
+        artifacts[i] = Some(Arc::clone(art));
+    }
+    let artifacts: Vec<Arc<ModelArtifact>> = artifacts
+        .into_iter()
+        .map(|a| a.expect("every slot resolved or rebuilt"))
+        .collect();
+    if let Some(cache) = cache {
+        for (key, art) in keys.iter().zip(&artifacts) {
+            cache.insert(*key, art);
+        }
+    }
 
-    let mut out: Vec<ClassifiedAssoc> = Vec::new();
-    let mut lints = Vec::new();
-    let mut flows: HashMap<String, ModelFlow> = HashMap::new();
-    for (model, (assocs, model_lints, flow)) in models.iter().zip(per_model) {
-        out.extend(assocs);
-        lints.extend(model_lints);
-        if let Some(flow) = flow {
-            flows.insert((*model).to_owned(), flow);
+    let mut out: Vec<(ClassifiedAssoc, u64)> =
+        Vec::with_capacity(artifacts.iter().map(|a| a.assocs.len()).sum());
+    let mut lints: Vec<StaticLint> = Vec::new();
+    for art in &artifacts {
+        out.extend(
+            art.assocs
+                .iter()
+                .cloned()
+                .zip(art.assoc_keys.iter().copied()),
+        );
+        lints.extend(art.lints.iter().cloned());
+    }
+
+    // Flow lookup for the cluster stage, by name: a later same-named model
+    // overwrites an earlier one, exactly like the historical HashMap
+    // insert order. A missing entry means that model's classify stage
+    // panicked; `cluster_ports` skips it.
+    let mut flows: HashMap<&str, &ModelFlow> = HashMap::new();
+    for (&model, art) in models.iter().zip(&artifacts) {
+        if let Some(flow) = &art.flow {
+            flows.insert(model, flow);
         }
     }
 
     // The cluster stage reads all flows at once, so it runs after the
-    // barrier above — again one model per work item, merged in order, with
-    // the same per-model panic isolation. A model whose flow is missing
-    // (its classify stage panicked) is skipped by `cluster_ports`.
-    let cluster: Vec<(Vec<ClassifiedAssoc>, Option<StaticLint>)> =
-        crate::par::par_map(&models, threads, |&model| {
-            let _span = obs::span("static.cluster_ports");
-            let isolated = catch_unwind(AssertUnwindSafe(|| {
-                let mut assocs = Vec::new();
-                cluster_ports(design, model, &flows, &mut assocs);
-                assocs
-            }));
-            match isolated {
-                Ok(assocs) => (assocs, None),
-                Err(payload) => (
-                    Vec::new(),
-                    Some(StaticLint::AnalysisPanicked {
-                        model: model.to_owned(),
-                        payload: panic_payload_str(payload),
-                    }),
-                ),
+    // fan-in above. A unit is spliced from the previous build iff the
+    // netlist, the emitting model, and every destination model it
+    // consulted are fingerprint-unchanged (panicked units never splice —
+    // their dependency set is unknown); the rest recompute one model per
+    // work item with the same per-model panic isolation as before.
+    let mut cluster: Vec<Option<ClusterUnit>> = vec![None; models.len()];
+    if let Some(p) = prev {
+        if p.netlist_key == netlist_key {
+            for (i, (&model, &key)) in models.iter().zip(&keys).enumerate() {
+                let Some(pm) = p.models.iter().find(|m| m.name == model && m.key == key) else {
+                    continue;
+                };
+                if pm.cluster.lint.is_some() {
+                    continue;
+                }
+                let deps_unchanged = pm.cluster.deps.iter().all(|dep| {
+                    let cur = models.iter().position(|&m| m == dep.as_str());
+                    let old = p.models.iter().find(|m| &m.name == dep);
+                    matches!((cur, old), (Some(j), Some(o)) if o.key == keys[j])
+                });
+                if deps_unchanged {
+                    cluster[i] = Some(pm.cluster.clone());
+                }
             }
-        });
-    for (assocs, lint) in cluster {
-        out.extend(assocs);
-        lints.extend(lint);
+        }
+    }
+    let todo: Vec<usize> = (0..models.len())
+        .filter(|&i| cluster[i].is_none())
+        .collect();
+    let computed: Vec<ClusterUnit> = crate::par::par_map(&todo, threads, |&i| {
+        let _span = obs::span("static.cluster_ports");
+        let isolated = catch_unwind(AssertUnwindSafe(|| {
+            let mut assocs = Vec::new();
+            let mut deps = BTreeSet::new();
+            cluster_ports(design, models[i], &flows, &mut assocs, &mut deps);
+            (assocs, deps)
+        }));
+        match isolated {
+            Ok((assocs, deps)) => {
+                let assoc_keys = assocs.iter().map(|c| assoc_key(&c.assoc)).collect();
+                ClusterUnit {
+                    assocs,
+                    assoc_keys,
+                    lint: None,
+                    deps: deps.into_iter().collect(),
+                }
+            }
+            Err(payload) => ClusterUnit {
+                assocs: Vec::new(),
+                assoc_keys: Vec::new(),
+                lint: Some(StaticLint::AnalysisPanicked {
+                    model: models[i].to_owned(),
+                    payload: panic_payload_str(payload),
+                }),
+                deps: Vec::new(),
+            },
+        }
+    });
+    for (&i, unit) in todo.iter().zip(computed) {
+        cluster[i] = Some(unit);
+    }
+    let cluster: Vec<ClusterUnit> = cluster
+        .into_iter()
+        .map(|c| c.expect("every cluster slot spliced or computed"))
+        .collect();
+    for unit in &cluster {
+        out.extend(
+            unit.assocs
+                .iter()
+                .cloned()
+                .zip(unit.assoc_keys.iter().copied()),
+        );
+        lints.extend(unit.lint.iter().cloned());
     }
 
+    let _merge_span = obs::span("static.merge");
     // Pre-dedup emission counts: a tuple emitted more than once (member
     // cross-activation wrap, same-line def collisions, …) does not map
     // one-to-one onto a du-pair, so the subsumption stage below must
     // leave it tracked.
-    let mut tuple_count: HashMap<&Association, u32> = HashMap::new();
-    for c in &out {
-        *tuple_count.entry(&c.assoc).or_insert(0) += 1;
-    }
-    let unique_tuples: HashSet<Association> = tuple_count
-        .iter()
-        .filter(|&(_, &n)| n == 1)
-        .map(|(a, _)| (*a).clone())
-        .collect();
+    // One pass over the pre-computed keys computes both: the keep mask
+    // ("is this the first occurrence") and the duplicate tuples — the
+    // tuples emitted *more than once*. Candidate tuples were all emitted
+    // (count >= 1), so "unique" == "not a duplicate", and duplicates are
+    // rare, keeping the set (and its clones) tiny instead of cloning
+    // every tuple in the design. Distinct tuples sharing a 64-bit key are
+    // counted exactly in the equality-keyed overflow map, so a collision
+    // can never merge two different tuples.
+    let (keep, dup_tuples) = {
+        let mut counts: FnvMap<u64, (u32, u32)> =
+            FnvMap::with_capacity_and_hasher(out.len(), Default::default());
+        let mut overflow: FnvMap<&Association, u32> = FnvMap::default();
+        let mut keep: Vec<bool> = Vec::with_capacity(out.len());
+        for (i, (c, key)) in out.iter().enumerate() {
+            match counts.entry(*key) {
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert((i as u32, 1));
+                    keep.push(true);
+                }
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    let (first, n) = e.get_mut();
+                    if out[*first as usize].0.assoc == c.assoc {
+                        *n += 1;
+                        keep.push(false);
+                    } else {
+                        let n = overflow.entry(&c.assoc).or_insert(0);
+                        keep.push(*n == 0);
+                        *n += 1;
+                    }
+                }
+            }
+        }
+        let mut dup_tuples: FnvMap<u64, Vec<Association>> = FnvMap::default();
+        for (&key, &(first, n)) in &counts {
+            if n > 1 {
+                dup_tuples
+                    .entry(key)
+                    .or_default()
+                    .push(out[first as usize].0.assoc.clone());
+            }
+        }
+        for (assoc, &n) in &overflow {
+            if n > 1 {
+                dup_tuples
+                    .entry(assoc_key(assoc))
+                    .or_default()
+                    .push((*assoc).clone());
+            }
+        }
+        (keep, dup_tuples)
+    };
 
     // Deduplicate on the tuple, keeping the first (intra-activation)
     // classification, then sort into report order.
-    let mut seen: HashSet<Association> = HashSet::new();
-    out.retain(|c| seen.insert(c.assoc.clone()));
-    out.sort_by(|a, b| {
+    let mut it = keep.iter();
+    out.retain(|_| *it.next().expect("keep mask covers every association"));
+    out.sort_by(|(a, _), (b, _)| {
         (
             a.class,
             &a.assoc.def_model,
@@ -308,87 +806,134 @@ pub fn analyse_with_threads(design: &Design, threads: usize) -> StaticAnalysis {
             ))
     });
 
-    let subsumption = compute_subsumption(design, &flows, &out, &unique_tuples);
+    let subsumption = merge_subsumption(&models, &artifacts, &out, &dup_tuples);
 
-    StaticAnalysis {
-        associations: out,
-        lints,
-        subsumption,
+    let build = StaticBuild {
+        netlist_key,
+        models: models
+            .iter()
+            .zip(keys)
+            .zip(artifacts.iter().zip(cluster))
+            .map(|((&name, key), (artifact, cluster))| PerModelBuild {
+                name: name.to_owned(),
+                key,
+                artifact: Arc::clone(artifact),
+                cluster,
+            })
+            .collect(),
+    };
+    StaticOutcome {
+        analysis: StaticAnalysis {
+            associations: out.into_iter().map(|(c, _)| c).collect(),
+            lints,
+            subsumption,
+        },
+        build,
+        models_rebuilt,
     }
 }
 
-/// Computes the subsumption reduction over the final association set.
+/// Maps the per-model subsumption graphs onto the final association set.
 ///
 /// Per model (in `design.user_models()` order, so the result is identical
-/// for every worker count), the eligible du-pairs — intra-model locals and
-/// members whose tuple was emitted exactly once, so pair and association
-/// correspond one-to-one — are fed to [`analyse_subsumption`]; local
-/// frontier/dropped indices are then mapped onto global association
-/// indices. Everything ineligible stays tracked conservatively.
-fn compute_subsumption(
-    design: &Design,
-    flows: &HashMap<String, ModelFlow>,
-    associations: &[ClassifiedAssoc],
-    unique_tuples: &HashSet<Association>,
+/// for every worker count), the eligible du-pairs — the artifact's
+/// candidates whose tuple stayed unique *design-wide* — map their local
+/// frontier/dropped indices onto global association indices. When every
+/// candidate survived the global check (the common case) the artifact's
+/// pre-computed graph is reused as-is; otherwise the graph is recomputed
+/// over the filtered pair set, which is exactly what the historical
+/// merge-thread pass computed. Everything ineligible stays tracked
+/// conservatively.
+fn merge_subsumption(
+    models: &[&str],
+    artifacts: &[Arc<ModelArtifact>],
+    associations: &[(ClassifiedAssoc, u64)],
+    dup_tuples: &FnvMap<u64, Vec<Association>>,
 ) -> SubsumptionInfo {
     let _span = obs::span("static.subsumption");
     let n = associations.len();
-    let index_of: HashMap<&Association, usize> = associations
-        .iter()
-        .enumerate()
-        .map(|(i, c)| (&c.assoc, i))
-        .collect();
+    // Keyed by the pre-computed tuple key; first index wins (the entries
+    // are already deduplicated, so two slots sharing a key is a 64-bit
+    // collision of *distinct* tuples). Lookups equality-check the slot
+    // before use — a collision victim just stays conservatively tracked.
+    let mut index_of: FnvMap<u64, usize> = FnvMap::with_capacity_and_hasher(n, Default::default());
+    for (i, (_, key)) in associations.iter().enumerate() {
+        index_of.entry(*key).or_insert(i);
+    }
+    // Same-named duplicate resolution as the historical flows HashMap:
+    // the last instance wins (duplicate names share all keyed material,
+    // so their artifacts are identical anyway).
+    let mut by_name: HashMap<&str, &ModelArtifact> = HashMap::new();
+    for (&model, art) in models.iter().zip(artifacts) {
+        if art.flow.is_some() {
+            by_name.insert(model, art);
+        }
+    }
     let mut dropped = BitSet::new(n);
     let mut implied_by: Vec<(u32, BitSet)> = Vec::new();
 
-    for model in design.user_models() {
-        let Some(flow) = flows.get(model) else {
+    for &model in models {
+        let Some(art) = by_name.get(model) else {
             continue;
         };
-        let mut eligible: Vec<DuPair> = Vec::new();
-        let mut global: Vec<usize> = Vec::new();
-        for pair in flow.rd.pairs() {
-            match design.kind_of(model, &pair.var) {
-                VarKind::Local | VarKind::Member => {}
-                VarKind::InPort(_) | VarKind::OutPort(_) => continue,
-            }
-            let assoc = Association::new(
-                pair.var.clone(),
-                flow.rd.def(pair.def).line,
-                model,
-                pair.use_line,
-                model,
-            );
-            if !unique_tuples.contains(&assoc) {
-                continue;
-            }
-            let Some(&gi) = index_of.get(&assoc) else {
-                continue;
-            };
-            eligible.push(pair.clone());
-            global.push(gi);
-        }
+        let (Some(flow), Some(sub)) = (&art.flow, &art.sub) else {
+            continue;
+        };
+        let eligible: Vec<(usize, usize)> = sub
+            .candidates
+            .iter()
+            .enumerate()
+            .filter(|(_, (_, assoc, key))| {
+                !dup_tuples
+                    .get(key)
+                    .is_some_and(|dups| dups.iter().any(|d| d == assoc))
+            })
+            .filter_map(|(i, (_, assoc, key))| {
+                index_of
+                    .get(key)
+                    .filter(|&&gi| &associations[gi].0.assoc == assoc)
+                    .map(|&gi| (i, gi))
+            })
+            .collect();
         if eligible.len() < 2 {
             continue;
         }
-        let g = analyse_subsumption(&flow.cfg, &flow.rd, &eligible, SUBSUMPTION_PATH_LIMIT);
-        for (i, &gi) in global.iter().enumerate() {
-            if !g.frontier.contains(i) {
+        let recomputed: Option<SubsumptionGraph>;
+        let g: &SubsumptionGraph = if eligible.len() == sub.candidates.len() {
+            match &sub.graph {
+                Some(g) => g,
+                None => continue,
+            }
+        } else {
+            let pairs: Vec<DuPair> = eligible
+                .iter()
+                .map(|&(i, _)| sub.candidates[i].0.clone())
+                .collect();
+            recomputed = Some(analyse_subsumption(
+                &flow.cfg,
+                &flow.rd,
+                &pairs,
+                SUBSUMPTION_PATH_LIMIT,
+            ));
+            recomputed.as_ref().expect("just set")
+        };
+        for (k, &(_, gi)) in eligible.iter().enumerate() {
+            if !g.frontier.contains(k) {
                 dropped.insert(gi);
             }
         }
-        for i in 0..eligible.len() {
-            if !g.frontier.contains(i) {
+        for k in 0..eligible.len() {
+            if !g.frontier.contains(k) {
                 continue;
             }
             let mut implied = BitSet::new(n);
-            for j in g.subsumes[i].iter() {
-                if j != i && !g.frontier.contains(j) {
-                    implied.insert(global[j]);
+            for j in g.subsumes[k].iter() {
+                if j != k && !g.frontier.contains(j) {
+                    implied.insert(eligible[j].1);
                 }
             }
             if !implied.is_empty() {
-                implied_by.push((global[i] as u32, implied));
+                implied_by.push((eligible[k].1 as u32, implied));
             }
         }
     }
@@ -653,11 +1198,17 @@ fn walk_branches(
 }
 
 /// Cluster-level associations from every output port of `model`.
+///
+/// `deps` collects the destination models whose flows the emission
+/// consulted — the reuse precondition an incremental rebuild checks
+/// (alongside the netlist and the emitting model itself) before splicing
+/// this unit from a previous build.
 fn cluster_ports(
     design: &Design,
     model: &str,
-    flows: &HashMap<String, ModelFlow>,
+    flows: &HashMap<&str, &ModelFlow>,
     out: &mut Vec<ClassifiedAssoc>,
+    deps: &mut BTreeSet<String>,
 ) {
     let Some(iface) = design.interface(model) else {
         return;
@@ -678,6 +1229,7 @@ fn cluster_ports(
             by_dest.entry(b.dest.model.as_str()).or_default().push(b);
         }
         for (dest_model, group) in by_dest {
+            deps.insert(dest_model.to_owned());
             let has_original = group.iter().any(|b| b.site.is_none());
             let has_redefined = group.iter().any(|b| b.site.is_some());
             let class = match (has_original, has_redefined) {
@@ -811,6 +1363,39 @@ mod tests {
         sa.associations
             .iter()
             .find(|c| c.assoc == Association::new(var, d, dm, u, um))
+    }
+
+    fn empty_artifact() -> Arc<ModelArtifact> {
+        Arc::new(ModelArtifact {
+            flow: None,
+            assocs: Vec::new(),
+            assoc_keys: Vec::new(),
+            lints: Vec::new(),
+            sub: None,
+        })
+    }
+
+    #[test]
+    fn model_artifact_cache_evicts_least_recently_used() {
+        let cache = ModelArtifactCache::new(2);
+        cache.insert(1, &empty_artifact());
+        cache.insert(2, &empty_artifact());
+        assert_eq!(cache.len(), 2);
+
+        // Touch 1 so 2 becomes the LRU entry, then overflow.
+        assert!(cache.lookup(1).is_some());
+        cache.insert(3, &empty_artifact());
+        assert_eq!(cache.len(), 2);
+        assert!(cache.lookup(2).is_none(), "LRU entry should be evicted");
+        assert!(cache.lookup(1).is_some());
+        assert!(cache.lookup(3).is_some());
+
+        // Re-inserting a resident key refreshes recency, never grows.
+        cache.insert(1, &empty_artifact());
+        assert_eq!(cache.len(), 2);
+        cache.insert(4, &empty_artifact());
+        assert!(cache.lookup(3).is_none(), "refreshed key should survive");
+        assert!(cache.lookup(1).is_some());
     }
 
     /// A two-model design: A computes and drives B directly and through a

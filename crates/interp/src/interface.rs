@@ -25,7 +25,7 @@ impl VarKind {
 }
 
 /// Declared interface of one minic TDF model.
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq, Hash)]
 pub struct Interface {
     /// Input port specs, index order.
     pub inputs: Vec<PortSpec>,

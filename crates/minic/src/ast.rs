@@ -177,7 +177,7 @@ impl fmt::Display for AssignOp {
 }
 
 /// An expression with its source span.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Hash)]
 pub struct Expr {
     /// What kind of expression this is.
     pub kind: ExprKind,
@@ -271,8 +271,45 @@ pub enum ExprKind {
     },
 }
 
+/// Hashes by discriminant and exact bit pattern (`f64::to_bits` for float
+/// literals). Used for content fingerprinting of parsed sources, not as a
+/// map key — `ExprKind` is deliberately not `Eq` (NaN literals).
+impl std::hash::Hash for ExprKind {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        std::mem::discriminant(self).hash(state);
+        match self {
+            ExprKind::IntLit(v) => v.hash(state),
+            ExprKind::FloatLit(v) => v.to_bits().hash(state),
+            ExprKind::BoolLit(v) => v.hash(state),
+            ExprKind::Var(name) => name.hash(state),
+            ExprKind::Unary(op, e) => {
+                op.hash(state);
+                e.hash(state);
+            }
+            ExprKind::Binary(op, l, r) => {
+                op.hash(state);
+                l.hash(state);
+                r.hash(state);
+            }
+            ExprKind::Call { callee, args } => {
+                callee.hash(state);
+                args.hash(state);
+            }
+            ExprKind::MethodCall {
+                receiver,
+                method,
+                args,
+            } => {
+                receiver.hash(state);
+                method.hash(state);
+                args.hash(state);
+            }
+        }
+    }
+}
+
 /// A statement with identity and source span.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Hash)]
 pub struct Stmt {
     /// Unique id within the translation unit.
     pub id: StmtId,
@@ -283,7 +320,7 @@ pub struct Stmt {
 }
 
 /// The different kinds of statement.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Hash)]
 pub enum StmtKind {
     /// Local declaration `double x = e;` (the initializer is optional).
     Decl {
@@ -352,7 +389,7 @@ pub enum StmtKind {
 }
 
 /// A `{ ... }` sequence of statements.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Hash)]
 pub struct Block {
     /// The statements in order.
     pub stmts: Vec<Stmt>,
@@ -371,7 +408,7 @@ impl Block {
 }
 
 /// A function definition, e.g. `void TS::processing() { ... }`.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Hash)]
 pub struct Function {
     /// The TDF model (class) name, e.g. `TS`; empty for free functions.
     pub model: String,

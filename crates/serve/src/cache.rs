@@ -8,8 +8,10 @@
 //! mode the automaton is built with, and shared across tenants via `Arc`.
 //!
 //! The cache is bounded: once `capacity` distinct designs are resident,
-//! the oldest entry is evicted (insertion-order FIFO — the design set per
-//! deployment is tiny and stable, so recency tracking would buy nothing).
+//! the **least-recently-used** entry is evicted. Lookups promote their
+//! entry to most-recently-used, so a hot design interleaved with many
+//! one-off designs stays resident no matter how many distinct keys pass
+//! through (the FIFO policy this replaces evicted it regardless of hits).
 
 use std::collections::VecDeque;
 use std::sync::{Arc, Mutex};
@@ -85,12 +87,16 @@ impl ArtifactCache {
         Ok((built, false))
     }
 
+    /// Finds `key` and promotes it to most-recently-used (back of the
+    /// eviction queue), so constant hitters survive churn from one-off
+    /// designs.
     fn lookup(&self, key: u64) -> Option<Arc<SessionArtifacts>> {
-        let entries = self.entries.lock().unwrap_or_else(|p| p.into_inner());
-        entries
-            .iter()
-            .find(|e| e.key == key)
-            .map(|e| Arc::clone(&e.artifacts))
+        let mut entries = self.entries.lock().unwrap_or_else(|p| p.into_inner());
+        let pos = entries.iter().position(|e| e.key == key)?;
+        let entry = entries.remove(pos).expect("position came from this deque");
+        let found = Arc::clone(&entry.artifacts);
+        entries.push_back(entry);
+        Some(found)
     }
 
     /// Number of resident designs.
@@ -134,17 +140,38 @@ mod tests {
     }
 
     #[test]
-    fn capacity_bounds_residency_fifo() {
+    fn capacity_bounds_residency() {
         let cache = ArtifactCache::new(2);
         for key in 0..5u64 {
             cache.get_or_build(key, build_probe).unwrap();
         }
         assert_eq!(cache.len(), 2);
-        // Oldest evicted: key 3 and 4 remain.
+        // Least-recently-used evicted: key 3 and 4 remain.
         let (_, warm) = cache.get_or_build(4, build_probe).unwrap();
         assert!(warm);
         let (_, warm) = cache.get_or_build(0, build_probe).unwrap();
         assert!(!warm, "key 0 was evicted");
+    }
+
+    #[test]
+    fn hot_entry_survives_capacity_many_distinct_inserts() {
+        // The LRU regression: a repeatedly-hit design must stay resident
+        // while capacity-many (and more) one-off designs churn through.
+        // Under the old FIFO policy the hot entry was evicted regardless
+        // of its hits.
+        let cache = ArtifactCache::new(2);
+        let (hot, _) = cache.get_or_build(100, build_probe).unwrap();
+        for key in 0..4u64 {
+            cache.get_or_build(key, build_probe).unwrap();
+            let (again, warm) = cache
+                .get_or_build(100, || -> Result<_, String> {
+                    panic!("hot entry must never rebuild")
+                })
+                .unwrap();
+            assert!(warm, "hot entry evicted after one-off insert {key}");
+            assert!(Arc::ptr_eq(&hot, &again));
+        }
+        assert_eq!(cache.len(), 2);
     }
 
     #[test]

@@ -122,6 +122,20 @@ impl DesignRef {
         }
     }
 
+    /// The design *family* the request belongs to: the design name without
+    /// its elaboration parameters. The server's second cache tier keys its
+    /// "previous build" slot on this, so an edited parameterisation (e.g.
+    /// a changed sensor full scale) still finds the family's last frozen
+    /// artifacts and can splice every unchanged model from them.
+    pub fn family(&self) -> &'static str {
+        match self {
+            DesignRef::Sensor { .. } => "sensor",
+            DesignRef::WindowLifter => "window-lifter",
+            DesignRef::BuckBoost => "buck-boost",
+            DesignRef::Probe => "probe",
+        }
+    }
+
     /// A stable, human-auditable label for reports and logs.
     pub fn label(&self) -> String {
         match self {

@@ -17,11 +17,12 @@
 //!   listener closes and [`ServerHandle::wait`] returns the final
 //!   metrics snapshot.
 
+use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc};
+use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -122,6 +123,12 @@ struct Shared {
     /// resolved once at server start — satellite of the SessionConfig
     /// refactor: no hot-path env reads per request).
     base_session: SessionConfig,
+    /// Second cache tier: the last frozen artifacts per design *family*
+    /// (+ tracking mode). A whole-design miss — typically an edited
+    /// parameterisation of a known family — rebuilds incrementally from
+    /// this instead of cold, splicing every model the edit left
+    /// unchanged. Bounded by the design-family enum, so no eviction.
+    prev_builds: Mutex<HashMap<String, Arc<SessionArtifacts>>>,
     connections: AtomicUsize,
 }
 
@@ -189,6 +196,7 @@ pub fn start(config: ServeConfig) -> std::io::Result<ServerHandle> {
         }),
         cache: ArtifactCache::new(config.cache_capacity),
         base_session: SessionConfig::from_env(),
+        prev_builds: Mutex::new(HashMap::new()),
         connections: AtomicUsize::new(0),
         config,
     });
@@ -489,18 +497,55 @@ fn handle_analyse(shared: &Arc<Shared>, request: &AnalyseRequest) -> String {
         request.design.cache_key_material(),
         session_config.tracking
     );
+    // Second tier: on a whole-design miss, the family's previous frozen
+    // build (if any) seeds an incremental rebuild — only models the edit
+    // touched are recomputed, the rest splice. `DFT_INCR=0` (or
+    // `incremental: false` per request config) disables the tier.
+    let family_key = format!(
+        "{};tracking={:?}",
+        request.design.family(),
+        session_config.tracking
+    );
+    let via_incremental = std::cell::Cell::new(false);
     let elaborate_started = Instant::now();
     let built = shared.cache.get_or_build(fnv1a(material.as_bytes()), || {
-        request
-            .design
-            .design()
-            .map(|design| SessionArtifacts::build_with(design, &session_config))
+        request.design.design().map(|design| {
+            let prev = if session_config.incremental {
+                let prev_builds = shared.prev_builds.lock().unwrap_or_else(|p| p.into_inner());
+                prev_builds.get(&family_key).map(Arc::clone)
+            } else {
+                None
+            };
+            match prev {
+                Some(prev) => {
+                    via_incremental.set(true);
+                    SessionArtifacts::build_incremental(design, &prev, &session_config)
+                }
+                None => SessionArtifacts::build_with(design, &session_config),
+            }
+        })
     });
     let (artifacts, warm) = match built {
         Ok(pair) => pair,
         Err(e) => return error_response(&request.id, &format!("elaboration failed: {e}")),
     };
     let elaborate_ms = elaborate_started.elapsed().as_secs_f64() * 1e3;
+    if !warm {
+        let mut prev_builds = shared.prev_builds.lock().unwrap_or_else(|p| p.into_inner());
+        prev_builds.insert(family_key, Arc::clone(&artifacts));
+    }
+    // `cold | warm | incremental` attribution: `warm` is a whole-design
+    // hit; a miss that spliced at least one model from the family's
+    // previous build is `incremental`; everything else (including a
+    // splice attempt where every model changed) is `cold`.
+    let artifact_state = if warm {
+        "warm"
+    } else if via_incremental.get() && artifacts.models_rebuilt() < artifacts.model_count() {
+        "incremental"
+    } else {
+        "cold"
+    };
+    let models_rebuilt = if warm { 0 } else { artifacts.models_rebuilt() };
     let mut session = DftSession::from_artifacts(artifacts, session_config);
     if !request.assertions.is_empty() {
         session.set_assertions(request.assertions.clone());
@@ -600,6 +645,7 @@ fn handle_analyse(shared: &Arc<Shared>, request: &AnalyseRequest) -> String {
         ),
         ("design", Json::str(request.design.label())),
         ("cache", Json::str(if warm { "warm" } else { "cold" })),
+        ("artifact", Json::str(artifact_state)),
         ("testcases", testcases),
         (
             "coverage",
@@ -631,6 +677,7 @@ fn handle_analyse(shared: &Arc<Shared>, request: &AnalyseRequest) -> String {
         "timings",
         Json::obj([
             ("elaborate_ms", Json::num(elaborate_ms)),
+            ("models_rebuilt", Json::num(models_rebuilt as f64)),
             ("total_ms", Json::num(started.elapsed().as_secs_f64() * 1e3)),
             ("stages", stages),
         ]),

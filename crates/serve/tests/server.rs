@@ -136,11 +136,20 @@ mod systemc_ams_dft_server_oracle {
     use dft_core::{render_table1, DftSession};
 
     pub fn sensor_oracle() -> String {
-        let design = sensor::sensor_design(sensor::FIXED_ADC_FULL_SCALE).unwrap();
-        let mut session = DftSession::new(design).unwrap();
+        sensor_oracle_at(sensor::FIXED_ADC_FULL_SCALE)
+    }
+
+    /// Like [`sensor_oracle`] but parameterised by ADC full-scale, with
+    /// incremental artifact reuse forced off — a pure cold build to hold
+    /// the server's incremental path against.
+    pub fn sensor_oracle_at(full_scale: f64) -> String {
+        use dft_core::{SessionArtifacts, SessionConfig};
+        let design = sensor::sensor_design(full_scale).unwrap();
+        let config = SessionConfig::from_env().with_incremental(false);
+        let artifacts = SessionArtifacts::build_with(design, &config);
+        let mut session = DftSession::from_artifacts(artifacts, config);
         for tc in sensor::sensor_testcases() {
-            let (cluster, _) =
-                sensor::build_sensor_cluster(&tc, sensor::FIXED_ADC_FULL_SCALE).unwrap();
+            let (cluster, _) = sensor::build_sensor_cluster(&tc, full_scale).unwrap();
             session
                 .run_testcase(&tc.name, cluster, tc.duration)
                 .unwrap();
@@ -477,4 +486,69 @@ mod fault_soak {
         handle.begin_shutdown();
         handle.wait();
     }
+}
+
+/// Tentpole: a one-model edit (new ADC full-scale) misses the
+/// whole-design cache tier but is rebuilt incrementally from the family's
+/// previous build — and the served tables stay byte-identical to a pure
+/// cold build with incremental reuse forced off.
+#[test]
+fn one_model_edit_is_served_incrementally() {
+    use systemc_ams_dft_server_oracle::sensor_oracle_at;
+    let handle = start(test_config()).unwrap();
+    let mut client = Client::connect(&handle);
+
+    let cold = client.roundtrip(r#"{"op":"analyse","id":"i1","design":"sensor"}"#);
+    assert_eq!(status(&cold), "ok", "{cold:?}");
+    assert_eq!(cold.get("cache").and_then(Json::as_str), Some("cold"));
+    assert_eq!(cold.get("artifact").and_then(Json::as_str), Some("cold"));
+
+    // Same family, edited ADC interface: cold at the whole-design tier,
+    // incremental at the per-model tier — unless the suite runs with
+    // DFT_INCR=0, where the fallback tier is off and the edit is simply
+    // cold (the served tables must be byte-identical either way).
+    let incremental_on = dft_core::incremental_enabled();
+    let edited = client
+        .roundtrip(r#"{"op":"analyse","id":"i2","design":{"name":"sensor","full_scale":511}}"#);
+    assert_eq!(status(&edited), "ok", "{edited:?}");
+    assert_eq!(edited.get("cache").and_then(Json::as_str), Some("cold"));
+    assert_eq!(
+        edited.get("artifact").and_then(Json::as_str),
+        Some(if incremental_on {
+            "incremental"
+        } else {
+            "cold"
+        }),
+        "{edited:?}"
+    );
+    // A one-model edit rebuilds at most the edited model — possibly zero
+    // when the process-wide per-model cache already holds it (other tests
+    // in this binary analyse the fs=511 parameterisation too).
+    let rebuilt = edited
+        .get("timings")
+        .and_then(|t| t.get("models_rebuilt"))
+        .and_then(Json::as_f64)
+        .expect("timings.models_rebuilt");
+    if incremental_on {
+        assert!(
+            (0.0..=1.0).contains(&rebuilt),
+            "one-model edit rebuilt {rebuilt} models"
+        );
+    } else {
+        assert!(rebuilt >= 1.0, "cold build rebuilt {rebuilt} models");
+    }
+    assert_eq!(
+        tables(&edited).0,
+        sensor_oracle_at(511.0),
+        "incremental rebuild must be byte-identical to a cold build"
+    );
+
+    // Repeating the edited design hits the whole-design tier.
+    let warm = client
+        .roundtrip(r#"{"op":"analyse","id":"i3","design":{"name":"sensor","full_scale":511}}"#);
+    assert_eq!(warm.get("cache").and_then(Json::as_str), Some("warm"));
+    assert_eq!(warm.get("artifact").and_then(Json::as_str), Some("warm"));
+
+    handle.begin_shutdown();
+    handle.wait();
 }

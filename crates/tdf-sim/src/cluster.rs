@@ -298,7 +298,7 @@ impl PortRef {
 }
 
 /// One netlist binding from a driver port to a reader port.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct NetBinding {
     /// Driving output port.
     pub from: PortRef,
@@ -307,7 +307,7 @@ pub struct NetBinding {
 }
 
 /// Interface summary of one module instance in a [`Netlist`].
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct ModuleInfo {
     /// Instance name.
     pub name: String,
@@ -320,7 +320,7 @@ pub struct ModuleInfo {
 }
 
 /// The extracted binding information of a cluster.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Netlist {
     /// Cluster (architecture) name.
     pub cluster: String,

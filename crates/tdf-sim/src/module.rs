@@ -10,7 +10,7 @@ use crate::time::SimTime;
 use crate::value::{Provenance, Sample, Value};
 
 /// Static attributes of one TDF port.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Hash)]
 pub struct PortSpec {
     /// Port name, e.g. `op_signal_out`.
     pub name: String,
@@ -127,7 +127,7 @@ impl fmt::Display for DefSite {
 }
 
 /// How the coverage analysis should treat a module.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum ModuleClass {
     /// A behavioural model with analysable (minic) source.
     UserCode,

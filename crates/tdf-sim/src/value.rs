@@ -14,6 +14,20 @@ pub enum Value {
     Bool(bool),
 }
 
+/// Hashes by discriminant and exact bit pattern (`f64::to_bits` for
+/// doubles). Used for content fingerprinting of interfaces, not as a map
+/// key — `Value` is deliberately not `Eq` (NaN).
+impl std::hash::Hash for Value {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        std::mem::discriminant(self).hash(state);
+        match self {
+            Value::Double(v) => v.to_bits().hash(state),
+            Value::Int(v) => v.hash(state),
+            Value::Bool(v) => v.hash(state),
+        }
+    }
+}
+
 impl Value {
     /// Converts to `f64` (bools become 0.0/1.0).
     pub fn as_f64(self) -> f64 {

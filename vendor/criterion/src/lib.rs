@@ -186,6 +186,66 @@ impl Bencher {
     pub fn iter_with_large_drop<O, R: FnMut() -> O>(&mut self, routine: R) {
         self.iter(routine);
     }
+
+    /// Times `routine` on fresh inputs produced by `setup`, excluding the
+    /// setup *and* the drop of the routine's output from the measurement —
+    /// criterion's `iter_batched` (outputs are retained until the sample
+    /// completes, then dropped untimed). The batch-size hint is accepted
+    /// for API compatibility; this harness always runs one input per timed
+    /// call.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        // Warm-up: accumulate routine-only time until the budget is spent.
+        let mut iters_done: u64 = 0;
+        let mut spent = Duration::ZERO;
+        loop {
+            let input = setup();
+            let t = Instant::now();
+            let out = black_box(routine(input));
+            spent += t.elapsed();
+            drop(out);
+            iters_done += 1;
+            if spent >= WARMUP {
+                break;
+            }
+        }
+        let per_iter = spent.as_secs_f64() / iters_done as f64;
+        let iters_per_sample = ((TARGET_SAMPLE.as_secs_f64() / per_iter).ceil() as u64).max(1);
+
+        let measure_start = Instant::now();
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let mut sample = Duration::ZERO;
+            for _ in 0..iters_per_sample {
+                let input = setup();
+                let t = Instant::now();
+                let out = black_box(routine(input));
+                sample += t.elapsed();
+                drop(out);
+            }
+            let ns = sample.as_nanos() as f64 / iters_per_sample as f64;
+            self.samples.push(ns);
+            if measure_start.elapsed() >= MEASURE_CAP && self.samples.len() >= 2 {
+                break;
+            }
+        }
+    }
+}
+
+/// How much input `iter_batched` setup should pre-build per batch. This
+/// harness times one input per call either way; the variants exist so
+/// benches written against real criterion compile unchanged.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small routine outputs; criterion batches many per allocation.
+    SmallInput,
+    /// Large routine outputs; criterion batches few.
+    LargeInput,
+    /// One setup per routine call.
+    PerIteration,
 }
 
 fn run_one<F: FnMut(&mut Bencher)>(
